@@ -1,0 +1,198 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation (DESIGN.md §4 maps each benchmark to its experiment). The
+// training-based figures run at a reduced "bench" scale so the whole suite
+// finishes in CPU-minutes; cmd/remapd-report reproduces them at full scale.
+//
+// Run:
+//
+//	go test -bench=. -benchmem
+package remapd_test
+
+import (
+	"testing"
+
+	"remapd/internal/experiments"
+)
+
+// benchScale is the reduced configuration used by the training benches.
+func benchScale() experiments.Scale {
+	s := experiments.QuickScale()
+	s.Name = "bench"
+	s.TrainN, s.TestN = 320, 256
+	s.Epochs = 4
+	s.Models = []string{"vgg11"}
+	s.Seeds = []uint64{1}
+	return s
+}
+
+// BenchmarkFig4BISTCurrent regenerates Fig. 4: BIST column current vs the
+// number of SA0/SA1 faults under device-resistance variation.
+func BenchmarkFig4BISTCurrent(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig4(4, 4, 50, 1)
+		if i == 0 {
+			b.Logf("\n%s", experiments.FormatFig4(rows))
+		}
+	}
+}
+
+// BenchmarkFig5PhaseTolerance regenerates Fig. 5: accuracy with faults
+// injected only into forward-phase vs only into backward-phase crossbars.
+func BenchmarkFig5PhaseTolerance(b *testing.B) {
+	s := benchScale()
+	reg := experiments.DefaultRegime()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig5(s, reg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", experiments.FormatFig5(rows))
+		}
+	}
+}
+
+// BenchmarkFig6PolicyComparison regenerates Fig. 6: accuracy under
+// combined pre+post faults for every fault-tolerance policy.
+func BenchmarkFig6PolicyComparison(b *testing.B) {
+	s := benchScale()
+	reg := experiments.DefaultRegime()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig6(s, reg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", experiments.FormatFig6(rows))
+		}
+	}
+}
+
+// BenchmarkFig7PostDeploymentSweep regenerates Fig. 7: Remap-D accuracy
+// across the (m, n) post-deployment wear sweep.
+func BenchmarkFig7PostDeploymentSweep(b *testing.B) {
+	s := benchScale()
+	reg := experiments.DefaultRegime()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig7(s, reg, []string{"vgg11"},
+			[]float64{0.005, 0.06}, []float64{0.01, 0.04})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", experiments.FormatFig7(rows))
+		}
+	}
+}
+
+// BenchmarkFig8Scalability regenerates Fig. 8: Remap-D vs no protection on
+// the CIFAR-100-like and SVHN-like datasets.
+func BenchmarkFig8Scalability(b *testing.B) {
+	s := benchScale()
+	reg := experiments.DefaultRegime()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig8(s, reg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", experiments.FormatFig8(rows))
+		}
+	}
+}
+
+// BenchmarkBISTTimingOverhead regenerates the 0.13% BIST timing claim.
+func BenchmarkBISTTimingOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		row := experiments.BISTTimingOverhead(50000, 19, 8)
+		if i == 0 {
+			b.Logf("\n%s", experiments.FormatBISTOverhead(row))
+		}
+	}
+}
+
+// BenchmarkNoCRemapOverhead regenerates the Section IV.C Monte-Carlo
+// remap-traffic study (paper: 0.22% mean / 0.36% worst).
+func BenchmarkNoCRemapOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		row := experiments.NoCRemapOverhead(10, 2, 10, 42)
+		if i == 0 {
+			b.Logf("\n%s", experiments.FormatNoCOverhead(row))
+		}
+	}
+}
+
+// BenchmarkAreaOverhead regenerates the area table (BIST 0.61%, AN 6.3%,
+// Remap-T-10% 10%).
+func BenchmarkAreaOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.AreaOverheads()
+		if i == 0 {
+			b.Logf("\n%s", experiments.FormatArea(rows))
+		}
+	}
+}
+
+// BenchmarkAblationThreshold sweeps Remap-D's trigger threshold
+// (DESIGN.md §6.3).
+func BenchmarkAblationThreshold(b *testing.B) {
+	s := benchScale()
+	reg := experiments.DefaultRegime()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationThreshold(s, reg, "vgg11", []float64{0.004, 0.02, 0.05})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", experiments.FormatThreshold(rows))
+		}
+	}
+}
+
+// BenchmarkAblationReceiverSelection compares nearest vs random receiver
+// selection (DESIGN.md §6.4).
+func BenchmarkAblationReceiverSelection(b *testing.B) {
+	s := benchScale()
+	reg := experiments.DefaultRegime()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationReceiverSelection(s, reg, "vgg11")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", experiments.FormatReceiver(rows))
+		}
+	}
+}
+
+// BenchmarkAblationCoding compares offset (PytorX-style) and differential
+// conductance coding (DESIGN.md §6.5).
+func BenchmarkAblationCoding(b *testing.B) {
+	s := benchScale()
+	reg := experiments.DefaultRegime()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationCoding(s, reg, "vgg11")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", experiments.FormatCoding(rows))
+		}
+	}
+}
+
+// BenchmarkAblationBISTvsTruth compares BIST density estimates against
+// ground truth as the remap trigger (DESIGN.md §6, BIST fidelity).
+func BenchmarkAblationBISTvsTruth(b *testing.B) {
+	s := benchScale()
+	reg := experiments.DefaultRegime()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationBISTvsTruth(s, reg, "vgg11")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", experiments.FormatBISTvsTruth(rows))
+		}
+	}
+}

@@ -1,0 +1,42 @@
+// Command remapd-bist regenerates Fig. 4: the BIST column output current as
+// a function of the number of SA0/SA1 faults, with device-resistance
+// variation bands, plus the FSM timing summary of Section III.B.3.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"remapd/internal/bist"
+	"remapd/internal/experiments"
+	"remapd/internal/reram"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		size   = flag.Int("size", 4, "crossbar size for the curve (paper illustrates 4×4)")
+		max    = flag.Int("maxfaults", 4, "maximum faults per column")
+		trials = flag.Int("trials", 50, "resistance-variation samples per point")
+		seed   = flag.Uint64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	fmt.Printf("Fig. 4 — BIST column current vs fault count (%d×%d array, %d trials)\n\n", *size, *size, *trials)
+	rows := experiments.Fig4(*size, *max, *trials, *seed)
+	fmt.Print(experiments.FormatFig4(rows))
+
+	p := reram.DefaultDeviceParams()
+	fmt.Printf("\nBIST FSM timing (%d×%d production arrays):\n", p.CrossbarSize, p.CrossbarSize)
+	fmt.Printf("  SA1 test: %d write + 1 read + 1 process = %d ReRAM cycles\n",
+		p.CrossbarSize, p.CrossbarSize+2)
+	fmt.Printf("  SA0 test: %d ReRAM cycles\n", p.CrossbarSize+2)
+	fmt.Printf("  total:    %d ReRAM cycles = %.1f µs at %.0f MHz\n",
+		bist.CyclesPerPass(p), bist.PassTimeNS(p)/1e3, 1e3/p.ReRAMCycleNS)
+	fmt.Printf("\nversus the conventional March C- test: %d cycles and 5 array writes\n",
+		bist.MarchCycles(p.CrossbarSize))
+	fmt.Printf("⇒ the density-only BIST is %.1f× cheaper per pass (and wears cells 2.5× less)\n",
+		bist.MarchVsBISTSpeedup(p))
+	fmt.Print("\n" + experiments.FormatBISTOverhead(experiments.BISTTimingOverhead(50000, 19, 8)))
+}

@@ -1,0 +1,147 @@
+// Command remapd-report regenerates every table and figure of the paper's
+// evaluation at the chosen scale and prints them in EXPERIMENTS.md order.
+// This is the one-command reproduction entry point:
+//
+//	remapd-report -scale quick      # minutes
+//	remapd-report -scale standard   # the full six-model matrix (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"remapd/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		scale     = flag.String("scale", "quick", "quick or standard")
+		ablations = flag.Bool("ablations", true, "include the design-choice ablations")
+		csvDir    = flag.String("csv", "", "also write each figure's rows as CSV into this directory")
+	)
+	flag.Parse()
+
+	writeCSV := func(name string, rows interface{}) {
+		if *csvDir == "" {
+			return
+		}
+		f, err := os.Create(filepath.Join(*csvDir, name+".csv"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := experiments.WriteCSV(f, rows); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var s experiments.Scale
+	switch *scale {
+	case "quick":
+		s = experiments.QuickScale()
+	case "standard":
+		s = experiments.StandardScale()
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+	reg := experiments.DefaultRegime()
+	start := time.Now()
+	section := func(title string) {
+		fmt.Printf("\n==== %s ====\n\n", title)
+	}
+
+	section("Fig. 4 — BIST current vs fault count")
+	rows4 := experiments.Fig4(4, 4, 50, 1)
+	fmt.Print(experiments.FormatFig4(rows4))
+	writeCSV("fig4", rows4)
+
+	section("Fig. 5 — forward vs backward phase fault tolerance")
+	f5 := s
+	if *scale == "quick" {
+		f5.Models = []string{"vgg11"}
+	}
+	rows5, err := experiments.Fig5(f5, reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.FormatFig5(rows5))
+	writeCSV("fig5", rows5)
+
+	section("Fig. 6 — policy comparison under pre+post faults")
+	rows6, err := experiments.Fig6(s, reg, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.FormatFig6(rows6))
+	writeCSV("fig6", rows6)
+
+	section("Fig. 7 — Remap-D post-deployment sweep")
+	sweepModels := []string{"vgg19", "resnet12"}
+	if *scale == "quick" {
+		sweepModels = []string{"vgg11"}
+	}
+	rows7, err := experiments.Fig7(s, reg, sweepModels,
+		[]float64{0.005, 0.03, 0.06}, []float64{0.01, 0.02, 0.04})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.FormatFig7(rows7))
+	writeCSV("fig7", rows7)
+
+	section("Fig. 8 — scalability (CIFAR-100-like, SVHN-like)")
+	rows8, err := experiments.Fig8(s, reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.FormatFig8(rows8))
+	writeCSV("fig8", rows8)
+
+	section("BIST timing overhead (paper: 0.13%)")
+	fmt.Print(experiments.FormatBISTOverhead(experiments.BISTTimingOverhead(50000, 19, 8)))
+
+	section("NoC remap overhead, 50-round Monte Carlo (paper: 0.22% / 0.36%)")
+	fmt.Print(experiments.FormatNoCOverhead(experiments.NoCRemapOverhead(50, 2, 10, 42)))
+
+	section("Area overheads (paper: BIST 0.61%, AN 6.3%, Remap-T-10% 10%)")
+	rowsArea := experiments.AreaOverheads()
+	fmt.Print(experiments.FormatArea(rowsArea))
+	writeCSV("area", rowsArea)
+
+	if *ablations {
+		model := s.Models[len(s.Models)-1]
+		section("Ablation — Remap-D trigger threshold (" + model + ")")
+		rt, err := experiments.AblationThreshold(s, reg, model, []float64{0.004, 0.01, 0.02, 0.05})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.FormatThreshold(rt))
+
+		section("Ablation — receiver selection (nearest vs random)")
+		rr, err := experiments.AblationReceiverSelection(s, reg, model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.FormatReceiver(rr))
+
+		section("Ablation — conductance coding scheme")
+		rc, err := experiments.AblationCoding(s, reg, model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.FormatCoding(rc))
+
+		section("Ablation — BIST estimate vs ground-truth density")
+		rb, err := experiments.AblationBISTvsTruth(s, reg, model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.FormatBISTvsTruth(rb))
+	}
+
+	fmt.Printf("\nreport complete in %s (scale=%s)\n", time.Since(start).Round(time.Second), s.Name)
+}

@@ -1,0 +1,135 @@
+// Command remapd-train trains one CNN on the simulated faulty RCS with a
+// chosen fault-tolerance policy (or the ideal fabric) and prints per-epoch
+// progress plus the final summary. It is the workhorse behind the Fig. 5,
+// Fig. 6 and Fig. 8 experiments.
+//
+// Examples:
+//
+//	remapd-train -model vgg11 -policy remap-d
+//	remapd-train -model resnet12 -policy none -dataset cifar100
+//	remapd-train -model vgg19 -phase backward        # Fig. 5-style injection
+//	remapd-train -model vgg11 -policy remap-d -noc   # with flit-level NoC
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"remapd/internal/arch"
+	"remapd/internal/dataset"
+	"remapd/internal/experiments"
+	"remapd/internal/fault"
+	"remapd/internal/models"
+	"remapd/internal/trainer"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		model     = flag.String("model", "vgg11", "model: "+strings.Join(models.Names(), ", "))
+		policy    = flag.String("policy", "remap-d", "policy: "+strings.Join(experiments.PolicyNames(), ", "))
+		dsName    = flag.String("dataset", "cifar10", "dataset: cifar10, cifar100, svhn")
+		phase     = flag.String("phase", "", "Fig. 5 targeted injection: forward or backward (overrides -policy)")
+		epochs    = flag.Int("epochs", 6, "training epochs")
+		trainN    = flag.Int("train", 512, "training samples")
+		testN     = flag.Int("test", 512, "test samples")
+		width     = flag.Float64("width", 0.125, "model width scale")
+		seed      = flag.Uint64("seed", 1, "seed")
+		simNoC    = flag.Bool("noc", false, "simulate the remap handshake on the flit-level NoC")
+		usePaper  = flag.Bool("paper-regime", false, "use the paper's literal fault densities instead of the compressed schedule")
+		endurance = flag.Bool("endurance", false, "derive wear-out physically from write counts (Weibull) instead of the phenomenological post model")
+	)
+	flag.Parse()
+
+	s := experiments.StandardScale()
+	s.Epochs = *epochs
+	s.TrainN, s.TestN = *trainN, *testN
+	s.WidthScale = *width
+	s.Seeds = []uint64{*seed}
+
+	reg := experiments.DefaultRegime()
+	if *usePaper {
+		reg = experiments.PaperRegime()
+	}
+
+	var ds *dataset.Dataset
+	classes := 10
+	switch *dsName {
+	case "cifar10":
+		ds = dataset.CIFAR10Like(s.TrainN, s.TestN, s.ImgSize, 77)
+	case "cifar100":
+		classes = 100
+		ds = dataset.CIFAR100Like(s.TrainN*2, s.TestN, s.ImgSize, 88)
+	case "svhn":
+		ds = dataset.SVHNLike(s.TrainN, s.TestN, s.ImgSize, 99)
+	default:
+		log.Fatalf("unknown dataset %q", *dsName)
+	}
+	fmt.Println(ds)
+
+	net, err := models.Build(*model, models.Config{
+		InC: 3, InH: s.ImgSize, InW: s.ImgSize, Classes: classes,
+		WidthScale: s.WidthScale, BatchNorm: true, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model %s: %d parameters, %d crossbar-mapped layers\n",
+		*model, net.ParamCount(), len(net.MVMLayers()))
+
+	cfg := trainer.DefaultConfig()
+	cfg.Epochs = s.Epochs
+	cfg.BatchSize = s.BatchSize
+	cfg.LR = s.LR
+	cfg.Seed = *seed
+	cfg.SimulateNoC = *simNoC
+	cfg.Logf = func(f string, a ...interface{}) { fmt.Printf(f+"\n", a...) }
+
+	switch {
+	case *phase != "":
+		ph := arch.Forward
+		if *phase == "backward" {
+			ph = arch.Backward
+		} else if *phase != "forward" {
+			log.Fatalf("-phase must be forward or backward, got %q", *phase)
+		}
+		cfg.Chip = newChip(s)
+		cfg.PhaseInject = &trainer.PhaseInjection{Phase: ph, Density: reg.PhaseDensity}
+		fmt.Printf("targeted %s-phase injection at %.1f%% density\n", *phase, 100*reg.PhaseDensity)
+	case *policy == "ideal":
+		// no chip: ideal digital fabric
+	default:
+		pol, trackGrads, err := experiments.PolicyByName(*policy, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Chip = newChip(s)
+		cfg.Policy = pol
+		cfg.Pre = &reg.Pre
+		if *endurance {
+			em := fault.NewEnduranceModel()
+			em.CharacteristicLife = 100 // compressed for few-epoch runs
+			cfg.Endurance = em
+		} else {
+			cfg.Post = &reg.Post
+		}
+		cfg.TrackGradAbs = trackGrads
+	}
+
+	res, err := trainer.Train(net, ds, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfinal accuracy %.4f (best %.4f), policy=%s\n", res.FinalTestAcc, res.BestTestAcc, res.Policy)
+	if cfg.Chip != nil {
+		fmt.Printf("faults injected: %d (final mean density %.4f%%)\n", res.FaultsInjected, 100*res.FinalMeanDensity)
+		fmt.Printf("remap: %d senders, %d swaps, %d unmatched; BIST %d cycles; NoC %d cycles\n",
+			res.Senders, res.Swaps, res.Unmatched, res.BISTCyclesTotal, res.NoCCyclesTotal)
+	}
+	os.Exit(0)
+}
+
+func newChip(s experiments.Scale) *arch.Chip { return experiments.NewChip(s) }

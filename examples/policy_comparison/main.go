@@ -1,0 +1,48 @@
+// Policy comparison (Fig. 6): train the same model under combined pre- and
+// post-deployment faults with every fault-tolerance policy the paper
+// evaluates, and print the accuracy table.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"remapd"
+)
+
+func main() {
+	log.SetFlags(0)
+	scale := remapd.QuickScale()
+	scale.TrainN, scale.Epochs = 384, 5
+	regime := remapd.DefaultRegime()
+	ds := remapd.CIFAR10Like(scale.TrainN, scale.TestN, scale.ImgSize, 77)
+
+	fmt.Println("VGG-11 under clustered pre-deployment faults + per-epoch wear-out:")
+	fmt.Printf("%-12s %9s %7s %10s\n", "policy", "accuracy", "swaps", "unmatched")
+	for _, name := range remapd.PolicyNames() {
+		net, err := remapd.BuildModel("vgg11", scale, 1, 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := remapd.DefaultTrainConfig()
+		cfg.Epochs = scale.Epochs
+		cfg.BatchSize = scale.BatchSize
+		cfg.LR = scale.LR
+		if name != "ideal" {
+			policy, trackGrads, err := remapd.NewPolicy(name, regime)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg.Chip = remapd.NewChip(scale)
+			cfg.Policy = policy
+			cfg.Pre = &regime.Pre
+			cfg.Post = &regime.Post
+			cfg.TrackGradAbs = trackGrads
+		}
+		res, err := remapd.Train(net, ds, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %9.3f %7d %10d\n", name, res.FinalTestAcc, res.Swaps, res.Unmatched)
+	}
+}

@@ -1,0 +1,59 @@
+// Quickstart: train a small CNN from scratch on a faulty simulated ReRAM
+// chip, first unprotected and then with the paper's Remap-D policy, and
+// compare against the fault-free ideal. Runs in well under a minute.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"remapd"
+)
+
+func main() {
+	log.SetFlags(0)
+	scale := remapd.QuickScale()
+	regime := remapd.DefaultRegime()
+	ds := remapd.CIFAR10Like(scale.TrainN, scale.TestN, scale.ImgSize, 77)
+	fmt.Println(ds)
+
+	scale.TrainN, scale.Epochs = 384, 5
+	run := func(policyName string) *remapd.TrainResult {
+		net, err := remapd.BuildModel("vgg11", scale, 1, 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := remapd.DefaultTrainConfig()
+		cfg.Epochs = scale.Epochs
+		cfg.BatchSize = scale.BatchSize
+		cfg.LR = scale.LR
+
+		if policyName != "ideal" {
+			policy, trackGrads, err := remapd.NewPolicy(policyName, regime)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg.Chip = remapd.NewChip(scale)
+			cfg.Policy = policy
+			cfg.Pre = &regime.Pre
+			cfg.Post = &regime.Post
+			cfg.TrackGradAbs = trackGrads
+		}
+		res, err := remapd.Train(net, ds, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	fmt.Println("\ntraining vgg11 three ways...")
+	ideal := run("ideal")
+	none := run("none")
+	rd := run("remap-d")
+
+	fmt.Printf("\n%-22s accuracy\n", "configuration")
+	fmt.Printf("%-22s %.3f\n", "ideal (fault-free)", ideal.FinalTestAcc)
+	fmt.Printf("%-22s %.3f\n", "faulty, no protection", none.FinalTestAcc)
+	fmt.Printf("%-22s %.3f  (%d task swaps, %d BIST cycles)\n",
+		"faulty, Remap-D", rd.FinalTestAcc, rd.Swaps, rd.BISTCyclesTotal)
+}

@@ -1,0 +1,51 @@
+// Remap protocol walkthrough (Fig. 3): run the three-phase remapping
+// handshake — broadcast request, unicast responses, nearest-receiver
+// weight swap — on the flit-level c-mesh NoC simulator and print what
+// happens cycle by cycle, then show that parallel non-overlapping remaps
+// cost barely more than one.
+package main
+
+import (
+	"fmt"
+
+	"remapd/internal/noc"
+)
+
+func main() {
+	cfg := noc.DefaultConfig() // 4×4 routers, concentration 4 = 64 tiles
+	pp := noc.DefaultProtocolParams()
+
+	fmt.Printf("c-mesh NoC: %d×%d routers, %d tiles, %d-flit weight payloads\n\n",
+		cfg.MeshX, cfg.MeshY, cfg.Tiles(), pp.WeightFlits)
+
+	// Two faulty sender tiles, several willing receivers (Fig. 3 scenario).
+	senders := []int{5, 40}
+	receivers := []int{1, 20, 33, 50, 62}
+	fmt.Printf("senders (faulty tiles):   %v\n", senders)
+	fmt.Printf("potential receiver tiles: %v\n\n", receivers)
+
+	for _, s := range senders {
+		fmt.Printf("receivers by distance from sender %d:", s)
+		for _, pr := range noc.NearestReceivers(cfg, s, receivers) {
+			fmt.Printf("  %d(%dh)", pr.Receiver, pr.Hops)
+		}
+		fmt.Println()
+	}
+
+	res := noc.SimulateRemap(cfg, pp, senders, receivers)
+	fmt.Printf("\nphase (a) broadcast requests delivered: cycle %d\n", res.RequestDone)
+	fmt.Printf("phase (b) responses collected:          cycle %d\n", res.ResponseDone)
+	fmt.Println("phase (c) nearest-receiver matching:")
+	for _, p := range res.Pairs {
+		fmt.Printf("   sender %d ↔ receiver %d  (%d hops)\n", p.Sender, p.Receiver, p.Hops)
+	}
+	fmt.Printf("weight exchange complete:               cycle %d\n", res.SwapDone)
+	fmt.Printf("total link traversals (energy proxy):   %d flit-hops\n\n", res.FlitHops)
+
+	// Parallelism: one pair vs two disjoint pairs.
+	solo := noc.SimulateRemap(cfg, pp, []int{0}, []int{1})
+	dual := noc.SimulateRemap(cfg, pp, []int{0, 63}, []int{1, 62})
+	fmt.Printf("one remap pair:           %6d cycles\n", solo.TotalCycles)
+	fmt.Printf("two disjoint remap pairs: %6d cycles (%.2f× — the NoC overlaps them)\n",
+		dual.TotalCycles, float64(dual.TotalCycles)/float64(solo.TotalCycles))
+}

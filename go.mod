@@ -1,0 +1,3 @@
+module remapd
+
+go 1.22

@@ -1,0 +1,136 @@
+// Package ancode implements the AN arithmetic code used as the ECC baseline
+// (Feinberg et al., HPCA 2018 — reference [10] of the paper). An AN code
+// encodes an integer x as A·x; any arithmetic combination of codewords is
+// again a multiple of A, so a non-zero residue mod A reveals an error, and
+// small error magnitudes can be corrected from a precomputed syndrome table.
+//
+// The package provides both the genuine arithmetic code (Encode/Check/
+// Correct, exercised by the unit tests) and the fabric-level behavioural
+// model the training experiments use: a Corrector that repairs the
+// contribution of faulty ReRAM cells when (and only when) the fault is in
+// the last-refreshed correction table and its column's fault count is
+// within the code's correction capability. This captures the two weaknesses
+// the paper exploits: AN codes cannot correct columns with too many faults
+// (clustered/high-density crossbars), and newly appeared post-deployment
+// faults are invisible until the table is refreshed.
+package ancode
+
+import (
+	"remapd/internal/arch"
+	"remapd/internal/reram"
+)
+
+// Code is an AN arithmetic code with parameter A. A is typically chosen as
+// a prime close to a power of two (e.g. 251) so encoding is cheap and the
+// minimum arithmetic distance is A.
+type Code struct {
+	A int64
+	// CorrectablePerColumn bounds how many faulty cells per crossbar
+	// column the output-side correction can absorb (1 for the single-error
+	// syndrome table of [10]).
+	CorrectablePerColumn int
+}
+
+// NewCode returns the baseline configuration: A = 251, single-error
+// correction per column.
+func NewCode() Code { return Code{A: 251, CorrectablePerColumn: 1} }
+
+// Encode returns the codeword A·x.
+func (c Code) Encode(x int64) int64 { return c.A * x }
+
+// Decode returns the data value of a codeword (which must be valid).
+func (c Code) Decode(cw int64) int64 { return cw / c.A }
+
+// Check reports whether cw is a valid codeword (residue 0 mod A).
+func (c Code) Check(cw int64) bool {
+	r := cw % c.A
+	return r == 0
+}
+
+// Syndrome returns the error residue of a corrupted codeword.
+func (c Code) Syndrome(cw int64) int64 {
+	r := cw % c.A
+	if r < 0 {
+		r += c.A
+	}
+	return r
+}
+
+// Correct attempts to repair a codeword assuming a single additive error of
+// magnitude at most maxErr. It searches the syndrome space e ≡ cw (mod A),
+// |e| ≤ maxErr, and returns the corrected codeword and true on success.
+// (Real hardware uses a precomputed table; the exhaustive search here is
+// equivalent and only used at test scale.)
+func (c Code) Correct(cw int64, maxErr int64) (int64, bool) {
+	if c.Check(cw) {
+		return cw, true
+	}
+	for e := int64(1); e <= maxErr; e++ {
+		if c.Check(cw - e) {
+			return cw - e, true
+		}
+		if c.Check(cw + e) {
+			return cw + e, true
+		}
+	}
+	return cw, false
+}
+
+// AreaOverhead is the fractional chip-area cost of the AN-code datapath
+// (encoder, residue checker, syndrome table, correction ALU) reported by
+// [10]: 6.3%.
+const AreaOverhead = 0.063
+
+// Corrector is the fabric-level model: it decides, per faulty cell, whether
+// the peripheral ECC can restore that cell's contribution to the MVM.
+type Corrector struct {
+	Code Code
+	// known[xbarID] is the fault snapshot from the last table refresh:
+	// the set of flat cell indices known faulty and per-column counts.
+	knownCells map[int]map[int]bool
+	knownCols  map[int][]int
+}
+
+// NewCorrector returns a corrector with an empty (stale) table; call
+// RefreshTable before deployment, mirroring the offline profiling step the
+// AN-code method requires.
+func NewCorrector(code Code) *Corrector {
+	return &Corrector{
+		Code:       code,
+		knownCells: make(map[int]map[int]bool),
+		knownCols:  make(map[int][]int),
+	}
+}
+
+// RefreshTable re-profiles every crossbar and rebuilds the correction
+// table. The paper notes this must happen periodically to cover
+// post-deployment faults and costs extra test/update time.
+func (c *Corrector) RefreshTable(xbars []*reram.Crossbar) {
+	for _, x := range xbars {
+		cells := make(map[int]bool)
+		cols := make([]int, x.Size)
+		for r := 0; r < x.Size; r++ {
+			for col := 0; col < x.Size; col++ {
+				if x.State(r, col) != reram.Healthy {
+					cells[r*x.Size+col] = true
+					cols[col]++
+				}
+			}
+		}
+		c.knownCells[x.ID] = cells
+		c.knownCols[x.ID] = cols
+	}
+}
+
+// CellCorrector returns the hook arch.Chip consults during effective-weight
+// materialisation: a faulty cell is corrected iff it is in the known table
+// and its column's known fault count is within the correction capability.
+func (c *Corrector) CellCorrector() func(t *arch.Task, x *reram.Crossbar, r, col int) bool {
+	return func(_ *arch.Task, x *reram.Crossbar, r, col int) bool {
+		cells, ok := c.knownCells[x.ID]
+		if !ok || !cells[r*x.Size+col] {
+			return false // unknown (new) fault: invisible to the table
+		}
+		return c.knownCols[x.ID][col] <= c.Code.CorrectablePerColumn
+	}
+}

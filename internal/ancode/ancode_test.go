@@ -1,0 +1,133 @@
+package ancode
+
+import (
+	"testing"
+	"testing/quick"
+
+	"remapd/internal/reram"
+	"remapd/internal/tensor"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	c := NewCode()
+	for _, x := range []int64{0, 1, -5, 1000, -12345} {
+		cw := c.Encode(x)
+		if !c.Check(cw) {
+			t.Fatalf("codeword of %d fails check", x)
+		}
+		if c.Decode(cw) != x {
+			t.Fatalf("decode(%d) != %d", cw, x)
+		}
+	}
+}
+
+// Property: arithmetic on codewords stays in the code (the defining AN
+// property: A·x + A·y = A·(x+y)).
+func TestCodewordArithmeticClosedProperty(t *testing.T) {
+	c := NewCode()
+	f := func(x, y int32) bool {
+		s := c.Encode(int64(x)) + c.Encode(int64(y))
+		return c.Check(s) && c.Decode(s) == int64(x)+int64(y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorDetection(t *testing.T) {
+	c := NewCode()
+	cw := c.Encode(42)
+	for _, e := range []int64{1, -1, 7, 100, 250} {
+		if c.Check(cw + e) {
+			t.Fatalf("error %d undetected (A=%d)", e, c.A)
+		}
+	}
+	// Errors that are multiples of A are (by design) undetectable.
+	if !c.Check(cw + c.A) {
+		t.Fatal("multiple-of-A error should alias to a valid codeword")
+	}
+}
+
+func TestSyndromeAndCorrect(t *testing.T) {
+	c := NewCode()
+	cw := c.Encode(7)
+	corrupted := cw + 5
+	if c.Syndrome(corrupted) != 5 {
+		t.Fatalf("syndrome = %d, want 5", c.Syndrome(corrupted))
+	}
+	fixed, ok := c.Correct(corrupted, 10)
+	if !ok || fixed != cw {
+		t.Fatalf("correction failed: %d, ok=%v", fixed, ok)
+	}
+	// Negative error.
+	fixed, ok = c.Correct(cw-3, 10)
+	if !ok || fixed != cw {
+		t.Fatalf("negative-error correction failed")
+	}
+	// Error beyond the search bound is uncorrectable.
+	if _, ok := c.Correct(cw+100, 10); ok {
+		t.Fatal("out-of-range error should not correct")
+	}
+}
+
+func newXbar(size int) *reram.Crossbar {
+	p := reram.DefaultDeviceParams()
+	p.CrossbarSize = size
+	return reram.NewCrossbar(0, p)
+}
+
+func TestCorrectorRequiresTable(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	x := newXbar(16)
+	x.InjectFault(2, 3, reram.SA1, rng)
+	cor := NewCorrector(NewCode())
+	hook := cor.CellCorrector()
+	if hook(nil, x, 2, 3) {
+		t.Fatal("fault must be uncorrectable before table refresh")
+	}
+	cor.RefreshTable([]*reram.Crossbar{x})
+	if !hook(nil, x, 2, 3) {
+		t.Fatal("single known column fault must correct")
+	}
+}
+
+func TestCorrectorColumnCapacity(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	x := newXbar(16)
+	// Two faults in column 4: beyond single-error capability.
+	x.InjectFault(0, 4, reram.SA0, rng)
+	x.InjectFault(9, 4, reram.SA1, rng)
+	// One fault in column 7: correctable.
+	x.InjectFault(3, 7, reram.SA0, rng)
+	cor := NewCorrector(NewCode())
+	cor.RefreshTable([]*reram.Crossbar{x})
+	hook := cor.CellCorrector()
+	if hook(nil, x, 0, 4) || hook(nil, x, 9, 4) {
+		t.Fatal("two-fault column must exceed AN-code capability")
+	}
+	if !hook(nil, x, 3, 7) {
+		t.Fatal("single-fault column must correct")
+	}
+}
+
+func TestCorrectorBlindToNewFaults(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	x := newXbar(16)
+	cor := NewCorrector(NewCode())
+	cor.RefreshTable([]*reram.Crossbar{x}) // table snapshot: clean
+	x.InjectFault(5, 5, reram.SA1, rng)    // post-deployment fault
+	hook := cor.CellCorrector()
+	if hook(nil, x, 5, 5) {
+		t.Fatal("new fault must be invisible until next refresh")
+	}
+	cor.RefreshTable([]*reram.Crossbar{x})
+	if !hook(nil, x, 5, 5) {
+		t.Fatal("fault must correct after refresh")
+	}
+}
+
+func TestAreaOverheadConstant(t *testing.T) {
+	if AreaOverhead != 0.063 {
+		t.Fatalf("AN-code area overhead %v, paper reports 6.3%%", AreaOverhead)
+	}
+}

@@ -1,0 +1,542 @@
+// Package arch models the target RCS (ReRAM crossbar-based computing
+// system) architecture of the paper's Fig. 1: 128×128 crossbars grouped
+// into IMAs (in-situ multiply-accumulate units, each with a BIST module and
+// ADC/DAC/S&H/S&A peripherals), IMAs grouped into tiles (with eDRAM and
+// pooling/activation units), and tiles arranged on a grid connected by a
+// concentrated-mesh NoC.
+//
+// The package also defines the *task* abstraction of the paper: a task is
+// the computation of one ≤128×128 block of a CNN layer's weight matrix in
+// one training phase (forward or backward). Tasks are mapped onto physical
+// crossbars; remapping policies permute that mapping. The Chip implements
+// nn.Fabric, so a network bound to it executes its MVMs through the
+// fault-clamped stored weights.
+package arch
+
+import (
+	"fmt"
+
+	"remapd/internal/nn"
+	"remapd/internal/reram"
+	"remapd/internal/tensor"
+)
+
+// Phase distinguishes the two training phases whose tasks have different
+// inherent fault tolerance (Section III.B.2: backward ≪ forward).
+type Phase int
+
+// Task phases.
+const (
+	Forward Phase = iota
+	Backward
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	if p == Forward {
+		return "forward"
+	}
+	return "backward"
+}
+
+// Task is the unit of remapping: one weight block of one layer in one
+// phase. Forward tasks tile the layer's Out×In weight matrix; backward
+// tasks tile its transpose (the physically separate Wᵀ copy used for error
+// propagation).
+type Task struct {
+	ID     int
+	Layer  string
+	Phase  Phase
+	RowOff int // block offset in the (possibly transposed) weight matrix
+	ColOff int
+	Rows   int // block extent; Rows·Cols ≤ crossbar cells
+	Cols   int
+}
+
+// Geometry describes the chip's structural parameters.
+type Geometry struct {
+	TilesX, TilesY int // tile grid (c-mesh endpoints)
+	IMAsPerTile    int
+	XbarsPerIMA    int
+}
+
+// DefaultGeometry returns the evaluation configuration: an 8×8 tile grid
+// with 4 IMAs of 8 crossbars each (2048 crossbars).
+func DefaultGeometry() Geometry {
+	return Geometry{TilesX: 8, TilesY: 8, IMAsPerTile: 4, XbarsPerIMA: 8}
+}
+
+// Crossbars returns the total crossbar count.
+func (g Geometry) Crossbars() int { return g.TilesX * g.TilesY * g.IMAsPerTile * g.XbarsPerIMA }
+
+// Tiles returns the number of tiles.
+func (g Geometry) Tiles() int { return g.TilesX * g.TilesY }
+
+// Chip is the full RCS: the physical crossbar farm, the task table, and the
+// task↔crossbar mapping. It implements nn.Fabric.
+type Chip struct {
+	Params reram.DeviceParams
+	Geom   Geometry
+	Xbars  []*reram.Crossbar
+	Tasks  []*Task
+
+	taskOfXbar []int // crossbar index → task ID, or -1
+	xbarOfTask []int // task ID → crossbar index
+
+	weights map[string]*tensor.Tensor // layer → weight tensor (shared with nn)
+	// clip is the fixed per-layer conductance coding range, set once at
+	// mapping time as ClipFactor × max|W_init|. A fixed range is what real
+	// hardware has (the conductance window is a device property): weights
+	// that try to grow past it saturate, which bounds the damage a hijacked
+	// gradient can do.
+	clip map[string]float64
+	// ClipFactor is the headroom multiplier applied to the initial weight
+	// range (default 2).
+	ClipFactor float64
+	fwdEff     map[string]*tensor.Tensor // cached forward-effective weights
+	bwdEff     map[string]*tensor.Tensor // cached backward-effective weights
+	dirty      map[string]bool
+
+	// writesPerStep counts optimizer steps for endurance accounting.
+	steps uint64
+
+	// CellCorrector, when non-nil, is consulted for every faulty cell while
+	// materialising effective weights: returning true means a peripheral
+	// mechanism (ECC, spare-column protection) restores the cell's ideal
+	// contribution. Baseline fault-tolerance schemes (AN code, Remap-WS,
+	// Remap-T-n%) install their models here.
+	CellCorrector func(t *Task, x *reram.Crossbar, r, c int) bool
+	// CorrectorProtectsGradients controls whether CellCorrector coverage
+	// extends to the on-crossbar gradient outer-product path. Relocation
+	// schemes (Remap-WS, Remap-T) physically move protected weights to
+	// fault-free cells, so the fault never applies anywhere (true, the
+	// default set by SetCellCorrector). Arithmetic ECC (AN code) corrects
+	// codeword reads only: dW = δᵀ·a involves no encoded operand, so its
+	// faults are uncorrectable (false).
+	CorrectorProtectsGradients bool
+}
+
+// SetCellCorrector installs a correction hook. protectsGradients selects
+// whether the mechanism also covers the gradient-computation path (see
+// CorrectorProtectsGradients).
+func (c *Chip) SetCellCorrector(hook func(t *Task, x *reram.Crossbar, r, col int) bool, protectsGradients bool) {
+	c.CellCorrector = hook
+	c.CorrectorProtectsGradients = protectsGradients
+	c.InvalidateAll()
+}
+
+// NewChip builds a fault-free chip.
+func NewChip(p reram.DeviceParams, g Geometry) *Chip {
+	n := g.Crossbars()
+	c := &Chip{
+		Params:     p,
+		Geom:       g,
+		Xbars:      make([]*reram.Crossbar, n),
+		taskOfXbar: make([]int, n),
+		weights:    make(map[string]*tensor.Tensor),
+		clip:       make(map[string]float64),
+		fwdEff:     make(map[string]*tensor.Tensor),
+		bwdEff:     make(map[string]*tensor.Tensor),
+		dirty:      make(map[string]bool),
+		ClipFactor: 2,
+	}
+	for i := range c.Xbars {
+		c.Xbars[i] = reram.NewCrossbar(i, p)
+		c.taskOfXbar[i] = -1
+	}
+	return c
+}
+
+// TileOf returns the tile index of crossbar i.
+func (c *Chip) TileOf(xbar int) int {
+	perTile := c.Geom.IMAsPerTile * c.Geom.XbarsPerIMA
+	return xbar / perTile
+}
+
+// IMAOf returns the global IMA index of crossbar i.
+func (c *Chip) IMAOf(xbar int) int { return xbar / c.Geom.XbarsPerIMA }
+
+// TileCoord returns the (x, y) grid coordinate of a tile.
+func (c *Chip) TileCoord(tile int) (x, y int) {
+	return tile % c.Geom.TilesX, tile / c.Geom.TilesX
+}
+
+// HopCount returns the Manhattan distance between the tiles of two
+// crossbars — the proximity metric Remap-D uses for receiver selection.
+func (c *Chip) HopCount(xbarA, xbarB int) int {
+	ax, ay := c.TileCoord(c.TileOf(xbarA))
+	bx, by := c.TileCoord(c.TileOf(xbarB))
+	dx, dy := ax-bx, ay-by
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// TaskOf returns the task mapped on crossbar i, or nil.
+func (c *Chip) TaskOf(xbar int) *Task {
+	id := c.taskOfXbar[xbar]
+	if id < 0 {
+		return nil
+	}
+	return c.Tasks[id]
+}
+
+// XbarOf returns the crossbar hosting task id.
+func (c *Chip) XbarOf(taskID int) int { return c.xbarOfTask[taskID] }
+
+// MappedXbars returns the indices of crossbars currently hosting a task.
+func (c *Chip) MappedXbars() []int {
+	var out []int
+	for i, t := range c.taskOfXbar {
+		if t >= 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// blockGrid returns how many blocks an r×c matrix needs on s-sized arrays.
+func blockGrid(r, c, s int) (br, bc int) {
+	return (r + s - 1) / s, (c + s - 1) / s
+}
+
+// MapNetwork creates forward and backward tasks for every MVM layer of net
+// and assigns them to crossbars scattered round-robin across tiles (the
+// PipeLayer-style placement: consecutive pipeline stages live on different
+// tiles, which both balances NoC load and avoids clustering one layer's
+// tasks in one corner of the chip). It returns an error if the chip has too
+// few crossbars. Mapping also materialises the initial stored weights
+// (one array write per crossbar).
+func (c *Chip) MapNetwork(net *nn.Network) error {
+	s := c.Params.CrossbarSize
+	perTile := c.Geom.IMAsPerTile * c.Geom.XbarsPerIMA
+	nTiles := c.Geom.Tiles()
+	// nextInTile[t] is the next unallocated crossbar slot within tile t.
+	nextInTile := make([]int, nTiles)
+	tileCursor := 0
+	alloc := func(t *Task) error {
+		for probe := 0; probe < nTiles; probe++ {
+			tile := (tileCursor + probe) % nTiles
+			if nextInTile[tile] < perTile {
+				xi := tile*perTile + nextInTile[tile]
+				nextInTile[tile]++
+				tileCursor = (tile + 1) % nTiles
+				c.taskOfXbar[xi] = t.ID
+				c.xbarOfTask = append(c.xbarOfTask, xi)
+				c.Xbars[xi].RecordWrite() // initial weight programming
+				return nil
+			}
+		}
+		return fmt.Errorf("arch: chip with %d crossbars cannot host task %d (%s/%s)",
+			len(c.Xbars), t.ID, t.Layer, t.Phase)
+	}
+
+	for _, layer := range net.MVMLayers() {
+		w := net.LayerWeight(layer)
+		if w == nil {
+			return fmt.Errorf("arch: layer %q has no weight tensor", layer)
+		}
+		c.weights[layer] = w
+		clip := float64(w.AbsMax()) * c.ClipFactor
+		if clip <= 0 {
+			clip = 1
+		}
+		c.clip[layer] = clip
+		rows, cols := flatDims(w)
+		// Forward copy tiles W (rows×cols).
+		br, bc := blockGrid(rows, cols, s)
+		for bi := 0; bi < br; bi++ {
+			for bj := 0; bj < bc; bj++ {
+				t := &Task{
+					ID: len(c.Tasks), Layer: layer, Phase: Forward,
+					RowOff: bi * s, ColOff: bj * s,
+					Rows: minInt(s, rows-bi*s), Cols: minInt(s, cols-bj*s),
+				}
+				c.Tasks = append(c.Tasks, t)
+				if err := alloc(t); err != nil {
+					return err
+				}
+			}
+		}
+		// Backward copy tiles Wᵀ (cols×rows).
+		br, bc = blockGrid(cols, rows, s)
+		for bi := 0; bi < br; bi++ {
+			for bj := 0; bj < bc; bj++ {
+				t := &Task{
+					ID: len(c.Tasks), Layer: layer, Phase: Backward,
+					RowOff: bi * s, ColOff: bj * s,
+					Rows: minInt(s, cols-bi*s), Cols: minInt(s, rows-bj*s),
+				}
+				c.Tasks = append(c.Tasks, t)
+				if err := alloc(t); err != nil {
+					return err
+				}
+			}
+		}
+		c.dirty[layer] = true
+	}
+	return nil
+}
+
+// flatDims views a weight tensor as a 2-D matrix: first axis Out, the rest
+// flattened (Out×In for linear, OutC×(InC·K·K) for conv).
+func flatDims(w *tensor.Tensor) (rows, cols int) {
+	rows = w.Dim(0)
+	cols = w.Len() / rows
+	return rows, cols
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// SetMapping installs a complete task→crossbar assignment (xbarOfTask[i] is
+// the crossbar hosting task i). The assignment must be injective and cover
+// every task. All moved weights are accounted as one rewrite per crossbar.
+// Used by fault-aware static mapping, which reshuffles the whole placement
+// once at t = 0.
+func (c *Chip) SetMapping(xbarOfTask []int) error {
+	if len(xbarOfTask) != len(c.Tasks) {
+		return fmt.Errorf("arch: mapping covers %d of %d tasks", len(xbarOfTask), len(c.Tasks))
+	}
+	seen := make(map[int]bool, len(xbarOfTask))
+	for tid, xi := range xbarOfTask {
+		if xi < 0 || xi >= len(c.Xbars) {
+			return fmt.Errorf("arch: task %d mapped to invalid crossbar %d", tid, xi)
+		}
+		if seen[xi] {
+			return fmt.Errorf("arch: crossbar %d hosts two tasks", xi)
+		}
+		seen[xi] = true
+	}
+	for i := range c.taskOfXbar {
+		c.taskOfXbar[i] = -1
+	}
+	for tid, xi := range xbarOfTask {
+		moved := c.xbarOfTask[tid] != xi
+		c.xbarOfTask[tid] = xi
+		c.taskOfXbar[xi] = tid
+		if moved {
+			c.Xbars[xi].RecordWrite()
+		}
+	}
+	c.InvalidateAll()
+	return nil
+}
+
+// SwapTasks exchanges the tasks of two crossbars (both must host tasks) and
+// accounts a weight rewrite on both arrays. This is the physical weight
+// exchange of the remapping step (Fig. 3(c)).
+func (c *Chip) SwapTasks(xbarA, xbarB int) {
+	ta, tb := c.taskOfXbar[xbarA], c.taskOfXbar[xbarB]
+	if ta < 0 || tb < 0 {
+		panic("arch: SwapTasks requires both crossbars to host tasks")
+	}
+	c.taskOfXbar[xbarA], c.taskOfXbar[xbarB] = tb, ta
+	c.xbarOfTask[ta], c.xbarOfTask[tb] = xbarB, xbarA
+	c.Xbars[xbarA].RecordWrite()
+	c.Xbars[xbarB].RecordWrite()
+	c.dirty[c.Tasks[ta].Layer] = true
+	c.dirty[c.Tasks[tb].Layer] = true
+}
+
+// InvalidateAll drops all cached effective weights; fault injection calls
+// this after mutating crossbar state.
+func (c *Chip) InvalidateAll() {
+	for l := range c.dirty {
+		c.dirty[l] = true
+	}
+}
+
+// Layers returns the names of the layers mapped on the chip.
+func (c *Chip) Layers() []string {
+	out := make([]string, 0, len(c.weights))
+	for l := range c.weights {
+		out = append(out, l)
+	}
+	return out
+}
+
+// ---- nn.Fabric implementation ----
+
+// EffectiveForward returns the fault-clamped forward weights of the layer.
+func (c *Chip) EffectiveForward(layer string, w *tensor.Tensor) *tensor.Tensor {
+	if _, mapped := c.weights[layer]; !mapped {
+		return w // unmapped layers execute on the (ideal) digital fallback
+	}
+	c.refresh(layer)
+	return c.fwdEff[layer]
+}
+
+// EffectiveBackward returns the fault-clamped backward weights (the
+// transpose-copy clamps, transposed back into W's shape for the caller).
+func (c *Chip) EffectiveBackward(layer string, w *tensor.Tensor) *tensor.Tensor {
+	if _, mapped := c.weights[layer]; !mapped {
+		return w
+	}
+	c.refresh(layer)
+	return c.bwdEff[layer]
+}
+
+// TransformGradient models the backward phase's on-crossbar dW computation:
+// every stuck cell of the layer's backward-task crossbars hijacks its
+// gradient entry, reading as the stuck conductance's decode scaled to the
+// gradient's dynamic range (SA1 → +max|g|, SA0 → −max|g|). Cells covered by
+// the installed CellCorrector keep their true gradient. This is the
+// systematic, repeated-every-step error whose accumulation makes the
+// backward phase fault-critical (paper Section III.B.2 / Fig. 5).
+func (c *Chip) TransformGradient(layer string, grad *tensor.Tensor) {
+	if _, mapped := c.weights[layer]; !mapped {
+		return
+	}
+	scale := float64(grad.AbsMax())
+	if scale == 0 {
+		return
+	}
+	for _, t := range c.Tasks {
+		if t.Layer != layer || t.Phase != Backward {
+			continue
+		}
+		x := c.Xbars[c.xbarOfTask[t.ID]]
+		for r := 0; r < t.Rows; r++ {
+			for col := 0; col < t.Cols; col++ {
+				st := x.State(r, col)
+				if st == reram.Healthy {
+					continue
+				}
+				if c.CellCorrector != nil && c.CorrectorProtectsGradients && c.CellCorrector(t, x, r, col) {
+					continue
+				}
+				elem := c.ElementOf(t, r, col)
+				cell := r*x.Size + col
+				grad.Data[elem] = float32(c.Params.StuckWeightAs(
+					st, x.FaultG(cell), x.FaultInPositive(cell), float64(grad.Data[elem]), scale))
+			}
+		}
+	}
+}
+
+// WeightsWritten is called by the optimizer after each step: the stored
+// conductances of every crossbar holding the layer are reprogrammed.
+func (c *Chip) WeightsWritten(layer string) {
+	if _, mapped := c.weights[layer]; !mapped {
+		return
+	}
+	for _, t := range c.Tasks {
+		if t.Layer == layer {
+			c.Xbars[c.xbarOfTask[t.ID]].RecordWrite()
+		}
+	}
+	c.dirty[layer] = true
+	c.steps++
+}
+
+// refresh recomputes the effective weight caches for a dirty layer.
+func (c *Chip) refresh(layer string) {
+	if !c.dirty[layer] {
+		return
+	}
+	w := c.weights[layer]
+	_, cols := flatDims(w)
+	clip := c.clip[layer]
+
+	fwd := c.fwdEff[layer]
+	if fwd == nil || !fwd.SameShape(w) {
+		fwd = tensor.New(w.Shape...)
+		c.fwdEff[layer] = fwd
+	}
+	bwd := c.bwdEff[layer]
+	if bwd == nil || !bwd.SameShape(w) {
+		bwd = tensor.New(w.Shape...)
+		c.bwdEff[layer] = bwd
+	}
+
+	scratchSrc := make([]float32, c.Params.CrossbarSize*c.Params.CrossbarSize)
+	scratchDst := make([]float32, len(scratchSrc))
+
+	for _, t := range c.Tasks {
+		if t.Layer != layer {
+			continue
+		}
+		x := c.Xbars[c.xbarOfTask[t.ID]]
+		n := t.Rows * t.Cols
+		src := scratchSrc[:n]
+		dst := scratchDst[:n]
+		// Gather the block (forward: W as-is; backward: Wᵀ element order).
+		if t.Phase == Forward {
+			for i := 0; i < t.Rows; i++ {
+				wr := (t.RowOff + i) * cols
+				copy(src[i*t.Cols:(i+1)*t.Cols], w.Data[wr+t.ColOff:wr+t.ColOff+t.Cols])
+			}
+		} else {
+			for i := 0; i < t.Rows; i++ { // row i of Wᵀ block = column of W
+				for j := 0; j < t.Cols; j++ {
+					src[i*t.Cols+j] = w.Data[(t.ColOff+j)*cols+(t.RowOff+i)]
+				}
+			}
+		}
+		x.ClampWeights(dst, src, t.Rows, t.Cols, clip)
+		// Peripheral correction: repair the cells the installed mechanism
+		// can cover (they read back as the ideal quantised weight).
+		if c.CellCorrector != nil {
+			for i := 0; i < t.Rows; i++ {
+				for j := 0; j < t.Cols; j++ {
+					if x.State(i, j) == reram.Healthy {
+						continue
+					}
+					if c.CellCorrector(t, x, i, j) {
+						dst[i*t.Cols+j] = float32(c.Params.QuantizeWeight(float64(src[i*t.Cols+j]), clip))
+					}
+				}
+			}
+		}
+		// Scatter back into the effective tensors.
+		if t.Phase == Forward {
+			for i := 0; i < t.Rows; i++ {
+				wr := (t.RowOff + i) * cols
+				copy(fwd.Data[wr+t.ColOff:wr+t.ColOff+t.Cols], dst[i*t.Cols:(i+1)*t.Cols])
+			}
+		} else {
+			for i := 0; i < t.Rows; i++ {
+				for j := 0; j < t.Cols; j++ {
+					bwd.Data[(t.ColOff+j)*cols+(t.RowOff+i)] = dst[i*t.Cols+j]
+				}
+			}
+		}
+	}
+	c.dirty[layer] = false
+}
+
+// ElementOf maps block position (r, c) of a task to the flat index of the
+// corresponding element in the layer's weight tensor. Protection policies
+// (Remap-WS, Remap-T-n%) use it to translate per-weight importance into
+// per-cell coverage.
+func (c *Chip) ElementOf(t *Task, r, col int) int {
+	w := c.weights[t.Layer]
+	_, cols := flatDims(w)
+	if t.Phase == Forward {
+		return (t.RowOff+r)*cols + (t.ColOff + col)
+	}
+	// Backward blocks tile Wᵀ: block (r, col) holds W[ColOff+col][RowOff+r].
+	return (t.ColOff+col)*cols + (t.RowOff + r)
+}
+
+// Weight returns the weight tensor registered for a layer (nil if the layer
+// is not mapped).
+func (c *Chip) Weight(layer string) *tensor.Tensor { return c.weights[layer] }
+
+// TrueDensity returns the ground-truth fault density of crossbar i
+// (experiments use it to validate BIST estimates).
+func (c *Chip) TrueDensity(xbar int) float64 { return c.Xbars[xbar].FaultDensity() }
+
+// Steps returns the number of optimizer steps the chip has observed.
+func (c *Chip) Steps() uint64 { return c.steps }
+
+var _ nn.Fabric = (*Chip)(nil)

@@ -1,0 +1,392 @@
+package arch
+
+import (
+	"math"
+	"testing"
+
+	"remapd/internal/nn"
+	"remapd/internal/reram"
+	"remapd/internal/tensor"
+)
+
+func smallChip(size int, g Geometry) *Chip {
+	p := reram.DefaultDeviceParams()
+	p.CrossbarSize = size
+	return NewChip(p, g)
+}
+
+func TestGeometryCounts(t *testing.T) {
+	g := DefaultGeometry()
+	if g.Crossbars() != 8*8*4*8 {
+		t.Fatalf("Crossbars = %d", g.Crossbars())
+	}
+	if g.Tiles() != 64 {
+		t.Fatalf("Tiles = %d", g.Tiles())
+	}
+}
+
+func TestTileTopology(t *testing.T) {
+	c := smallChip(16, Geometry{TilesX: 4, TilesY: 4, IMAsPerTile: 2, XbarsPerIMA: 2})
+	// 4 crossbars per tile.
+	if c.TileOf(0) != 0 || c.TileOf(3) != 0 || c.TileOf(4) != 1 {
+		t.Fatal("TileOf wrong")
+	}
+	if c.IMAOf(0) != 0 || c.IMAOf(2) != 1 {
+		t.Fatal("IMAOf wrong")
+	}
+	x, y := c.TileCoord(5)
+	if x != 1 || y != 1 {
+		t.Fatalf("TileCoord(5) = (%d,%d)", x, y)
+	}
+	// Crossbar 0 is in tile 0 (0,0); crossbar 4*15 is in tile 15 (3,3).
+	if got := c.HopCount(0, 60); got != 6 {
+		t.Fatalf("HopCount = %d, want 6", got)
+	}
+	if c.HopCount(0, 1) != 0 {
+		t.Fatal("same-tile hop count must be 0")
+	}
+}
+
+func buildNet(rng *tensor.RNG) *nn.Network {
+	// fc1: 20→12 (W 12×20), fc2: 12→4 (W 4×12).
+	return nn.NewNetwork(
+		nn.NewLinear("fc1", 20, 12, rng),
+		nn.NewReLU("r"),
+		nn.NewLinear("fc2", 12, 4, rng),
+	)
+}
+
+func TestMapNetworkTaskInventory(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	net := buildNet(rng)
+	c := smallChip(16, Geometry{TilesX: 2, TilesY: 2, IMAsPerTile: 2, XbarsPerIMA: 2})
+	if err := c.MapNetwork(net); err != nil {
+		t.Fatal(err)
+	}
+	// fc1 W is 12×20 on 16-sized arrays: forward 1×2=2 blocks, backward
+	// (20×12) 2×1=2 blocks. fc2 W is 4×12: 1 fwd + 1 bwd. Total 6 tasks.
+	if len(c.Tasks) != 6 {
+		t.Fatalf("task count %d, want 6", len(c.Tasks))
+	}
+	fwd, bwd := 0, 0
+	for _, task := range c.Tasks {
+		if task.Phase == Forward {
+			fwd++
+		} else {
+			bwd++
+		}
+		if task.Rows*task.Cols > 16*16 {
+			t.Fatalf("task %d exceeds crossbar capacity", task.ID)
+		}
+	}
+	if fwd != 3 || bwd != 3 {
+		t.Fatalf("fwd=%d bwd=%d, want 3/3", fwd, bwd)
+	}
+	if got := len(c.MappedXbars()); got != 6 {
+		t.Fatalf("mapped crossbars %d, want 6", got)
+	}
+	// Initial programming charges one write per hosting crossbar.
+	for _, xi := range c.MappedXbars() {
+		if c.Xbars[xi].Writes() != 1 {
+			t.Fatalf("crossbar %d writes=%d, want 1", xi, c.Xbars[xi].Writes())
+		}
+	}
+}
+
+func TestMapNetworkInsufficientCapacity(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	net := buildNet(rng)
+	c := smallChip(16, Geometry{TilesX: 1, TilesY: 1, IMAsPerTile: 1, XbarsPerIMA: 2})
+	if err := c.MapNetwork(net); err == nil {
+		t.Fatal("expected capacity error")
+	}
+}
+
+func TestEffectiveWeightsCleanChipQuantisesOnly(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	net := buildNet(rng)
+	c := smallChip(32, Geometry{TilesX: 2, TilesY: 2, IMAsPerTile: 2, XbarsPerIMA: 2})
+	if err := c.MapNetwork(net); err != nil {
+		t.Fatal(err)
+	}
+	w := net.LayerWeight("fc1")
+	eff := c.EffectiveForward("fc1", w)
+	if !eff.SameShape(w) {
+		t.Fatalf("effective shape %v", eff.Shape)
+	}
+	clip := float64(w.AbsMax()) * 2 // chip coding range = ClipFactor × max|W|
+	step := 2 * clip / float64(c.Params.Levels-1)
+	for i := range w.Data {
+		if math.Abs(float64(eff.Data[i]-w.Data[i])) > step/2+1e-6 {
+			t.Fatalf("clean-chip deviation beyond quantisation at %d: %v vs %v", i, eff.Data[i], w.Data[i])
+		}
+	}
+}
+
+func TestForwardFaultAffectsOnlyForwardCopy(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	net := buildNet(rng)
+	c := smallChip(32, Geometry{TilesX: 2, TilesY: 2, IMAsPerTile: 2, XbarsPerIMA: 2})
+	if err := c.MapNetwork(net); err != nil {
+		t.Fatal(err)
+	}
+	// Find the forward task of fc2 and stick cell (1, 2) of its crossbar.
+	var fwdXbar, bwdXbar int = -1, -1
+	for _, task := range c.Tasks {
+		if task.Layer == "fc2" {
+			if task.Phase == Forward {
+				fwdXbar = c.XbarOf(task.ID)
+			} else {
+				bwdXbar = c.XbarOf(task.ID)
+			}
+		}
+	}
+	if fwdXbar < 0 || bwdXbar < 0 {
+		t.Fatal("fc2 tasks not found")
+	}
+	c.Xbars[fwdXbar].InjectFaultPolar(1, 2, reram.SA1, true, rng)
+	c.InvalidateAll()
+
+	w := net.LayerWeight("fc2") // 4×12
+	fwd := c.EffectiveForward("fc2", w)
+	bwd := c.EffectiveBackward("fc2", w)
+	clip := float64(w.AbsMax())
+
+	// Forward copy: W[1][2] must be clamped high (SA1 in G⁺ → ≈ +2·clip).
+	if float64(fwd.At(1, 2)) < 0.99*clip {
+		t.Fatalf("forward W[1][2] = %v, want ≈ +clip %v", fwd.At(1, 2), clip)
+	}
+	// Backward copy must be unaffected at that element.
+	if math.Abs(float64(bwd.At(1, 2)-w.At(1, 2))) > 0.1*clip {
+		t.Fatalf("backward copy perturbed by forward fault: %v vs %v", bwd.At(1, 2), w.At(1, 2))
+	}
+}
+
+func TestBackwardFaultTransposedIndexing(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	net := buildNet(rng)
+	c := smallChip(32, Geometry{TilesX: 2, TilesY: 2, IMAsPerTile: 2, XbarsPerIMA: 2})
+	if err := c.MapNetwork(net); err != nil {
+		t.Fatal(err)
+	}
+	var bwdXbar int = -1
+	for _, task := range c.Tasks {
+		if task.Layer == "fc2" && task.Phase == Backward {
+			bwdXbar = c.XbarOf(task.ID)
+		}
+	}
+	// Backward task tiles Wᵀ (12×4). Cell (r=3, c=1) of the block holds
+	// Wᵀ[3][1] = W[1][3]. Under offset coding SA0 reads back near −clip.
+	c.Xbars[bwdXbar].InjectFault(3, 1, reram.SA0, rng)
+	c.InvalidateAll()
+	w := net.LayerWeight("fc2")
+	bwd := c.EffectiveBackward("fc2", w)
+	clip := float64(w.AbsMax())
+	if float64(bwd.At(1, 3)) > -0.99*clip {
+		t.Fatalf("backward W[1][3] = %v, want ≈ −clip", bwd.At(1, 3))
+	}
+	fwd := c.EffectiveForward("fc2", w)
+	if math.Abs(float64(fwd.At(1, 3)-w.At(1, 3))) > 0.1*clip {
+		t.Fatal("forward copy perturbed by backward fault")
+	}
+}
+
+func TestWeightsWrittenAccountsAndInvalidates(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	net := buildNet(rng)
+	c := smallChip(32, Geometry{TilesX: 2, TilesY: 2, IMAsPerTile: 2, XbarsPerIMA: 2})
+	if err := c.MapNetwork(net); err != nil {
+		t.Fatal(err)
+	}
+	w := net.LayerWeight("fc1")
+	_ = c.EffectiveForward("fc1", w) // populate cache
+	before := c.Xbars[c.XbarOf(0)].Writes()
+
+	clip := float64(w.AbsMax()) * 2 // fixed coding range from mapping time
+	w.Data[0] = 999                 // mutate then notify
+	c.WeightsWritten("fc1")
+	after := c.Xbars[c.XbarOf(0)].Writes()
+	if after != before+1 {
+		t.Fatalf("write not accounted: %d -> %d", before, after)
+	}
+	eff := c.EffectiveForward("fc1", w)
+	// The cache must refresh, and the out-of-range weight must saturate at
+	// the fixed conductance coding range rather than track 999.
+	if float64(eff.Data[0]) < 0.9*clip {
+		t.Fatalf("cache not refreshed after write: %v", eff.Data[0])
+	}
+	if float64(eff.Data[0]) > 1.3*clip {
+		t.Fatalf("stored weight must saturate at the coding range: %v vs clip %v", eff.Data[0], clip)
+	}
+}
+
+func TestSwapTasksExchangesMapping(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	net := buildNet(rng)
+	c := smallChip(32, Geometry{TilesX: 2, TilesY: 2, IMAsPerTile: 2, XbarsPerIMA: 2})
+	if err := c.MapNetwork(net); err != nil {
+		t.Fatal(err)
+	}
+	xa, xb := c.XbarOf(0), c.XbarOf(1)
+	ta, tb := c.TaskOf(xa), c.TaskOf(xb)
+	c.SwapTasks(xa, xb)
+	if c.TaskOf(xa) != tb || c.TaskOf(xb) != ta {
+		t.Fatal("tasks not exchanged")
+	}
+	if c.XbarOf(ta.ID) != xb || c.XbarOf(tb.ID) != xa {
+		t.Fatal("reverse mapping not updated")
+	}
+}
+
+func TestSwapMovesFaultExposure(t *testing.T) {
+	rng := tensor.NewRNG(8)
+	net := buildNet(rng)
+	c := smallChip(32, Geometry{TilesX: 2, TilesY: 2, IMAsPerTile: 2, XbarsPerIMA: 2})
+	if err := c.MapNetwork(net); err != nil {
+		t.Fatal(err)
+	}
+	// Stick the whole crossbar hosting fc2's forward task, then swap that
+	// task away to a clean crossbar: the forward copy must become clean.
+	var fwdTask *Task
+	for _, task := range c.Tasks {
+		if task.Layer == "fc2" && task.Phase == Forward {
+			fwdTask = task
+		}
+	}
+	faulty := c.XbarOf(fwdTask.ID)
+	for r := 0; r < 4; r++ {
+		for col := 0; col < 12; col++ {
+			c.Xbars[faulty].InjectFaultPolar(r, col, reram.SA1, true, rng)
+		}
+	}
+	c.InvalidateAll()
+	w := net.LayerWeight("fc2")
+	eff := c.EffectiveForward("fc2", w)
+	clip := float64(w.AbsMax())
+	if float64(eff.At(0, 0)) < 0.99*clip {
+		t.Fatal("precondition: forward copy should be clamped")
+	}
+
+	// Swap with another mapped crossbar that is clean (fc1's first task).
+	clean := c.XbarOf(0)
+	c.SwapTasks(faulty, clean)
+	eff = c.EffectiveForward("fc2", w)
+	if math.Abs(float64(eff.At(0, 0)-w.At(0, 0))) > 0.1*clip {
+		t.Fatalf("after remap the forward copy must be clean: %v vs %v", eff.At(0, 0), w.At(0, 0))
+	}
+}
+
+func TestSwapTasksRequiresMappedCrossbars(t *testing.T) {
+	c := smallChip(32, Geometry{TilesX: 1, TilesY: 1, IMAsPerTile: 1, XbarsPerIMA: 4})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.SwapTasks(0, 1)
+}
+
+func TestUnmappedLayerPassesThrough(t *testing.T) {
+	c := smallChip(32, Geometry{TilesX: 1, TilesY: 1, IMAsPerTile: 1, XbarsPerIMA: 4})
+	w := tensor.New(3, 3)
+	if c.EffectiveForward("ghost", w) != w || c.EffectiveBackward("ghost", w) != w {
+		t.Fatal("unmapped layers must pass through unchanged")
+	}
+	c.WeightsWritten("ghost") // must not panic
+}
+
+// Integration: training through a clean chip must reach near-ideal
+// accuracy (quantisation alone is benign), and faults on the backward-copy
+// crossbars must corrupt upstream gradients while leaving the ideal-fabric
+// gradient definition intact.
+func TestChipFabricEndToEndTraining(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	build := func() *nn.Network {
+		r := tensor.NewRNG(42)
+		return nn.NewNetwork(
+			nn.NewLinear("fc1", 2, 16, r),
+			nn.NewReLU("r1"),
+			nn.NewLinear("fc2", 16, 2, r),
+		)
+	}
+
+	// Clean chip: near-ideal accuracy.
+	netClean := build()
+	chip := smallChip(32, Geometry{TilesX: 2, TilesY: 2, IMAsPerTile: 2, XbarsPerIMA: 4})
+	if err := chip.MapNetwork(netClean); err != nil {
+		t.Fatal(err)
+	}
+	netClean.SetFabric(chip)
+	dataRNG := tensor.NewRNG(7)
+	sample := func(n int) (*tensor.Tensor, []int) {
+		x := tensor.New(n, 2)
+		labels := make([]int, n)
+		for i := 0; i < n; i++ {
+			a, b := dataRNG.NormFloat64(), dataRNG.NormFloat64()
+			x.Data[i*2], x.Data[i*2+1] = float32(a), float32(b)
+			if a+b > 0 {
+				labels[i] = 1
+			}
+		}
+		return x, labels
+	}
+	opt := nn.NewSGD(netClean, 0.1, 0.9, 0)
+	for it := 0; it < 150; it++ {
+		x, l := sample(32)
+		logits := netClean.Forward(x, true)
+		_, grad := nn.SoftmaxCrossEntropy(logits, l)
+		netClean.Backward(grad)
+		opt.Step()
+	}
+	x, l := sample(512)
+	if acc := nn.Accuracy(netClean.Forward(x, false), l); acc < 0.93 {
+		t.Fatalf("clean-chip accuracy %.3f, want ≥0.93", acc)
+	}
+
+	// Gradient corruption: compute fc1's gradient on one fixed batch with a
+	// clean chip and with a chip whose fc2 backward crossbar is faulty.
+	gradFC1 := func(faulty bool) *tensor.Tensor {
+		net := build()
+		c := smallChip(32, Geometry{TilesX: 2, TilesY: 2, IMAsPerTile: 2, XbarsPerIMA: 4})
+		if err := c.MapNetwork(net); err != nil {
+			t.Fatal(err)
+		}
+		if faulty {
+			for _, task := range c.Tasks {
+				if task.Layer == "fc2" && task.Phase == Backward {
+					xb := c.Xbars[c.XbarOf(task.ID)]
+					for k := 0; k < 12; k++ { // partial, non-uniform corruption
+						xb.InjectFault(rng.Intn(16), rng.Intn(2), reram.SA1, rng)
+					}
+				}
+			}
+			c.InvalidateAll()
+		}
+		net.SetFabric(c)
+		bRNG := tensor.NewRNG(77)
+		xb := tensor.New(16, 2)
+		bRNG.FillNormal(xb, 1)
+		labels := make([]int, 16)
+		for i := range labels {
+			labels[i] = i % 2
+		}
+		logits := net.Forward(xb, true)
+		_, grad := nn.SoftmaxCrossEntropy(logits, labels)
+		net.Backward(grad)
+		for _, p := range net.Params() {
+			if p.Name == "fc1.w" {
+				return p.Grad.Clone()
+			}
+		}
+		t.Fatal("fc1.w not found")
+		return nil
+	}
+	gClean := gradFC1(false)
+	gFaulty := gradFC1(true)
+	gDiff := gClean.Clone()
+	gDiff.Sub(gFaulty)
+	rel := gDiff.L2Norm() / (gClean.L2Norm() + 1e-12)
+	if rel < 0.2 {
+		t.Fatalf("backward faults barely changed fc1 gradient (rel=%v); fault path broken", rel)
+	}
+}

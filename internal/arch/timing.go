@@ -1,0 +1,90 @@
+package arch
+
+import "remapd/internal/nn"
+
+// PipeLayer-style timing model: training streams samples through a pipeline
+// whose stages are the network's crossbar-mapped layers, forward then
+// backward. All crossbars of one stage fire in parallel (a stage's blocks
+// are spread over crossbars), so the stage latency is one array read plus
+// its peripheral processing, one ReRAM cycle at the array clock. Weight
+// updates overlap the pipeline except for the write itself.
+
+// TimingModel captures the pipeline parameters.
+type TimingModel struct {
+	// StageCyclesMVM is the ReRAM cycles one pipeline stage (MVM + ADC +
+	// shift-add) occupies.
+	StageCyclesMVM int
+	// WriteCyclesPerUpdate is the ReRAM cycles one weight-update write
+	// burst costs per optimizer step (row-by-row reprogram of the dirty
+	// rows; PipeLayer hides most of it, so this counts the exposed part).
+	WriteCyclesPerUpdate int
+}
+
+// DefaultTimingModel returns the calibrated pipeline constants.
+func DefaultTimingModel() TimingModel {
+	return TimingModel{StageCyclesMVM: 1, WriteCyclesPerUpdate: 8}
+}
+
+// EpochReport is the cycle budget of one training epoch.
+type TimingReport struct {
+	Stages          int // pipeline depth: 2 × MVM layers (forward + backward)
+	Samples         int
+	OptimizerSteps  int
+	PipelineFill    int     // cycles to fill the pipeline once
+	ComputeCycles   float64 // steady-state MVM cycles
+	WriteCycles     float64 // exposed weight-write cycles
+	TotalCycles     float64
+	WallTimeSeconds float64 // at the array clock
+}
+
+// EstimateEpoch computes the epoch cycle budget for a network trained with
+// the given sample count and batch size on this chip.
+func (c *Chip) EstimateEpoch(net *nn.Network, samples, batchSize int, tm TimingModel) TimingReport {
+	layers := len(net.MVMLayers())
+	r := TimingReport{
+		Stages:         2 * layers,
+		Samples:        samples,
+		OptimizerSteps: samples / batchSize,
+	}
+	r.PipelineFill = r.Stages * tm.StageCyclesMVM
+	r.ComputeCycles = float64(samples) * float64(r.Stages) * float64(tm.StageCyclesMVM)
+	r.WriteCycles = float64(r.OptimizerSteps) * float64(tm.WriteCyclesPerUpdate)
+	r.TotalCycles = float64(r.PipelineFill) + r.ComputeCycles + r.WriteCycles
+	r.WallTimeSeconds = r.TotalCycles * c.Params.ReRAMCycleNS * 1e-9
+	return r
+}
+
+// Utilization reports how much of the chip the mapped network occupies.
+type Utilization struct {
+	Crossbars     int
+	MappedXbars   int
+	XbarFraction  float64
+	Cells         int
+	UsedCells     int // cells covered by task blocks
+	CellFraction  float64
+	ForwardTasks  int
+	BackwardTasks int
+}
+
+// Utilization computes the current occupancy figures.
+func (c *Chip) Utilization() Utilization {
+	u := Utilization{Crossbars: len(c.Xbars)}
+	cellsPer := c.Params.CrossbarSize * c.Params.CrossbarSize
+	u.Cells = u.Crossbars * cellsPer
+	for _, t := range c.Tasks {
+		u.UsedCells += t.Rows * t.Cols
+		if t.Phase == Forward {
+			u.ForwardTasks++
+		} else {
+			u.BackwardTasks++
+		}
+	}
+	u.MappedXbars = len(c.MappedXbars())
+	if u.Crossbars > 0 {
+		u.XbarFraction = float64(u.MappedXbars) / float64(u.Crossbars)
+	}
+	if u.Cells > 0 {
+		u.CellFraction = float64(u.UsedCells) / float64(u.Cells)
+	}
+	return u
+}

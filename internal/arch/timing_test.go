@@ -1,0 +1,69 @@
+package arch
+
+import (
+	"math"
+	"testing"
+
+	"remapd/internal/nn"
+	"remapd/internal/reram"
+	"remapd/internal/tensor"
+)
+
+func TestEstimateEpochMatchesPaperBallpark(t *testing.T) {
+	// CIFAR-scale epoch on a 19-MVM-layer network ≈ 1.9 M ReRAM cycles
+	// (the denominator behind the paper's 0.13% BIST claim).
+	rng := tensor.NewRNG(1)
+	var layers []nn.Layer
+	for i := 0; i < 19; i++ {
+		layers = append(layers, nn.NewLinear(layerName(i), 8, 8, rng))
+	}
+	net := nn.NewNetwork(layers...)
+	p := reram.DefaultDeviceParams()
+	chip := NewChip(p, DefaultGeometry())
+	rep := chip.EstimateEpoch(net, 50000, 64, DefaultTimingModel())
+	if rep.Stages != 38 {
+		t.Fatalf("stages %d, want 38", rep.Stages)
+	}
+	if rep.ComputeCycles != 1.9e6 {
+		t.Fatalf("compute cycles %v, want 1.9e6", rep.ComputeCycles)
+	}
+	if rep.TotalCycles <= rep.ComputeCycles {
+		t.Fatal("total must include fill and writes")
+	}
+	// 1.9M ReRAM cycles at 100 ns ≈ 0.19 s.
+	if math.Abs(rep.WallTimeSeconds-0.19) > 0.02 {
+		t.Fatalf("wall time %v s, want ≈0.19", rep.WallTimeSeconds)
+	}
+}
+
+func layerName(i int) string { return "l" + string(rune('a'+i)) }
+
+func TestUtilizationCounts(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	net := nn.NewNetwork(
+		nn.NewLinear("fc1", 20, 12, rng),
+		nn.NewReLU("r"),
+		nn.NewLinear("fc2", 12, 4, rng),
+	)
+	p := reram.DefaultDeviceParams()
+	p.CrossbarSize = 16
+	chip := NewChip(p, Geometry{TilesX: 2, TilesY: 2, IMAsPerTile: 2, XbarsPerIMA: 2})
+	if err := chip.MapNetwork(net); err != nil {
+		t.Fatal(err)
+	}
+	u := chip.Utilization()
+	if u.Crossbars != 16 || u.MappedXbars != 6 {
+		t.Fatalf("%+v", u)
+	}
+	// Used cells = 2×(12·20 + 4·12) (forward + transpose copies).
+	want := 2 * (12*20 + 4*12)
+	if u.UsedCells != want {
+		t.Fatalf("used cells %d, want %d", u.UsedCells, want)
+	}
+	if u.ForwardTasks != 3 || u.BackwardTasks != 3 {
+		t.Fatalf("task split %d/%d", u.ForwardTasks, u.BackwardTasks)
+	}
+	if u.XbarFraction <= 0 || u.XbarFraction > 1 || u.CellFraction <= 0 || u.CellFraction > 1 {
+		t.Fatalf("fractions out of range: %+v", u)
+	}
+}

@@ -1,0 +1,110 @@
+// Package area provides an analytical chip-area model for the RCS in the
+// style of NeuroSim: the chip area is the sum of per-component areas
+// (crossbar arrays, DAC/ADC/S&H/S&A peripherals, registers, eDRAM buffers,
+// NoC routers, tile-level function units), and each fault-tolerance scheme
+// adds its own hardware on top. Component constants are calibrated to the
+// published ISAAC/NeuroSim breakdowns at a 32 nm-class node; only the
+// *ratios* matter for the paper's claims (BIST +0.61%, AN-code +6.3%,
+// Remap-T-n% ≈ +n%).
+package area
+
+import "remapd/internal/arch"
+
+// Component areas in mm².
+type Components struct {
+	// Per crossbar array (128×128 cells at 4F²) and its private periphery.
+	CrossbarArray float64
+	DACPerArray   float64
+	SHPerArray    float64 // sample & hold bank
+	ADCPerArray   float64 // the dominant analog block (ISAAC: ~0.0096 mm²)
+	SAPerArray    float64 // shift & add
+	// Per IMA (shared input/output registers and control).
+	RegistersPerIMA float64
+	ControlPerIMA   float64
+	// Per tile.
+	EDRAMPerTile    float64
+	RouterPerTile   float64 // c-mesh share: Concentration tiles share one router
+	FunctionPerTile float64 // pooling / activation units
+
+	// Fault-tolerance additions.
+	BISTPerIMA float64 // FSM + counter + comparator; reuses the IMA's ADC/S&A
+	// ANCodePerIMA is the encoder + residue checker + syndrome table.
+	ANCodePerIMA float64
+}
+
+// DefaultComponents returns the calibrated technology point.
+func DefaultComponents() Components {
+	return Components{
+		CrossbarArray: 0.000067, // 16384 cells · 4F², F = 32 nm
+		DACPerArray:   0.00170,  // 128 1-bit DACs
+		SHPerArray:    0.00004,
+		ADCPerArray:   0.0096,
+		SAPerArray:    0.00024,
+
+		RegistersPerIMA: 0.00269,
+		ControlPerIMA:   0.00120,
+
+		EDRAMPerTile:    0.0830,
+		RouterPerTile:   0.0151 / 4, // one router per 4 tiles (c-mesh)
+		FunctionPerTile: 0.0200,
+
+		BISTPerIMA:   0.00076,
+		ANCodePerIMA: 0.00832,
+	}
+}
+
+// Breakdown is a chip-level area report.
+type Breakdown struct {
+	Arrays      float64
+	Peripherals float64 // DAC+S&H+ADC+S&A
+	IMAShared   float64
+	TileShared  float64 // eDRAM + router share + function units
+	Baseline    float64 // total without any fault-tolerance hardware
+
+	BIST   float64
+	ANCode float64
+}
+
+// Compute sums the model over a chip geometry.
+func Compute(c Components, g arch.Geometry) Breakdown {
+	nXbar := float64(g.Crossbars())
+	nIMA := float64(g.Tiles() * g.IMAsPerTile)
+	nTile := float64(g.Tiles())
+
+	b := Breakdown{
+		Arrays:      nXbar * c.CrossbarArray,
+		Peripherals: nXbar * (c.DACPerArray + c.SHPerArray + c.ADCPerArray + c.SAPerArray),
+		IMAShared:   nIMA * (c.RegistersPerIMA + c.ControlPerIMA),
+		TileShared:  nTile * (c.EDRAMPerTile + c.RouterPerTile + c.FunctionPerTile),
+		BIST:        nIMA * c.BISTPerIMA,
+		ANCode:      nIMA * c.ANCodePerIMA,
+	}
+	b.Baseline = b.Arrays + b.Peripherals + b.IMAShared + b.TileShared
+	return b
+}
+
+// BISTOverhead returns the fractional area cost of adding the BIST module
+// to every IMA (the paper reports 0.61%).
+func BISTOverhead(c Components, g arch.Geometry) float64 {
+	b := Compute(c, g)
+	return b.BIST / (b.Baseline + b.BIST)
+}
+
+// ANCodeOverhead returns the fractional area cost of the AN-code datapath
+// (the paper cites 6.3% from [10]).
+func ANCodeOverhead(c Components, g arch.Geometry) float64 {
+	b := Compute(c, g)
+	return b.ANCode / (b.Baseline + b.ANCode)
+}
+
+// RemapTOverhead returns the fractional area cost of Remap-T-n%: the
+// scheme needs at least an n fraction of spare fault-free hardware
+// (crossbars plus their peripheral and buffering share), i.e. ≈ n of the
+// chip (the paper: Remap-T-10% ⇒ 10%).
+func RemapTOverhead(fraction float64) float64 { return fraction }
+
+// RemapDOverhead returns Remap-D's area cost: only the BIST modules — the
+// policy itself reuses existing crossbars and the NoC.
+func RemapDOverhead(c Components, g arch.Geometry) float64 {
+	return BISTOverhead(c, g)
+}

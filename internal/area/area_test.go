@@ -1,0 +1,65 @@
+package area
+
+import (
+	"math"
+	"testing"
+
+	"remapd/internal/arch"
+)
+
+func TestBreakdownPositiveAndConsistent(t *testing.T) {
+	b := Compute(DefaultComponents(), arch.DefaultGeometry())
+	if b.Arrays <= 0 || b.Peripherals <= 0 || b.IMAShared <= 0 || b.TileShared <= 0 {
+		t.Fatalf("non-positive component: %+v", b)
+	}
+	sum := b.Arrays + b.Peripherals + b.IMAShared + b.TileShared
+	if math.Abs(sum-b.Baseline) > 1e-12 {
+		t.Fatalf("baseline %v != component sum %v", b.Baseline, sum)
+	}
+	// ADCs dominate the analog periphery in ISAAC-class designs; the
+	// peripheral block must dwarf the raw arrays.
+	if b.Peripherals < 10*b.Arrays {
+		t.Fatalf("peripheral/array ratio implausible: %v vs %v", b.Peripherals, b.Arrays)
+	}
+}
+
+func TestBISTOverheadMatchesPaper(t *testing.T) {
+	oh := BISTOverhead(DefaultComponents(), arch.DefaultGeometry())
+	if oh < 0.005 || oh > 0.007 {
+		t.Fatalf("BIST overhead %.4f, paper reports 0.61%%", oh)
+	}
+}
+
+func TestANCodeOverheadMatchesPaper(t *testing.T) {
+	oh := ANCodeOverhead(DefaultComponents(), arch.DefaultGeometry())
+	if oh < 0.055 || oh > 0.070 {
+		t.Fatalf("AN-code overhead %.4f, paper cites 6.3%%", oh)
+	}
+}
+
+func TestRemapTOverheadIsFraction(t *testing.T) {
+	if RemapTOverhead(0.10) != 0.10 || RemapTOverhead(0.05) != 0.05 {
+		t.Fatal("Remap-T-n%% must cost n%% spare hardware")
+	}
+}
+
+func TestOverheadOrdering(t *testing.T) {
+	c, g := DefaultComponents(), arch.DefaultGeometry()
+	d := RemapDOverhead(c, g)
+	an := ANCodeOverhead(c, g)
+	rt := RemapTOverhead(0.10)
+	if !(d < an && an < rt) {
+		t.Fatalf("paper's ordering Remap-D < AN-code < Remap-T-10%% violated: %v %v %v", d, an, rt)
+	}
+}
+
+func TestOverheadScaleInvariance(t *testing.T) {
+	// Per-IMA overheads are ratios of per-IMA hardware, so they must be
+	// (nearly) independent of chip size.
+	c := DefaultComponents()
+	small := BISTOverhead(c, arch.Geometry{TilesX: 2, TilesY: 2, IMAsPerTile: 4, XbarsPerIMA: 8})
+	large := BISTOverhead(c, arch.Geometry{TilesX: 16, TilesY: 16, IMAsPerTile: 4, XbarsPerIMA: 8})
+	if math.Abs(small-large) > 1e-9 {
+		t.Fatalf("overhead not scale invariant: %v vs %v", small, large)
+	}
+}

@@ -1,0 +1,287 @@
+// Package bist implements the paper's built-in self-test module
+// (Section III.B.3): a seven-state finite-state machine that measures the
+// *fault density* of a ReRAM crossbar — not per-cell fault locations —
+// by writing a background pattern and observing per-column analog read
+// currents. The FSM timing matches the paper exactly: for a 128×128 array,
+// SA1 detection takes 130 ReRAM cycles (128 row writes + 1 read + 1
+// peripheral processing cycle), SA0 detection another 130, for 260 total
+// (26 µs at the 10 MHz array clock).
+package bist
+
+import (
+	"fmt"
+
+	"remapd/internal/reram"
+	"remapd/internal/tensor"
+)
+
+// State enumerates the BIST controller states of Fig. 2(b).
+type State int
+
+// The controller's states: idle, then three per fault polarity.
+const (
+	S0Idle State = iota
+	S1WriteZero
+	S2ReadSA1
+	S3ProcessSA1
+	S4WriteOne
+	S5ReadSA0
+	S6ProcessSA0
+)
+
+// String names a state like the paper's figure.
+func (s State) String() string {
+	switch s {
+	case S0Idle:
+		return "S0/IDLE"
+	case S1WriteZero:
+		return "S1/WR_ZERO"
+	case S2ReadSA1:
+		return "S2/RD_SA1"
+	case S3ProcessSA1:
+		return "S3/PROC_SA1"
+	case S4WriteOne:
+		return "S4/WR_ONE"
+	case S5ReadSA0:
+		return "S5/RD_SA0"
+	case S6ProcessSA0:
+		return "S6/PROC_SA0"
+	}
+	return fmt.Sprintf("S?(%d)", int(s))
+}
+
+// Result is the outcome of one BIST pass over a crossbar.
+type Result struct {
+	// SA1Columns and SA0Columns hold the per-column fault-count estimates
+	// decoded from the read currents.
+	SA1Columns []int
+	SA0Columns []int
+	// SA1Estimate/SA0Estimate are the totals over all columns.
+	SA1Estimate, SA0Estimate int
+	// DensityEstimate is (SA1+SA0 estimate)/cells — the quantity Remap-D
+	// consumes.
+	DensityEstimate float64
+	// Cycles is the number of ReRAM cycles consumed (260 for 128×128).
+	Cycles int
+	// Finished mirrors the controller's finish flag.
+	Finished bool
+}
+
+// Controller is the BIST finite-state machine. It is deliberately a
+// cycle-stepped machine (Step advances one ReRAM cycle) rather than a
+// closed-form calculation, so the timing side of the paper's claims is
+// produced by the same artifact that produces the estimates.
+type Controller struct {
+	params reram.DeviceParams
+	state  State
+	// counter is the in-state cycle counter ("c" in Fig. 2(a)).
+	counter int
+	cycles  int
+	target  *reram.Crossbar
+	result  Result
+}
+
+// NewController returns an idle controller for the given device technology.
+func NewController(p reram.DeviceParams) *Controller {
+	return &Controller{params: p, state: S0Idle}
+}
+
+// State returns the current FSM state.
+func (c *Controller) State() State { return c.state }
+
+// Cycles returns ReRAM cycles elapsed since Start.
+func (c *Controller) Cycles() int { return c.cycles }
+
+// Start arms the controller on a crossbar. The two background writes that
+// the test performs are charged to the crossbar's endurance counter, as the
+// paper notes (they are negligible against per-batch weight updates).
+func (c *Controller) Start(x *reram.Crossbar) {
+	if x.Size != c.params.CrossbarSize {
+		panic(fmt.Sprintf("bist: crossbar size %d does not match controller technology %d", x.Size, c.params.CrossbarSize))
+	}
+	c.target = x
+	c.state = S1WriteZero
+	c.counter = 0
+	c.cycles = 0
+	c.result = Result{
+		SA1Columns: make([]int, x.Size),
+		SA0Columns: make([]int, x.Size),
+	}
+}
+
+// Step advances the FSM by one ReRAM cycle. It returns true while the test
+// is still running; once it returns false the Result is available.
+func (c *Controller) Step() bool {
+	if c.state == S0Idle {
+		return false
+	}
+	c.cycles++
+	size := c.target.Size
+	switch c.state {
+	case S1WriteZero:
+		// One row programmed per cycle (write logic "0" everywhere).
+		c.counter++
+		if c.counter == size {
+			c.target.RecordWrite()
+			c.state = S2ReadSA1
+			c.counter = 0
+		}
+	case S2ReadSA1:
+		// All columns read in parallel in a single cycle.
+		c.state = S3ProcessSA1
+	case S3ProcessSA1:
+		// Peripherals (ADC + S&A) decode currents into counts.
+		for col := 0; col < size; col++ {
+			i := c.target.ReadColumnCurrent(col, false)
+			c.result.SA1Columns[col] = c.decodeSA1(i)
+			c.result.SA1Estimate += c.result.SA1Columns[col]
+		}
+		c.state = S4WriteOne
+	case S4WriteOne:
+		c.counter++
+		if c.counter == size {
+			c.target.RecordWrite()
+			c.state = S5ReadSA0
+			c.counter = 0
+		}
+	case S5ReadSA0:
+		c.state = S6ProcessSA0
+	case S6ProcessSA0:
+		for col := 0; col < size; col++ {
+			i := c.target.ReadColumnCurrent(col, true)
+			c.result.SA0Columns[col] = c.decodeSA0(i)
+			c.result.SA0Estimate += c.result.SA0Columns[col]
+		}
+		cells := float64(c.target.Cells())
+		c.result.DensityEstimate = float64(c.result.SA1Estimate+c.result.SA0Estimate) / cells
+		c.result.Cycles = c.cycles
+		c.result.Finished = true
+		c.state = S0Idle
+	}
+	return c.state != S0Idle
+}
+
+// Run executes a complete BIST pass and returns the result.
+func (c *Controller) Run(x *reram.Crossbar) Result {
+	c.Start(x)
+	for c.Step() {
+	}
+	return c.result
+}
+
+// Result returns the result of the last completed pass.
+func (c *Controller) Result() Result { return c.result }
+
+// decodeSA1 converts an SA1-test column current into a fault-count
+// estimate. With the background at G_min, a column with k SA1 cells carries
+// I ≈ V·((size−k)·Gmin + k·G_SA1); the calibration uses the mean stuck
+// conductance, so device variation introduces a (bounded) estimation error,
+// exactly the behaviour Fig. 4 demonstrates is tolerable.
+func (c *Controller) decodeSA1(current float64) int {
+	p := c.params
+	size := float64(p.CrossbarSize)
+	v := p.ReadVoltage
+	base := size * v * p.GMin()
+	gSA1Mean := (1/p.SA1RMin + 1/p.SA1RMax) / 2
+	delta := v * (gSA1Mean - p.GMin())
+	k := int((current-base)/delta + 0.5)
+	if k < 0 {
+		k = 0
+	}
+	if k > p.CrossbarSize {
+		k = p.CrossbarSize
+	}
+	return k
+}
+
+// decodeSA0 converts an SA0-test column current into a fault-count
+// estimate: background at G_max, each SA0 cell removes ≈ V·(Gmax−G_SA0).
+func (c *Controller) decodeSA0(current float64) int {
+	p := c.params
+	size := float64(p.CrossbarSize)
+	v := p.ReadVoltage
+	base := size * v * p.GMax()
+	gSA0Mean := (1/p.SA0RMin + 1/p.SA0RMax) / 2
+	delta := v * (p.GMax() - gSA0Mean)
+	k := int((base-current)/delta + 0.5)
+	if k < 0 {
+		k = 0
+	}
+	if k > p.CrossbarSize {
+		k = p.CrossbarSize
+	}
+	return k
+}
+
+// CyclesPerPass returns the number of ReRAM cycles one full BIST pass takes
+// for the technology: 2·(size + 2).
+func CyclesPerPass(p reram.DeviceParams) int { return 2 * (p.CrossbarSize + 2) }
+
+// PassTimeNS returns the wall-clock duration of one pass in nanoseconds.
+func PassTimeNS(p reram.DeviceParams) float64 {
+	return float64(CyclesPerPass(p)) * p.ReRAMCycleNS
+}
+
+// TimingOverhead returns the fractional training-time overhead of running
+// BIST once per epoch on every crossbar, given the compute time of one
+// epoch in ReRAM cycles. BIST for all crossbars in an IMA shares the
+// centralized controller but the crossbars of different IMAs are tested in
+// parallel, so the per-epoch cost is passes·CyclesPerPass where passes is
+// the number of crossbars tested sequentially by one controller.
+func TimingOverhead(p reram.DeviceParams, sequentialPasses int, epochComputeCycles float64) float64 {
+	if epochComputeCycles <= 0 {
+		return 0
+	}
+	return float64(sequentialPasses*CyclesPerPass(p)) / epochComputeCycles
+}
+
+// CurvePoint is one point of a Fig. 4-style current-vs-faults curve.
+type CurvePoint struct {
+	Faults             int
+	MeanI, MinI, MaxI  float64 // Amperes
+	MeanMicroA         float64 // convenience: MeanI in µA
+	RelativeToFaulFree float64 // MeanI normalised to the 0-fault current
+}
+
+// CurrentCurve reproduces Fig. 4: for k = 0..maxFaults stuck cells of the
+// given kind in one column of a size×size crossbar, it samples `trials`
+// random stuck-resistance draws and reports the column read current
+// statistics. kind must be reram.SA0 or reram.SA1.
+func CurrentCurve(p reram.DeviceParams, size, maxFaults, trials int, kind reram.CellState, rng *tensor.RNG) []CurvePoint {
+	if kind != reram.SA0 && kind != reram.SA1 {
+		panic("bist: CurrentCurve kind must be SA0 or SA1")
+	}
+	local := p
+	local.CrossbarSize = size
+	programmedOne := kind == reram.SA0 // SA0 test writes background "1"
+	curve := make([]CurvePoint, 0, maxFaults+1)
+	var baseline float64
+	for k := 0; k <= maxFaults; k++ {
+		pt := CurvePoint{Faults: k, MinI: 1e18, MaxI: -1e18}
+		var sum float64
+		for tr := 0; tr < trials; tr++ {
+			x := reram.NewCrossbar(0, local)
+			for r := 0; r < k; r++ {
+				x.InjectFault(r, 0, kind, rng)
+			}
+			i := x.ReadColumnCurrent(0, programmedOne)
+			sum += i
+			if i < pt.MinI {
+				pt.MinI = i
+			}
+			if i > pt.MaxI {
+				pt.MaxI = i
+			}
+		}
+		pt.MeanI = sum / float64(trials)
+		pt.MeanMicroA = pt.MeanI * 1e6
+		if k == 0 {
+			baseline = pt.MeanI
+		}
+		if baseline != 0 {
+			pt.RelativeToFaulFree = pt.MeanI / baseline
+		}
+		curve = append(curve, pt)
+	}
+	return curve
+}

@@ -1,0 +1,123 @@
+package bist
+
+import (
+	"remapd/internal/reram"
+)
+
+// March tests are the conventional memory-test alternative the paper
+// contrasts its BIST against (reference [16]): they locate every faulty
+// cell exactly, but at a much higher time cost, which is why they are used
+// for pre-deployment screening and are too expensive to run online after
+// every epoch.
+//
+// MarchCMinus implements the classic March C- algorithm:
+//
+//	⇑(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); ⇓(r0)
+//
+// adapted to a crossbar array: writes program one row per ReRAM cycle
+// (row-parallel, as in the BIST background writes) but reads must resolve
+// individual cells, so each read element costs one cycle per row with all
+// columns sensed in parallel — and unlike the density BIST, every element
+// is visited six times.
+
+// MarchResult is the outcome of a March C- pass.
+type MarchResult struct {
+	// FaultMap holds the exact located faults: flat cell index → state.
+	FaultMap map[int]reram.CellState
+	// SA0Count / SA1Count are the located totals.
+	SA0Count, SA1Count int
+	// Cycles is the ReRAM-cycle cost of the pass.
+	Cycles int
+}
+
+// MarchCMinus runs the March C- test on a crossbar and returns the exact
+// fault map plus the cycle cost. Cell reads are modelled through the same
+// analog path as the BIST (a stuck cell reads as its stuck conductance), so
+// detection is by comparing the read value against the last written logic
+// level.
+func MarchCMinus(x *reram.Crossbar) MarchResult {
+	res := MarchResult{FaultMap: make(map[int]reram.CellState)}
+	size := x.Size
+
+	// Logical image of what the healthy array would hold.
+	// A cell is detected as SA1 if it reads "1" where "0" was written, and
+	// SA0 if it reads "0" where "1" was written. Reads of a stuck cell
+	// always reflect the stuck level regardless of writes.
+	readCell := func(i int) int {
+		switch x.StateAt(i) {
+		case reram.SA1:
+			return 1
+		case reram.SA0:
+			return 0
+		}
+		return -1 // healthy: reads whatever was last written
+	}
+
+	written := make([]int, size*size)
+
+	// write0/write1 sweep: one row per cycle.
+	writeAll := func(v int) {
+		for i := range written {
+			written[i] = v
+		}
+		x.RecordWrite()
+		res.Cycles += size
+	}
+	// readVerify sweeps the array one row per cycle (columns in parallel)
+	// and records mismatches.
+	readVerify := func(expect int) {
+		res.Cycles += size
+		for i := range written {
+			got := readCell(i)
+			if got == -1 {
+				got = written[i]
+			}
+			if got != expect {
+				if got == 1 {
+					res.FaultMap[i] = reram.SA1
+				} else {
+					res.FaultMap[i] = reram.SA0
+				}
+			}
+		}
+	}
+
+	// ⇑(w0)
+	writeAll(0)
+	// ⇑(r0, w1)
+	readVerify(0)
+	writeAll(1)
+	// ⇑(r1, w0)
+	readVerify(1)
+	writeAll(0)
+	// ⇓(r0, w1)
+	readVerify(0)
+	writeAll(1)
+	// ⇓(r1, w0)
+	readVerify(1)
+	writeAll(0)
+	// ⇓(r0)
+	readVerify(0)
+
+	for _, s := range res.FaultMap {
+		if s == reram.SA0 {
+			res.SA0Count++
+		} else {
+			res.SA1Count++
+		}
+	}
+	return res
+}
+
+// MarchCycles returns the cycle cost of March C- on a size×size array:
+// the ⇑(w0);⇑(r0,w1);⇑(r1,w0);⇓(r0,w1);⇓(r1,w0);⇓(r0) sequence performs
+// 5 write sweeps and 5 read sweeps of `size` cycles each.
+func MarchCycles(size int) int { return 10 * size }
+
+// MarchVsBISTSpeedup returns how many times cheaper the density-only BIST
+// pass is than a full March C- pass for the technology point — the
+// quantitative form of the paper's "existing BIST architectures ... can be
+// expensive" argument.
+func MarchVsBISTSpeedup(p reram.DeviceParams) float64 {
+	return float64(MarchCycles(p.CrossbarSize)) / float64(CyclesPerPass(p))
+}

@@ -1,0 +1,208 @@
+// Package dataset provides deterministic synthetic image-classification
+// datasets standing in for CIFAR-10, CIFAR-100, and SVHN (the module is
+// offline; see DESIGN.md for the substitution rationale). Each generator
+// produces learnable multi-class image tasks whose accuracy degrades when
+// training gradients are corrupted — the property the paper's experiments
+// actually exercise.
+//
+//   - CIFAR10Like / CIFAR100Like: each class is a smooth random template
+//     field; samples are amplitude-jittered, spatially shifted, noisy draws
+//     of their class template (10 or 100 classes).
+//   - SVHNLike: procedurally rasterised digit glyphs on cluttered
+//     backgrounds with distractor digits, mimicking SVHN's
+//     "digit in a natural scene" character (10 classes).
+package dataset
+
+import (
+	"fmt"
+
+	"remapd/internal/tensor"
+)
+
+// Dataset is an in-memory image-classification dataset in NCHW layout.
+type Dataset struct {
+	Name    string
+	Classes int
+	C, H, W int
+	TrainX  *tensor.Tensor
+	TrainY  []int
+	TestX   *tensor.Tensor
+	TestY   []int
+}
+
+// TrainLen returns the number of training samples.
+func (d *Dataset) TrainLen() int { return len(d.TrainY) }
+
+// TestLen returns the number of test samples.
+func (d *Dataset) TestLen() int { return len(d.TestY) }
+
+// Batch is one mini-batch.
+type Batch struct {
+	X *tensor.Tensor
+	Y []int
+}
+
+// TrainBatches returns the training set split into shuffled mini-batches
+// (the last partial batch is dropped, as is conventional).
+func (d *Dataset) TrainBatches(batchSize int, rng *tensor.RNG) []Batch {
+	return makeBatches(d.TrainX, d.TrainY, d.C, d.H, d.W, batchSize, rng)
+}
+
+// TestBatches returns the test set in deterministic order.
+func (d *Dataset) TestBatches(batchSize int) []Batch {
+	return makeBatches(d.TestX, d.TestY, d.C, d.H, d.W, batchSize, nil)
+}
+
+func makeBatches(x *tensor.Tensor, y []int, c, h, w, batchSize int, rng *tensor.RNG) []Batch {
+	n := len(y)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if rng != nil {
+		order = rng.Perm(n)
+	}
+	imgLen := c * h * w
+	var out []Batch
+	for off := 0; off+batchSize <= n; off += batchSize {
+		bx := tensor.New(batchSize, c, h, w)
+		by := make([]int, batchSize)
+		for i := 0; i < batchSize; i++ {
+			src := order[off+i]
+			copy(bx.Data[i*imgLen:(i+1)*imgLen], x.Data[src*imgLen:(src+1)*imgLen])
+			by[i] = y[src]
+		}
+		out = append(out, Batch{X: bx, Y: by})
+	}
+	return out
+}
+
+// upsampleBilinear expands a coarse g×g field to h×w.
+func upsampleBilinear(coarse []float64, g, h, w int, dst []float32) {
+	for y := 0; y < h; y++ {
+		fy := float64(y) / float64(h-1) * float64(g-1)
+		y0 := int(fy)
+		y1 := y0 + 1
+		if y1 >= g {
+			y1 = g - 1
+		}
+		ty := fy - float64(y0)
+		for x := 0; x < w; x++ {
+			fx := float64(x) / float64(w-1) * float64(g-1)
+			x0 := int(fx)
+			x1 := x0 + 1
+			if x1 >= g {
+				x1 = g - 1
+			}
+			tx := fx - float64(x0)
+			v := (1-ty)*((1-tx)*coarse[y0*g+x0]+tx*coarse[y0*g+x1]) +
+				ty*((1-tx)*coarse[y1*g+x0]+tx*coarse[y1*g+x1])
+			dst[y*w+x] = float32(v)
+		}
+	}
+}
+
+// templateConfig controls the template-field generators.
+type templateConfig struct {
+	name       string
+	classes    int
+	c, h, w    int
+	coarseGrid int
+	noise      float64
+	maxShift   int
+	ampJitter  float64
+}
+
+// generateTemplates builds one smooth random field per (class, channel).
+func generateTemplates(cfg templateConfig, rng *tensor.RNG) [][]float32 {
+	tmpl := make([][]float32, cfg.classes)
+	g := cfg.coarseGrid
+	for cl := 0; cl < cfg.classes; cl++ {
+		field := make([]float32, cfg.c*cfg.h*cfg.w)
+		for ch := 0; ch < cfg.c; ch++ {
+			coarse := make([]float64, g*g)
+			for i := range coarse {
+				coarse[i] = rng.NormFloat64()
+			}
+			upsampleBilinear(coarse, g, cfg.h, cfg.w, field[ch*cfg.h*cfg.w:(ch+1)*cfg.h*cfg.w])
+		}
+		tmpl[cl] = field
+	}
+	return tmpl
+}
+
+// renderTemplateSample draws one sample of class cl into dst.
+func renderTemplateSample(cfg templateConfig, tmpl [][]float32, cl int, rng *tensor.RNG, dst []float32) {
+	dx := rng.Intn(2*cfg.maxShift+1) - cfg.maxShift
+	dy := rng.Intn(2*cfg.maxShift+1) - cfg.maxShift
+	amp := float32(1 + cfg.ampJitter*(2*rng.Float64()-1))
+	src := tmpl[cl]
+	for ch := 0; ch < cfg.c; ch++ {
+		for y := 0; y < cfg.h; y++ {
+			sy := clampInt(y+dy, 0, cfg.h-1)
+			for x := 0; x < cfg.w; x++ {
+				sx := clampInt(x+dx, 0, cfg.w-1)
+				v := amp*src[ch*cfg.h*cfg.w+sy*cfg.w+sx] + float32(cfg.noise*rng.NormFloat64())
+				dst[ch*cfg.h*cfg.w+y*cfg.w+x] = v
+			}
+		}
+	}
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// buildTemplateDataset generates a full train/test split.
+func buildTemplateDataset(cfg templateConfig, nTrain, nTest int, seed uint64) *Dataset {
+	rng := tensor.NewRNG(seed)
+	tmpl := generateTemplates(cfg, rng)
+	d := &Dataset{
+		Name: cfg.name, Classes: cfg.classes, C: cfg.c, H: cfg.h, W: cfg.w,
+		TrainX: tensor.New(nTrain, cfg.c, cfg.h, cfg.w),
+		TrainY: make([]int, nTrain),
+		TestX:  tensor.New(nTest, cfg.c, cfg.h, cfg.w),
+		TestY:  make([]int, nTest),
+	}
+	imgLen := cfg.c * cfg.h * cfg.w
+	for i := 0; i < nTrain; i++ {
+		cl := i % cfg.classes
+		d.TrainY[i] = cl
+		renderTemplateSample(cfg, tmpl, cl, rng, d.TrainX.Data[i*imgLen:(i+1)*imgLen])
+	}
+	for i := 0; i < nTest; i++ {
+		cl := i % cfg.classes
+		d.TestY[i] = cl
+		renderTemplateSample(cfg, tmpl, cl, rng, d.TestX.Data[i*imgLen:(i+1)*imgLen])
+	}
+	return d
+}
+
+// CIFAR10Like returns a 10-class, 3-channel size×size dataset.
+func CIFAR10Like(nTrain, nTest, size int, seed uint64) *Dataset {
+	return buildTemplateDataset(templateConfig{
+		name: "cifar10-like", classes: 10, c: 3, h: size, w: size,
+		coarseGrid: 4, noise: 0.9, maxShift: 3, ampJitter: 0.5,
+	}, nTrain, nTest, seed)
+}
+
+// CIFAR100Like returns a 100-class, 3-channel size×size dataset (harder:
+// more classes sharing the same template statistics).
+func CIFAR100Like(nTrain, nTest, size int, seed uint64) *Dataset {
+	return buildTemplateDataset(templateConfig{
+		name: "cifar100-like", classes: 100, c: 3, h: size, w: size,
+		coarseGrid: 5, noise: 0.8, maxShift: 2, ampJitter: 0.4,
+	}, nTrain, nTest, seed)
+}
+
+// String describes the dataset.
+func (d *Dataset) String() string {
+	return fmt.Sprintf("%s: %d classes, %d train / %d test, %dx%dx%d",
+		d.Name, d.Classes, d.TrainLen(), d.TestLen(), d.C, d.H, d.W)
+}

@@ -1,0 +1,135 @@
+package dataset
+
+import "remapd/internal/tensor"
+
+// digitFont is a 5×7 bitmap font for the digits 0–9 (row-major, one string
+// per row, '#' = ink). SVHNLike rasterises these glyphs into natural-scene-
+// style images.
+var digitFont = [10][7]string{
+	{" ### ", "#   #", "#  ##", "# # #", "##  #", "#   #", " ### "}, // 0
+	{"  #  ", " ##  ", "  #  ", "  #  ", "  #  ", "  #  ", " ### "}, // 1
+	{" ### ", "#   #", "    #", "   # ", "  #  ", " #   ", "#####"}, // 2
+	{" ### ", "#   #", "    #", "  ## ", "    #", "#   #", " ### "}, // 3
+	{"   # ", "  ## ", " # # ", "#  # ", "#####", "   # ", "   # "}, // 4
+	{"#####", "#    ", "#### ", "    #", "    #", "#   #", " ### "}, // 5
+	{" ### ", "#    ", "#    ", "#### ", "#   #", "#   #", " ### "}, // 6
+	{"#####", "    #", "   # ", "  #  ", "  #  ", " #   ", " #   "}, // 7
+	{" ### ", "#   #", "#   #", " ### ", "#   #", "#   #", " ### "}, // 8
+	{" ### ", "#   #", "#   #", " ####", "    #", "    #", " ### "}, // 9
+}
+
+// drawDigit stamps digit d into a c×h×w image at (ox, oy) with the given
+// integer scale and per-channel ink color.
+func drawDigit(img []float32, c, h, w, d, ox, oy, scale int, ink [3]float32) {
+	for gy := 0; gy < 7; gy++ {
+		row := digitFont[d][gy]
+		for gx := 0; gx < 5; gx++ {
+			if row[gx] != '#' {
+				continue
+			}
+			for sy := 0; sy < scale; sy++ {
+				for sx := 0; sx < scale; sx++ {
+					y := oy + gy*scale + sy
+					x := ox + gx*scale + sx
+					if y < 0 || y >= h || x < 0 || x >= w {
+						continue
+					}
+					for ch := 0; ch < c && ch < 3; ch++ {
+						img[ch*h*w+y*w+x] = ink[ch]
+					}
+				}
+			}
+		}
+	}
+}
+
+// SVHNLike returns a 10-class street-view-house-number-style dataset:
+// the label is the digit rendered near the image centre; images carry a
+// smooth colored background, pixel noise, and up to two clipped distractor
+// digits near the borders (the hallmark difficulty of SVHN).
+func SVHNLike(nTrain, nTest, size int, seed uint64) *Dataset {
+	rng := tensor.NewRNG(seed)
+	const c = 3
+	d := &Dataset{
+		Name: "svhn-like", Classes: 10, C: c, H: size, W: size,
+		TrainX: tensor.New(nTrain, c, size, size),
+		TrainY: make([]int, nTrain),
+		TestX:  tensor.New(nTest, c, size, size),
+		TestY:  make([]int, nTest),
+	}
+	imgLen := c * size * size
+
+	render := func(dst []float32, label int) {
+		// Smooth background: one random coarse field per channel.
+		for ch := 0; ch < c; ch++ {
+			coarse := make([]float64, 9)
+			for i := range coarse {
+				coarse[i] = 0.5 * rng.NormFloat64()
+			}
+			upsampleBilinear(coarse, 3, size, size, dst[ch*size*size:(ch+1)*size*size])
+		}
+		// Distractor digits clipped at the borders.
+		nDistract := rng.Intn(3)
+		for k := 0; k < nDistract; k++ {
+			dd := rng.Intn(10)
+			scale := 1 + rng.Intn(2)
+			// Position partly outside the frame.
+			side := rng.Intn(4)
+			var ox, oy int
+			switch side {
+			case 0:
+				ox, oy = -3*scale+rng.Intn(3), rng.Intn(size)
+			case 1:
+				ox, oy = size-2*scale, rng.Intn(size)
+			case 2:
+				ox, oy = rng.Intn(size), -4*scale+rng.Intn(3)
+			default:
+				ox, oy = rng.Intn(size), size-3*scale
+			}
+			ink := [3]float32{float32(rng.Range(-1, 1)), float32(rng.Range(-1, 1)), float32(rng.Range(-1, 1))}
+			drawDigit(dst, c, size, size, dd, ox, oy, scale, ink)
+		}
+		// The labelled digit near the centre, always fully visible. The
+		// glyph scale adapts to the frame so a 7·scale-tall digit fits.
+		scale := size/16 + rng.Intn(2)
+		if scale < 1 {
+			scale = 1
+		}
+		for 7*scale > size {
+			scale--
+		}
+		gw, gh := 5*scale, 7*scale
+		maxOx, maxOy := size-gw, size-gh
+		ox := maxOx/2 + rng.Intn(5) - 2
+		oy := maxOy/2 + rng.Intn(5) - 2
+		ox = clampInt(ox, 0, maxOx)
+		oy = clampInt(oy, 0, maxOy)
+		// High-contrast ink so the digit is recoverable from clutter.
+		sign := float32(1)
+		if rng.Float64() < 0.5 {
+			sign = -1
+		}
+		ink := [3]float32{
+			sign * float32(rng.Range(1.2, 1.8)),
+			sign * float32(rng.Range(1.2, 1.8)),
+			sign * float32(rng.Range(1.2, 1.8)),
+		}
+		drawDigit(dst, c, size, size, label, ox, oy, scale, ink)
+		// Sensor noise.
+		for i := range dst {
+			dst[i] += float32(0.15 * rng.NormFloat64())
+		}
+	}
+
+	for i := 0; i < nTrain; i++ {
+		label := i % 10
+		d.TrainY[i] = label
+		render(d.TrainX.Data[i*imgLen:(i+1)*imgLen], label)
+	}
+	for i := 0; i < nTest; i++ {
+		label := i % 10
+		d.TestY[i] = label
+		render(d.TestX.Data[i*imgLen:(i+1)*imgLen], label)
+	}
+	return d
+}

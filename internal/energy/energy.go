@@ -1,0 +1,115 @@
+// Package energy provides the analytical energy/power model used to check
+// the paper's final overhead claim: the additional NoC traffic introduced
+// by Remap-D costs "less than 0.5% power overhead", and the per-epoch BIST
+// activity is negligible against the training computation. Constants are
+// calibrated to published ISAAC/NeuroSim energy breakdowns at a 32 nm-class
+// node; as with the area model, only ratios matter.
+package energy
+
+import (
+	"fmt"
+
+	"remapd/internal/reram"
+)
+
+// Components collects the per-event energy constants (Joules).
+type Components struct {
+	// MVMEnergy is one 128×128 crossbar matrix-vector multiply including
+	// DAC drive, array read and ADC conversion (ISAAC-class: a few nJ).
+	MVMEnergy float64
+	// ArrayWriteEnergy is one full row-by-row array reprogram.
+	ArrayWriteEnergy float64
+	// FlitHopEnergy is one flit traversing one router+link stage
+	// (128-bit flit at 32 nm: ≈3 pJ).
+	FlitHopEnergy float64
+	// BISTReadEnergy is the two analog read+process steps of one BIST pass.
+	BISTReadEnergy float64
+}
+
+// DefaultComponents returns the calibrated constants.
+func DefaultComponents() Components {
+	return Components{
+		MVMEnergy:        5e-9,
+		ArrayWriteEnergy: 20e-9,
+		FlitHopEnergy:    3e-12,
+		BISTReadEnergy:   0.5e-9,
+	}
+}
+
+// EpochComputeEnergy is the training energy of one epoch: every sample
+// streams through 2·mvmLayers crossbar MVM stages, and every optimizer
+// step rewrites the stored weights of every active crossbar.
+func (c Components) EpochComputeEnergy(samples, mvmLayers, activeCrossbars, optimizerSteps int) float64 {
+	mvm := float64(samples) * 2 * float64(mvmLayers) * c.MVMEnergy
+	writes := float64(optimizerSteps) * float64(activeCrossbars) * c.ArrayWriteEnergy
+	return mvm + writes
+}
+
+// BISTEnergy is the cost of one density pass over every crossbar:
+// two background array writes plus the read/process steps.
+func (c Components) BISTEnergy(crossbars int) float64 {
+	return float64(crossbars) * (2*c.ArrayWriteEnergy + c.BISTReadEnergy)
+}
+
+// RemapTrafficEnergy converts a NoC flit-hop count (from the flit-level
+// simulation) into Joules.
+func (c Components) RemapTrafficEnergy(flitHops int) float64 {
+	return float64(flitHops) * c.FlitHopEnergy
+}
+
+// RemapWriteEnergy is the cost of reprogramming both crossbars of each
+// swapped pair.
+func (c Components) RemapWriteEnergy(swaps int) float64 {
+	return float64(swaps) * 2 * c.ArrayWriteEnergy
+}
+
+// OverheadReport quantifies Remap-D's energy overheads for one epoch.
+type OverheadReport struct {
+	EpochEnergy   float64
+	BISTEnergy    float64
+	TrafficEnergy float64
+	SwapEnergy    float64
+	// BISTOverhead and TrafficOverhead are fractions of EpochEnergy.
+	BISTOverhead    float64
+	TrafficOverhead float64
+	TotalOverhead   float64
+}
+
+// EpochOverhead computes the report for one epoch of training with the
+// given remap activity.
+func (c Components) EpochOverhead(samples, mvmLayers, activeCrossbars, optimizerSteps, flitHops, swaps int) OverheadReport {
+	r := OverheadReport{
+		EpochEnergy:   c.EpochComputeEnergy(samples, mvmLayers, activeCrossbars, optimizerSteps),
+		BISTEnergy:    c.BISTEnergy(activeCrossbars),
+		TrafficEnergy: c.RemapTrafficEnergy(flitHops),
+		SwapEnergy:    c.RemapWriteEnergy(swaps),
+	}
+	if r.EpochEnergy > 0 {
+		r.BISTOverhead = r.BISTEnergy / r.EpochEnergy
+		r.TrafficOverhead = (r.TrafficEnergy + r.SwapEnergy) / r.EpochEnergy
+		r.TotalOverhead = r.BISTOverhead + r.TrafficOverhead
+	}
+	return r
+}
+
+// Format renders the report.
+func (r OverheadReport) Format() string {
+	return fmt.Sprintf(
+		"epoch compute %.3g J; BIST %.3g J (%.3f%%); remap traffic %.3g J + swap writes %.3g J (%.3f%%)\n"+
+			"total Remap-D energy overhead %.3f%% (paper: traffic < 0.5%% power)\n",
+		r.EpochEnergy, r.BISTEnergy, 100*r.BISTOverhead,
+		r.TrafficEnergy, r.SwapEnergy, 100*r.TrafficOverhead, 100*r.TotalOverhead)
+}
+
+// PaperPointOverhead evaluates the report at the paper's configuration:
+// CIFAR-sized epochs on VGG-19 with the measured Monte-Carlo traffic.
+func PaperPointOverhead(p reram.DeviceParams, flitHops, swaps int) OverheadReport {
+	c := DefaultComponents()
+	const (
+		samples   = 50000
+		mvmLayers = 19
+		batches   = 50000 / 64
+	)
+	active := 2048 // arch.DefaultGeometry crossbars
+	return c.EpochOverhead(samples, mvmLayers, active, batches, flitHops, swaps)
+}

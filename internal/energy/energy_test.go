@@ -1,0 +1,81 @@
+package energy
+
+import (
+	"strings"
+	"testing"
+
+	"remapd/internal/reram"
+)
+
+func TestEpochComputeEnergyScales(t *testing.T) {
+	c := DefaultComponents()
+	small := c.EpochComputeEnergy(1000, 10, 100, 10)
+	large := c.EpochComputeEnergy(2000, 10, 100, 10)
+	if large <= small {
+		t.Fatal("energy must grow with sample count")
+	}
+	if c.EpochComputeEnergy(0, 10, 100, 0) != 0 {
+		t.Fatal("zero work must cost zero energy")
+	}
+}
+
+func TestBISTEnergyPerCrossbar(t *testing.T) {
+	c := DefaultComponents()
+	one := c.BISTEnergy(1)
+	want := 2*c.ArrayWriteEnergy + c.BISTReadEnergy
+	if one != want {
+		t.Fatalf("BIST energy %v, want %v", one, want)
+	}
+	if c.BISTEnergy(10) != 10*one {
+		t.Fatal("BIST energy must be linear in crossbar count")
+	}
+}
+
+func TestTrafficAndSwapEnergy(t *testing.T) {
+	c := DefaultComponents()
+	if c.RemapTrafficEnergy(1000) != 1000*c.FlitHopEnergy {
+		t.Fatal("traffic energy wrong")
+	}
+	if c.RemapWriteEnergy(3) != 6*c.ArrayWriteEnergy {
+		t.Fatal("swap energy wrong")
+	}
+}
+
+func TestEpochOverheadReport(t *testing.T) {
+	c := DefaultComponents()
+	r := c.EpochOverhead(50000, 19, 2048, 781, 2_000_000, 4)
+	if r.EpochEnergy <= 0 {
+		t.Fatal("no epoch energy")
+	}
+	if r.TotalOverhead != r.BISTOverhead+r.TrafficOverhead {
+		t.Fatal("total must be the sum of parts")
+	}
+	if !strings.Contains(r.Format(), "overhead") {
+		t.Fatal("format broken")
+	}
+}
+
+// The paper's final claims: BIST and remap traffic are sub-1% energy
+// effects against CIFAR-scale training epochs.
+func TestPaperPointOverheadMagnitudes(t *testing.T) {
+	// Traffic: a typical Monte-Carlo round moves ~2 M flit-hops and swaps a
+	// handful of tile pairs.
+	r := PaperPointOverhead(reram.DefaultDeviceParams(), 2_000_000, 4)
+	if r.TrafficOverhead <= 0 || r.TrafficOverhead > 0.005 {
+		t.Fatalf("traffic overhead %.5f, paper claims < 0.5%%", r.TrafficOverhead)
+	}
+	if r.BISTOverhead <= 0 || r.BISTOverhead > 0.02 {
+		t.Fatalf("BIST energy overhead %.5f implausible", r.BISTOverhead)
+	}
+	if r.TotalOverhead > 0.02 {
+		t.Fatalf("total overhead %.5f too high for a 'negligible overhead' scheme", r.TotalOverhead)
+	}
+}
+
+func TestZeroEpochEnergyNoDivideByZero(t *testing.T) {
+	c := DefaultComponents()
+	r := c.EpochOverhead(0, 0, 0, 0, 100, 1)
+	if r.TotalOverhead != 0 {
+		t.Fatal("overhead with zero epoch energy must be 0")
+	}
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"strings"
+)
+
+// WriteCSV renders any slice of experiment row structs (Fig4Row, Fig6Row,
+// ThresholdRow, …) as CSV with a header derived from the exported field
+// names, so results can be plotted directly. Nested structs are not
+// supported (no experiment row needs them).
+func WriteCSV(w io.Writer, rows interface{}) error {
+	v := reflect.ValueOf(rows)
+	if v.Kind() != reflect.Slice {
+		return fmt.Errorf("experiments: WriteCSV wants a slice, got %T", rows)
+	}
+	if v.Len() == 0 {
+		return nil
+	}
+	et := v.Index(0).Type()
+	if et.Kind() != reflect.Struct {
+		return fmt.Errorf("experiments: WriteCSV wants a slice of structs, got %T", rows)
+	}
+
+	var cols []int
+	var header []string
+	for i := 0; i < et.NumField(); i++ {
+		f := et.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		switch f.Type.Kind() {
+		case reflect.Struct, reflect.Slice, reflect.Map, reflect.Ptr:
+			return fmt.Errorf("experiments: field %s has unsupported kind %s", f.Name, f.Type.Kind())
+		}
+		cols = append(cols, i)
+		header = append(header, strings.ToLower(f.Name))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for r := 0; r < v.Len(); r++ {
+		row := v.Index(r)
+		parts := make([]string, 0, len(cols))
+		for _, ci := range cols {
+			fv := row.Field(ci)
+			switch fv.Kind() {
+			case reflect.Float64, reflect.Float32:
+				parts = append(parts, fmt.Sprintf("%g", fv.Float()))
+			case reflect.String:
+				parts = append(parts, csvEscape(fv.String()))
+			default:
+				parts = append(parts, fmt.Sprintf("%v", fv.Interface()))
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(parts, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSVFig4(t *testing.T) {
+	rows := Fig4(4, 2, 5, 1)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(rows)+1 {
+		t.Fatalf("lines %d, want %d", len(lines), len(rows)+1)
+	}
+	if !strings.HasPrefix(lines[0], "kind,faults,") {
+		t.Fatalf("header %q", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if got := strings.Count(l, ","); got != strings.Count(lines[0], ",") {
+			t.Fatalf("ragged row %q", l)
+		}
+	}
+}
+
+func TestWriteCSVAllRowTypes(t *testing.T) {
+	cases := []interface{}{
+		[]Fig5Row{{Model: "m", IdealAcc: 1}},
+		[]Fig6Row{{Model: "m", Policy: "p"}},
+		[]Fig7Row{{Model: "m", M: 0.1}},
+		[]Fig8Row{{Dataset: "d", Model: "m"}},
+		[]ThresholdRow{{Threshold: 0.02}},
+		[]ReceiverRow{{Policy: "nearest"}},
+		[]CodingRow{{Coding: "offset"}},
+		[]BISTvsTruthRow{{Source: "bist"}},
+		[]AreaRow{{Scheme: "x"}},
+	}
+	for _, rows := range cases {
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, rows); err != nil {
+			t.Fatalf("%T: %v", rows, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%T produced no output", rows)
+		}
+	}
+}
+
+func TestWriteCSVEscaping(t *testing.T) {
+	rows := []Fig6Row{{Model: `we,ird"name`, Policy: "p"}}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"we,ird""name"`) {
+		t.Fatalf("escaping broken: %q", buf.String())
+	}
+}
+
+func TestWriteCSVRejectsNonSlice(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, 42); err == nil {
+		t.Fatal("non-slice must error")
+	}
+	if err := WriteCSV(&buf, []int{1}); err == nil {
+		t.Fatal("non-struct elements must error")
+	}
+}
+
+func TestWriteCSVEmptySlice(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []Fig4Row{}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatal("empty slice must write nothing")
+	}
+}

@@ -1,0 +1,214 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section. Each Fig*/Overhead* function runs the corresponding
+// experiment end-to-end on the simulated RCS and returns typed rows; the
+// cmd/ tools and the top-level benchmarks print them. See DESIGN.md §4 for
+// the experiment↔module index and EXPERIMENTS.md for recorded results.
+//
+// Scaling: the original evaluation trains full-width CNNs for 50 epochs on
+// a GPU cluster; this reproduction runs width-scaled models for few epochs
+// on CPU. Two scaling rules keep the fault regime comparable (DESIGN.md §2):
+// crossbar size shrinks with model width (so array utilisation matches),
+// and the fault schedule is compressed (hot-band density and per-epoch
+// wear scaled by ≈6×, matching the ~8× reduction in accumulation epochs).
+package experiments
+
+import (
+	"fmt"
+
+	"remapd/internal/arch"
+	"remapd/internal/dataset"
+	"remapd/internal/fault"
+	"remapd/internal/models"
+	"remapd/internal/nn"
+	"remapd/internal/remap"
+	"remapd/internal/reram"
+	"remapd/internal/trainer"
+)
+
+// Scale bundles every size knob of a reproduction run.
+type Scale struct {
+	Name         string
+	ImgSize      int
+	TrainN       int
+	TestN        int
+	WidthScale   float64
+	Epochs       int
+	BatchSize    int
+	LR           float64
+	CrossbarSize int
+	Geom         arch.Geometry
+	Models       []string
+	Seeds        []uint64
+}
+
+// QuickScale is the benchmark-sized configuration: two models, one seed,
+// small data — every experiment finishes in CPU-minutes.
+func QuickScale() Scale {
+	return Scale{
+		Name: "quick", ImgSize: 16, TrainN: 384, TestN: 256,
+		WidthScale: 0.125, Epochs: 5, BatchSize: 32, LR: 0.05,
+		CrossbarSize: 32,
+		Geom:         arch.Geometry{TilesX: 8, TilesY: 8, IMAsPerTile: 2, XbarsPerIMA: 4},
+		Models:       []string{"vgg11", "resnet12"},
+		Seeds:        []uint64{1},
+	}
+}
+
+// StandardScale is the full reproduction: all six CNNs of the paper,
+// multiple seeds. Budget tens of CPU-minutes per figure.
+func StandardScale() Scale {
+	s := QuickScale()
+	s.Name = "standard"
+	s.TrainN, s.TestN = 512, 512
+	s.Epochs = 6
+	s.Models = []string{"vgg11", "vgg16", "vgg19", "resnet12", "resnet18", "squeezenet"}
+	s.Seeds = []uint64{1, 2, 3}
+	return s
+}
+
+// FaultRegime is the compressed-schedule fault configuration (see the
+// package comment): the paper's 20%-hot clustered pre-deployment profile
+// with the hot band at 4–10%, and concentrated per-epoch endurance wear.
+type FaultRegime struct {
+	Pre            fault.PreProfile
+	Post           fault.PostModel
+	RemapThreshold float64
+	PhaseDensity   float64 // Fig. 5 targeted injection density
+}
+
+// DefaultRegime returns the calibrated reproduction regime.
+func DefaultRegime() FaultRegime {
+	pre := fault.DefaultPreProfile()
+	pre.HighDensity = [2]float64{0.04, 0.10}
+	pre.LowDensity = [2]float64{0, 0.004}
+	post := fault.DefaultPostModel()
+	post.CrossbarFraction = 0.01
+	post.CellFraction = 0.03
+	return FaultRegime{
+		Pre:            pre,
+		Post:           post,
+		RemapThreshold: 0.02,
+		PhaseDensity:   0.02, // the paper's Fig. 5 uses 2%
+	}
+}
+
+// PaperRegime returns the paper's literal fault numbers (Fig. 6 setting:
+// hot band 0.4–1%, post 0.5% on 1% of crossbars per epoch). At reproduction
+// scale these densities are nearly harmless (see DESIGN.md); provided for
+// ablation.
+func PaperRegime() FaultRegime {
+	return FaultRegime{
+		Pre:            fault.DefaultPreProfile(),
+		Post:           fault.DefaultPostModel(),
+		RemapThreshold: 0.004,
+		PhaseDensity:   0.02,
+	}
+}
+
+// buildModel constructs a named model at the scale.
+func buildModel(name string, s Scale, seed uint64) (*nn.Network, error) {
+	return models.Build(name, models.Config{
+		InC: 3, InH: s.ImgSize, InW: s.ImgSize, Classes: 10,
+		WidthScale: s.WidthScale, BatchNorm: true, Seed: seed,
+	})
+}
+
+// buildModelFor constructs a model with an explicit class count (Fig. 8
+// uses CIFAR100Like).
+func buildModelFor(name string, s Scale, seed uint64, classes int) (*nn.Network, error) {
+	return models.Build(name, models.Config{
+		InC: 3, InH: s.ImgSize, InW: s.ImgSize, Classes: classes,
+		WidthScale: s.WidthScale, BatchNorm: true, Seed: seed,
+	})
+}
+
+// NewChip builds a chip at the scale's technology point.
+func NewChip(s Scale) *arch.Chip {
+	p := reram.DefaultDeviceParams()
+	p.CrossbarSize = s.CrossbarSize
+	return arch.NewChip(p, s.Geom)
+}
+
+// newChip is the internal alias.
+func newChip(s Scale) *arch.Chip { return NewChip(s) }
+
+// BuildModel constructs a registered model at the scale's geometry with an
+// explicit class count (exported for the cmd tools).
+func BuildModel(name string, s Scale, seed uint64, classes int) (*nn.Network, error) {
+	return buildModelFor(name, s, seed, classes)
+}
+
+// baseTrainConfig returns a trainer config without fault machinery.
+func baseTrainConfig(s Scale, seed uint64) trainer.Config {
+	cfg := trainer.DefaultConfig()
+	cfg.Epochs = s.Epochs
+	cfg.BatchSize = s.BatchSize
+	cfg.LR = s.LR
+	cfg.Seed = seed
+	return cfg
+}
+
+// mean averages a slice.
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// PolicyByName constructs a policy for the regime (the Remap-D threshold
+// comes from the regime).
+func PolicyByName(name string, reg FaultRegime) (remap.Policy, bool, error) {
+	switch name {
+	case "none":
+		return remap.None{}, false, nil
+	case "static":
+		return remap.Static{}, false, nil
+	case "an-code":
+		return remap.NewANCode(), false, nil
+	case "remap-ws":
+		return remap.NewRemapWS(), false, nil
+	case "remap-t-5":
+		return remap.NewRemapT(0.05), true, nil
+	case "remap-t-10":
+		return remap.NewRemapT(0.10), true, nil
+	case "remap-d":
+		rd := remap.NewRemapD()
+		rd.Threshold = reg.RemapThreshold
+		return rd, false, nil
+	case "ideal":
+		return nil, false, nil
+	}
+	return nil, false, fmt.Errorf("experiments: unknown policy %q", name)
+}
+
+// PolicyNames lists the Fig. 6 policy columns in presentation order.
+func PolicyNames() []string {
+	return []string{"ideal", "none", "static", "an-code", "remap-ws", "remap-t-5", "remap-t-10", "remap-d"}
+}
+
+// runOne trains one (model, policy, seed) cell and returns final accuracy
+// and the result for overhead accounting.
+func runOne(model, policy string, s Scale, reg FaultRegime, ds *dataset.Dataset, seed uint64, classes int) (*trainer.Result, error) {
+	net, err := buildModelFor(model, s, seed, classes)
+	if err != nil {
+		return nil, err
+	}
+	cfg := baseTrainConfig(s, seed)
+	if policy != "ideal" {
+		pol, trackGrads, err := PolicyByName(policy, reg)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Chip = newChip(s)
+		cfg.Policy = pol
+		cfg.Pre = &reg.Pre
+		cfg.Post = &reg.Post
+		cfg.TrackGradAbs = trackGrads
+	}
+	return trainer.Train(net, ds, cfg)
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+
+	"remapd/internal/ancode"
+	"remapd/internal/arch"
+	"remapd/internal/area"
+	"remapd/internal/bist"
+	"remapd/internal/noc"
+	"remapd/internal/reram"
+	"remapd/internal/tensor"
+)
+
+// EstimateEpochComputeCycles returns the rough number of ReRAM cycles one
+// training epoch occupies, using the PipeLayer pipelining model: the chip
+// streams one sample per pipeline beat through 2·depth MVM stages (forward
+// and backward), so an epoch of `samples` samples through a network with
+// `mvmLayers` crossbar-mapped layers takes ≈ samples · 2 · mvmLayers
+// cycles. For CIFAR-scale training (50 000 samples, VGG-19) this lands at
+// ~1.9 M ReRAM cycles — the denominator that makes the paper's 260-cycle
+// BIST pass a 0.13% overhead.
+func EstimateEpochComputeCycles(samples, mvmLayers int) float64 {
+	return float64(samples) * 2 * float64(mvmLayers)
+}
+
+// BISTOverheadRow reports the per-epoch BIST timing cost.
+type BISTOverheadRow struct {
+	CrossbarSize     int
+	CyclesPerPass    int
+	PassMicroSec     float64
+	SequentialPasses int // crossbars tested by one controller (per IMA)
+	EpochCycles      float64
+	Overhead         float64 // fraction of epoch compute time
+}
+
+// BISTTimingOverhead reproduces the paper's 0.13% BIST timing claim at the
+// paper's own technology point (128×128 arrays, CIFAR-sized epochs).
+func BISTTimingOverhead(samples, mvmLayers, xbarsPerIMA int) BISTOverheadRow {
+	p := reram.DefaultDeviceParams()
+	epoch := EstimateEpochComputeCycles(samples, mvmLayers)
+	return BISTOverheadRow{
+		CrossbarSize:     p.CrossbarSize,
+		CyclesPerPass:    bist.CyclesPerPass(p),
+		PassMicroSec:     bist.PassTimeNS(p) / 1e3,
+		SequentialPasses: xbarsPerIMA,
+		EpochCycles:      epoch,
+		Overhead:         bist.TimingOverhead(p, xbarsPerIMA, epoch),
+	}
+}
+
+// NoCOverheadRow reports the Monte-Carlo remap-traffic study.
+type NoCOverheadRow struct {
+	Rounds        int
+	Senders       int
+	Receivers     int
+	WeightFlits   int
+	MeanCycles    float64
+	WorstCycles   int
+	EpochCycles   float64
+	MeanOverhead  float64
+	WorstOverhead float64
+	MeanPairs     float64
+}
+
+// NoCRemapOverhead reproduces the Section IV.C Monte-Carlo experiment: 50
+// rounds of random sender/receiver placements on the 64-tile c-mesh, full
+// three-phase handshake at flit level, overhead relative to one epoch of
+// compute. A sender tile exchanges the weights of a whole tile (its
+// crossbars), hence WeightFlits = crossbars/tile × 1024 flits.
+func NoCRemapOverhead(rounds, senders, receivers int, seed uint64) NoCOverheadRow {
+	cfg := noc.DefaultConfig()
+	g := arch.DefaultGeometry()
+	pp := noc.DefaultProtocolParams()
+	// One 128×128 crossbar holds 16384 16-bit weights = 8192 32-bit flits;
+	// a tile swap moves all of its crossbars.
+	pp.WeightFlits = g.IMAsPerTile * g.XbarsPerIMA * 8192
+
+	// Epoch compute time in NoC (CMOS, 1.2 GHz) cycles: the epoch's ReRAM
+	// cycles (100 ns each) converted to 0.833 ns NoC cycles.
+	p := reram.DefaultDeviceParams()
+	epochReRAM := EstimateEpochComputeCycles(50000, 19)
+	epochNoC := epochReRAM * p.ReRAMCycleNS / p.CMOSCycleNS
+
+	rng := tensor.NewRNG(seed)
+	st := noc.MonteCarloOverhead(cfg, pp, rounds, senders, receivers, epochNoC, rng)
+	return NoCOverheadRow{
+		Rounds: rounds, Senders: senders, Receivers: receivers,
+		WeightFlits: pp.WeightFlits,
+		MeanCycles:  st.MeanCycles, WorstCycles: st.WorstCycles,
+		EpochCycles:  epochNoC,
+		MeanOverhead: st.MeanOverhead, WorstOverhead: st.WorstOverhead,
+		MeanPairs: st.MeanPairs,
+	}
+}
+
+// AreaRow is one line of the area-overhead table.
+type AreaRow struct {
+	Scheme   string
+	Overhead float64
+	PaperRef float64 // the value the paper reports/cites
+}
+
+// AreaOverheads reproduces the area comparison: BIST (Remap-D's only
+// hardware), AN-code, and Remap-T spare fractions.
+func AreaOverheads() []AreaRow {
+	c := area.DefaultComponents()
+	g := arch.DefaultGeometry()
+	return []AreaRow{
+		{Scheme: "remap-d (BIST)", Overhead: area.RemapDOverhead(c, g), PaperRef: 0.0061},
+		{Scheme: "an-code", Overhead: area.ANCodeOverhead(c, g), PaperRef: ancode.AreaOverhead},
+		{Scheme: "remap-t-5%", Overhead: area.RemapTOverhead(0.05), PaperRef: 0.05},
+		{Scheme: "remap-t-10%", Overhead: area.RemapTOverhead(0.10), PaperRef: 0.10},
+	}
+}
+
+// FormatBISTOverhead renders the BIST timing row.
+func FormatBISTOverhead(r BISTOverheadRow) string {
+	return fmt.Sprintf(
+		"crossbar %d×%d: %d ReRAM cycles/pass (%.1f µs); %d sequential passes per IMA;\n"+
+			"epoch ≈ %.3g ReRAM cycles ⇒ BIST timing overhead %.3f%% (paper: 0.13%%)\n",
+		r.CrossbarSize, r.CrossbarSize, r.CyclesPerPass, r.PassMicroSec,
+		r.SequentialPasses, r.EpochCycles, 100*r.Overhead)
+}
+
+// FormatNoCOverhead renders the NoC Monte-Carlo row.
+func FormatNoCOverhead(r NoCOverheadRow) string {
+	return fmt.Sprintf(
+		"%d Monte-Carlo rounds, %d senders / %d receivers, %d-flit weight payloads:\n"+
+			"mean %.0f cycles, worst %d cycles against %.3g-cycle epochs\n"+
+			"⇒ overhead mean %.3f%% / worst %.3f%% (paper: 0.22%% / 0.36%%); %.1f pairs per round\n",
+		r.Rounds, r.Senders, r.Receivers, r.WeightFlits,
+		r.MeanCycles, r.WorstCycles, r.EpochCycles,
+		100*r.MeanOverhead, 100*r.WorstOverhead, r.MeanPairs)
+}
+
+// FormatArea renders the area table.
+func FormatArea(rows []AreaRow) string {
+	out := fmt.Sprintf("%-16s %10s %10s\n", "scheme", "overhead", "paper")
+	for _, r := range rows {
+		out += fmt.Sprintf("%-16s %9.2f%% %9.2f%%\n", r.Scheme, 100*r.Overhead, 100*r.PaperRef)
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+// Package models provides the six CNN architectures of the paper's
+// evaluation — VGG-11/16/19, ResNet-18, ResNet-12 (ResNet-18 minus six
+// convolution layers, as the paper constructs it), and SqueezeNet — built
+// on the internal/nn framework. Every constructor takes a width scale so
+// the same topologies can run at laptop scale for the reproduction
+// experiments (see DESIGN.md).
+package models
+
+import (
+	"fmt"
+	"sort"
+
+	"remapd/internal/nn"
+	"remapd/internal/tensor"
+)
+
+// Config parameterises a model build.
+type Config struct {
+	// Input geometry (channels, height, width), e.g. 3×32×32.
+	InC, InH, InW int
+	// Classes is the classifier output width.
+	Classes int
+	// WidthScale multiplies every channel count (1.0 = paper-size nets;
+	// the reproduction experiments use 0.125–0.25).
+	WidthScale float64
+	// BatchNorm enables BN after every convolution (the usual CIFAR
+	// training recipe; disable for the smallest test models).
+	BatchNorm bool
+	// Seed drives weight initialisation.
+	Seed uint64
+}
+
+// DefaultConfig returns a scaled-for-CPU configuration.
+func DefaultConfig() Config {
+	return Config{InC: 3, InH: 16, InW: 16, Classes: 10, WidthScale: 0.125, BatchNorm: true, Seed: 1}
+}
+
+// scaled converts a nominal channel count through the width scale,
+// keeping at least 4 channels.
+func (c Config) scaled(ch int) int {
+	s := int(float64(ch)*c.WidthScale + 0.5)
+	if s < 4 {
+		s = 4
+	}
+	return s
+}
+
+// Builder constructs a model from a config.
+type Builder func(Config) *nn.Network
+
+// registry of all model constructors.
+var registry = map[string]Builder{
+	"vgg11":      VGG11,
+	"vgg16":      VGG16,
+	"vgg19":      VGG19,
+	"resnet18":   ResNet18,
+	"resnet12":   ResNet12,
+	"squeezenet": SqueezeNet,
+	"cnn-s":      CNNSmall,
+}
+
+// Build constructs a registered model by name.
+func Build(name string, cfg Config) (*nn.Network, error) {
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("models: unknown model %q (have %v)", name, Names())
+	}
+	return b(cfg), nil
+}
+
+// Names lists the registered models in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// vggPlan is a VGG configuration string: channel counts with -1 as maxpool.
+const poolMarker = -1
+
+var vggPlans = map[string][]int{
+	"vgg11": {64, poolMarker, 128, poolMarker, 256, 256, poolMarker, 512, 512, poolMarker, 512, 512, poolMarker},
+	"vgg16": {64, 64, poolMarker, 128, 128, poolMarker, 256, 256, 256, poolMarker, 512, 512, 512, poolMarker, 512, 512, 512, poolMarker},
+	"vgg19": {64, 64, poolMarker, 128, 128, poolMarker, 256, 256, 256, 256, poolMarker, 512, 512, 512, 512, poolMarker, 512, 512, 512, 512, poolMarker},
+}
+
+// buildVGG assembles a VGG-style stack. Pools that would shrink a spatial
+// dimension below 2 are skipped, so the topology also fits 16×16 inputs.
+func buildVGG(name string, cfg Config) *nn.Network {
+	rng := tensor.NewRNG(cfg.Seed)
+	var layers []nn.Layer
+	c, h, w := cfg.InC, cfg.InH, cfg.InW
+	convIdx := 0
+	for _, item := range vggPlans[name] {
+		if item == poolMarker {
+			if h >= 2 && w >= 2 {
+				layers = append(layers, nn.NewMaxPool2D(fmt.Sprintf("%s.pool%d", name, convIdx), 2, 2))
+				h, w = h/2, w/2
+			}
+			continue
+		}
+		out := cfg.scaled(item)
+		convIdx++
+		g := tensor.ConvGeom{InC: c, InH: h, InW: w, OutC: out, K: 3, Stride: 1, Pad: 1}
+		layers = append(layers, nn.NewConv2D(fmt.Sprintf("%s.conv%d", name, convIdx), g, rng))
+		if cfg.BatchNorm {
+			layers = append(layers, nn.NewBatchNorm2D(fmt.Sprintf("%s.bn%d", name, convIdx), out))
+		}
+		layers = append(layers, nn.NewReLU(fmt.Sprintf("%s.relu%d", name, convIdx)))
+		c = out
+	}
+	layers = append(layers,
+		nn.NewGlobalAvgPool(name+".gap"),
+		nn.NewLinear(name+".fc", c, cfg.Classes, rng),
+	)
+	return nn.NewNetwork(layers...)
+}
+
+// VGG11 builds the 11-layer VGG (8 conv + classifier).
+func VGG11(cfg Config) *nn.Network { return buildVGG("vgg11", cfg) }
+
+// VGG16 builds the 16-layer VGG (13 conv + classifier).
+func VGG16(cfg Config) *nn.Network { return buildVGG("vgg16", cfg) }
+
+// VGG19 builds the 19-layer VGG (16 conv + classifier).
+func VGG19(cfg Config) *nn.Network { return buildVGG("vgg19", cfg) }
+
+// CNNSmall is a compact conv-pool-conv-pool-fc network used by fast tests
+// and as the quickstart example model. It is not from the paper; it exists
+// so the full pipeline can be exercised in milliseconds.
+func CNNSmall(cfg Config) *nn.Network {
+	rng := tensor.NewRNG(cfg.Seed)
+	c1 := cfg.scaled(32)
+	c2 := cfg.scaled(64)
+	g1 := tensor.ConvGeom{InC: cfg.InC, InH: cfg.InH, InW: cfg.InW, OutC: c1, K: 3, Stride: 1, Pad: 1}
+	h2, w2 := cfg.InH/2, cfg.InW/2
+	g2 := tensor.ConvGeom{InC: c1, InH: h2, InW: w2, OutC: c2, K: 3, Stride: 1, Pad: 1}
+	return nn.NewNetwork(
+		nn.NewConv2D("cnns.conv1", g1, rng),
+		nn.NewReLU("cnns.relu1"),
+		nn.NewMaxPool2D("cnns.pool1", 2, 2),
+		nn.NewConv2D("cnns.conv2", g2, rng),
+		nn.NewReLU("cnns.relu2"),
+		nn.NewMaxPool2D("cnns.pool2", 2, 2),
+		nn.NewFlatten("cnns.flatten"),
+		nn.NewLinear("cnns.fc", c2*(h2/2)*(w2/2), cfg.Classes, rng),
+	)
+}

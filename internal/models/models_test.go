@@ -1,0 +1,206 @@
+package models
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"remapd/internal/arch"
+	"remapd/internal/nn"
+	"remapd/internal/reram"
+	"remapd/internal/tensor"
+)
+
+func tinyCfg() Config {
+	return Config{InC: 3, InH: 16, InW: 16, Classes: 10, WidthScale: 0.0625, BatchNorm: true, Seed: 1}
+}
+
+func TestRegistryNames(t *testing.T) {
+	want := []string{"cnn-s", "resnet12", "resnet18", "squeezenet", "vgg11", "vgg16", "vgg19"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+	if _, err := Build("nope", tinyCfg()); err == nil {
+		t.Fatal("unknown model must error")
+	}
+}
+
+// Every registered model must produce correct logits shape on forward and
+// accept a full backward pass.
+func TestAllModelsForwardBackward(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			net, err := Build(name, tinyCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := tensor.NewRNG(2)
+			x := tensor.New(2, 3, 16, 16)
+			rng.FillNormal(x, 1)
+			logits := net.Forward(x, true)
+			if logits.Rank() != 2 || logits.Dim(0) != 2 || logits.Dim(1) != 10 {
+				t.Fatalf("%s logits shape %v", name, logits.Shape)
+			}
+			for _, v := range logits.Data {
+				if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+					t.Fatalf("%s produced non-finite logits", name)
+				}
+			}
+			_, grad := nn.SoftmaxCrossEntropy(logits, []int{1, 2})
+			dx := net.Backward(grad)
+			if !dx.SameShape(x) {
+				t.Fatalf("%s input grad shape %v", name, dx.Shape)
+			}
+			// Some gradient must reach the first conv layer.
+			first := net.Params()[0]
+			if first.Grad.AbsMax() == 0 {
+				t.Fatalf("%s: no gradient at %s", name, first.Name)
+			}
+		})
+	}
+}
+
+func TestVGGConvCounts(t *testing.T) {
+	counts := map[string]int{"vgg11": 8, "vgg16": 13, "vgg19": 16}
+	for name, wantConv := range counts {
+		net, _ := Build(name, tinyCfg())
+		conv := 0
+		for _, l := range net.MVMLayers() {
+			if strings.Contains(l, ".conv") {
+				conv++
+			}
+		}
+		if conv != wantConv {
+			t.Fatalf("%s has %d conv layers, want %d", name, conv, wantConv)
+		}
+	}
+}
+
+func TestResNetConvCounts(t *testing.T) {
+	// ResNet-18: stem + 8 blocks × 2 convs = 17 (+2 projection convs for
+	// CIFAR geometry) + fc. ResNet-12 removes 3 blocks ⇒ 6 fewer convs.
+	count := func(name string) int {
+		net, _ := Build(name, tinyCfg())
+		n := 0
+		for _, l := range net.MVMLayers() {
+			if strings.Contains(l, "conv") || strings.Contains(l, "stem") || strings.Contains(l, "proj") {
+				n++
+			}
+		}
+		return n
+	}
+	c18, c12 := count("resnet18"), count("resnet12")
+	if c18-c12 != 6 {
+		t.Fatalf("ResNet-12 must have exactly 6 fewer convolutions than ResNet-18: %d vs %d", c12, c18)
+	}
+}
+
+func TestFireModuleShapes(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	f := NewFire("f", 8, 6, 6, 4, 6, 6, rng)
+	if f.OutC() != 12 {
+		t.Fatalf("OutC = %d", f.OutC())
+	}
+	x := tensor.New(2, 8, 6, 6)
+	rng.FillNormal(x, 1)
+	y := f.Forward(x, true)
+	if y.Dim(1) != 12 || y.Dim(2) != 6 {
+		t.Fatalf("fire output %v", y.Shape)
+	}
+	dx := f.Backward(y.Clone())
+	if !dx.SameShape(x) {
+		t.Fatalf("fire dx %v", dx.Shape)
+	}
+	if got := f.InnerMVMLayers(); len(got) != 3 {
+		t.Fatalf("fire inner layers %v", got)
+	}
+	if f.InnerWeight("f.expand3") == nil || f.InnerWeight("ghost") != nil {
+		t.Fatal("InnerWeight lookup broken")
+	}
+}
+
+// Fire gradient check (the concat/split path is hand-written).
+func TestFireGradients(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	f := NewFire("f", 3, 4, 4, 2, 3, 3, rng)
+	x := tensor.New(1, 3, 4, 4)
+	rng.FillNormal(x, 1)
+
+	lossFn := func() float64 {
+		y := f.Forward(x, true)
+		var s float64
+		for _, v := range y.Data {
+			s += 0.5 * float64(v) * float64(v)
+		}
+		return s
+	}
+	y := f.Forward(x, true)
+	for _, p := range f.Params() {
+		p.Grad.Zero()
+	}
+	dx := f.Backward(y.Clone())
+	const eps = 1e-3
+	for i := 0; i < x.Len(); i += 5 {
+		orig := x.Data[i]
+		x.Data[i] = orig + eps
+		lp := lossFn()
+		x.Data[i] = orig - eps
+		lm := lossFn()
+		x.Data[i] = orig
+		want := (lp - lm) / (2 * eps)
+		got := float64(dx.Data[i])
+		if math.Abs(want-got) > 2e-2*(1+math.Abs(want)) {
+			t.Fatalf("fire dx[%d]: %v vs %v", i, got, want)
+		}
+	}
+}
+
+// Every model must be mappable onto a chip, with distinct layer names.
+func TestAllModelsMapOntoChip(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			net, err := Build(name, tinyCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen := map[string]bool{}
+			for _, l := range net.MVMLayers() {
+				if seen[l] {
+					t.Fatalf("duplicate MVM layer name %q", l)
+				}
+				seen[l] = true
+			}
+			p := reram.DefaultDeviceParams()
+			chip := arch.NewChip(p, arch.DefaultGeometry())
+			if err := chip.MapNetwork(net); err != nil {
+				t.Fatalf("%s does not fit the default chip: %v", name, err)
+			}
+			net.SetFabric(chip)
+			rng := tensor.NewRNG(5)
+			x := tensor.New(1, 3, 16, 16)
+			rng.FillNormal(x, 1)
+			logits := net.Forward(x, true)
+			for _, v := range logits.Data {
+				if math.IsNaN(float64(v)) {
+					t.Fatalf("%s: NaN through chip fabric", name)
+				}
+			}
+		})
+	}
+}
+
+func TestWidthScaleChangesCapacity(t *testing.T) {
+	small, _ := Build("vgg11", Config{InC: 3, InH: 16, InW: 16, Classes: 10, WidthScale: 0.0625, Seed: 1})
+	big, _ := Build("vgg11", Config{InC: 3, InH: 16, InW: 16, Classes: 10, WidthScale: 0.25, Seed: 1})
+	if big.ParamCount() <= small.ParamCount() {
+		t.Fatalf("width scale inert: %d vs %d", small.ParamCount(), big.ParamCount())
+	}
+}

@@ -1,0 +1,86 @@
+package models
+
+import (
+	"fmt"
+
+	"remapd/internal/nn"
+	"remapd/internal/tensor"
+)
+
+// basicBlock builds one ResNet basic block (two 3×3 convolutions with a
+// skip connection; a 1×1 strided projection shortcut when the geometry
+// changes).
+func basicBlock(name string, inC, h, w, outC, stride int, bn bool, rng *tensor.RNG) (nn.Layer, int, int) {
+	oh := (h-1)/stride + 1
+	ow := (w-1)/stride + 1
+	g1 := tensor.ConvGeom{InC: inC, InH: h, InW: w, OutC: outC, K: 3, Stride: stride, Pad: 1}
+	g2 := tensor.ConvGeom{InC: outC, InH: oh, InW: ow, OutC: outC, K: 3, Stride: 1, Pad: 1}
+	body := []nn.Layer{nn.NewConv2D(name+".conv1", g1, rng)}
+	if bn {
+		body = append(body, nn.NewBatchNorm2D(name+".bn1", outC))
+	}
+	body = append(body, nn.NewReLU(name+".relu1"), nn.NewConv2D(name+".conv2", g2, rng))
+	if bn {
+		body = append(body, nn.NewBatchNorm2D(name+".bn2", outC))
+	}
+	var short []nn.Layer
+	if stride != 1 || inC != outC {
+		gs := tensor.ConvGeom{InC: inC, InH: h, InW: w, OutC: outC, K: 1, Stride: stride, Pad: 0}
+		short = append(short, nn.NewConv2D(name+".proj", gs, rng))
+		if bn {
+			short = append(short, nn.NewBatchNorm2D(name+".bnp", outC))
+		}
+	}
+	return nn.NewResidual(name, body, short), oh, ow
+}
+
+// buildResNet assembles a CIFAR-style ResNet with the given blocks per
+// stage (ResNet-18: [2,2,2,2]; the paper's ResNet-12 removes six
+// convolutions, i.e. three basic blocks: [1,1,1,2]).
+func buildResNet(name string, blocks [4]int, cfg Config) *nn.Network {
+	rng := tensor.NewRNG(cfg.Seed)
+	stageCh := [4]int{cfg.scaled(64), cfg.scaled(128), cfg.scaled(256), cfg.scaled(512)}
+
+	var layers []nn.Layer
+	c, h, w := cfg.InC, cfg.InH, cfg.InW
+	stem := tensor.ConvGeom{InC: c, InH: h, InW: w, OutC: stageCh[0], K: 3, Stride: 1, Pad: 1}
+	layers = append(layers, nn.NewConv2D(name+".stem", stem, rng))
+	if cfg.BatchNorm {
+		layers = append(layers, nn.NewBatchNorm2D(name+".bn0", stageCh[0]))
+	}
+	layers = append(layers, nn.NewReLU(name+".relu0"))
+	c = stageCh[0]
+
+	for s := 0; s < 4; s++ {
+		stride := 2
+		if s == 0 {
+			stride = 1
+		}
+		// Never stride below 2×2 feature maps.
+		if h/stride < 2 || w/stride < 2 {
+			stride = 1
+		}
+		for b := 0; b < blocks[s]; b++ {
+			st := 1
+			if b == 0 {
+				st = stride
+			}
+			var blk nn.Layer
+			blk, h, w = basicBlock(fmt.Sprintf("%s.s%db%d", name, s+1, b+1), c, h, w, stageCh[s], st, cfg.BatchNorm, rng)
+			layers = append(layers, blk)
+			c = stageCh[s]
+		}
+	}
+	layers = append(layers,
+		nn.NewGlobalAvgPool(name+".gap"),
+		nn.NewLinear(name+".fc", c, cfg.Classes, rng),
+	)
+	return nn.NewNetwork(layers...)
+}
+
+// ResNet18 builds the 18-layer residual network ([2,2,2,2] basic blocks).
+func ResNet18(cfg Config) *nn.Network { return buildResNet("resnet18", [4]int{2, 2, 2, 2}, cfg) }
+
+// ResNet12 builds the paper's ResNet-12: ResNet-18 with six convolution
+// layers (three basic blocks) removed — [1,1,1,2].
+func ResNet12(cfg Config) *nn.Network { return buildResNet("resnet12", [4]int{1, 1, 1, 2}, cfg) }

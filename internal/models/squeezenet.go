@@ -1,0 +1,161 @@
+package models
+
+import (
+	"remapd/internal/nn"
+	"remapd/internal/tensor"
+)
+
+// Fire is the SqueezeNet fire module: a 1×1 squeeze convolution followed by
+// parallel 1×1 and 3×3 expand convolutions whose outputs are concatenated
+// along the channel axis. It is a composite nn.Layer that forwards fabric
+// binding and crossbar mapping to its three inner convolutions.
+type Fire struct {
+	name              string
+	squeeze           *nn.Conv2D
+	sqRelu            *nn.ReLU
+	expand1, expand3  *nn.Conv2D
+	ex1Relu, ex3Relu  *nn.ReLU
+	e1C, e3C, outH, w int
+}
+
+// NewFire builds a fire module for inC×h×w inputs with sC squeeze channels
+// and e1C/e3C expand channels.
+func NewFire(name string, inC, h, w, sC, e1C, e3C int, rng *tensor.RNG) *Fire {
+	gs := tensor.ConvGeom{InC: inC, InH: h, InW: w, OutC: sC, K: 1, Stride: 1, Pad: 0}
+	g1 := tensor.ConvGeom{InC: sC, InH: h, InW: w, OutC: e1C, K: 1, Stride: 1, Pad: 0}
+	g3 := tensor.ConvGeom{InC: sC, InH: h, InW: w, OutC: e3C, K: 3, Stride: 1, Pad: 1}
+	return &Fire{
+		name:    name,
+		squeeze: nn.NewConv2D(name+".squeeze", gs, rng),
+		sqRelu:  nn.NewReLU(name + ".srelu"),
+		expand1: nn.NewConv2D(name+".expand1", g1, rng),
+		expand3: nn.NewConv2D(name+".expand3", g3, rng),
+		ex1Relu: nn.NewReLU(name + ".e1relu"),
+		ex3Relu: nn.NewReLU(name + ".e3relu"),
+		e1C:     e1C, e3C: e3C, outH: h, w: w,
+	}
+}
+
+// Name returns the module's identifier.
+func (f *Fire) Name() string { return f.name }
+
+// OutC returns the concatenated channel count.
+func (f *Fire) OutC() int { return f.e1C + f.e3C }
+
+// Params aggregates the three convolutions' parameters.
+func (f *Fire) Params() []*nn.Param {
+	var ps []*nn.Param
+	ps = append(ps, f.squeeze.Params()...)
+	ps = append(ps, f.expand1.Params()...)
+	ps = append(ps, f.expand3.Params()...)
+	return ps
+}
+
+// SetFabric implements nn.FabricUser.
+func (f *Fire) SetFabric(fb nn.Fabric) {
+	f.squeeze.SetFabric(fb)
+	f.expand1.SetFabric(fb)
+	f.expand3.SetFabric(fb)
+}
+
+// InnerMVMLayers implements nn.MVMContainer.
+func (f *Fire) InnerMVMLayers() []string {
+	return []string{f.squeeze.Name(), f.expand1.Name(), f.expand3.Name()}
+}
+
+// InnerWeight implements nn.MVMContainer.
+func (f *Fire) InnerWeight(name string) *tensor.Tensor {
+	for _, c := range []*nn.Conv2D{f.squeeze, f.expand1, f.expand3} {
+		if c.Name() == name {
+			return c.W
+		}
+	}
+	return nil
+}
+
+// Forward computes concat(relu(e1(s)), relu(e3(s))) with s = relu(sq(x)).
+func (f *Fire) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	s := f.sqRelu.Forward(f.squeeze.Forward(x, train), train)
+	a := f.ex1Relu.Forward(f.expand1.Forward(s, train), train)
+	b := f.ex3Relu.Forward(f.expand3.Forward(s, train), train)
+	n, h, w := a.Dim(0), a.Dim(2), a.Dim(3)
+	out := tensor.New(n, f.e1C+f.e3C, h, w)
+	plane := h * w
+	for i := 0; i < n; i++ {
+		copy(out.Data[i*(f.e1C+f.e3C)*plane:], a.Data[i*f.e1C*plane:(i+1)*f.e1C*plane])
+		copy(out.Data[(i*(f.e1C+f.e3C)+f.e1C)*plane:], b.Data[i*f.e3C*plane:(i+1)*f.e3C*plane])
+	}
+	return out
+}
+
+// Backward splits the gradient by channel and sums the two expand paths'
+// contributions at the squeeze output.
+func (f *Fire) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	n, h, w := dy.Dim(0), dy.Dim(2), dy.Dim(3)
+	plane := h * w
+	da := tensor.New(n, f.e1C, h, w)
+	db := tensor.New(n, f.e3C, h, w)
+	for i := 0; i < n; i++ {
+		copy(da.Data[i*f.e1C*plane:(i+1)*f.e1C*plane], dy.Data[i*(f.e1C+f.e3C)*plane:])
+		copy(db.Data[i*f.e3C*plane:(i+1)*f.e3C*plane], dy.Data[(i*(f.e1C+f.e3C)+f.e1C)*plane:])
+	}
+	ds := f.expand1.Backward(f.ex1Relu.Backward(da))
+	ds2 := f.expand3.Backward(f.ex3Relu.Backward(db))
+	ds.Add(ds2)
+	return f.squeeze.Backward(f.sqRelu.Backward(ds))
+}
+
+var (
+	_ nn.FabricUser   = (*Fire)(nil)
+	_ nn.MVMContainer = (*Fire)(nil)
+	_ nn.Layer        = (*Fire)(nil)
+)
+
+// SqueezeNet builds the fire-module network of Iandola et al. in its
+// CIFAR-scale form: stem convolution, eight fire modules with three
+// max-pool stages, dropout, and a 1×1 classifier convolution reduced by
+// global average pooling.
+func SqueezeNet(cfg Config) *nn.Network {
+	rng := tensor.NewRNG(cfg.Seed)
+	name := "squeezenet"
+	var layers []nn.Layer
+	h, w := cfg.InH, cfg.InW
+
+	stemC := cfg.scaled(96)
+	stem := tensor.ConvGeom{InC: cfg.InC, InH: h, InW: w, OutC: stemC, K: 3, Stride: 1, Pad: 1}
+	layers = append(layers, nn.NewConv2D(name+".conv1", stem, rng), nn.NewReLU(name+".relu1"))
+	c := stemC
+
+	pool := func(idx int) {
+		if h >= 2 && w >= 2 {
+			layers = append(layers, nn.NewMaxPool2D(name+".pool"+string(rune('0'+idx)), 2, 2))
+			h, w = h/2, w/2
+		}
+	}
+	fire := func(idx, sC, eC int) {
+		f := NewFire(name+".fire"+string(rune('0'+idx)), c, h, w, cfg.scaled(sC), cfg.scaled(eC), cfg.scaled(eC), rng)
+		layers = append(layers, f)
+		c = f.OutC()
+	}
+
+	pool(1)
+	fire(2, 16, 64)
+	fire(3, 16, 64)
+	fire(4, 32, 128)
+	pool(2)
+	fire(5, 32, 128)
+	fire(6, 48, 192)
+	fire(7, 48, 192)
+	fire(8, 64, 256)
+	pool(3)
+	fire(9, 64, 256)
+
+	layers = append(layers, nn.NewDropout(name+".drop", 0.3, rng))
+	cls := tensor.ConvGeom{InC: c, InH: h, InW: w, OutC: cfg.Classes, K: 1, Stride: 1, Pad: 0}
+	layers = append(layers,
+		nn.NewConv2D(name+".conv10", cls, rng),
+		nn.NewReLU(name+".relu10"),
+		nn.NewGlobalAvgPool(name+".gap"),
+	)
+	return nn.NewNetwork(layers...)
+}

@@ -1,0 +1,135 @@
+package nn
+
+import "remapd/internal/tensor"
+
+// ReLU is the rectified-linear activation. It keeps a mask of positive
+// inputs for the backward pass.
+type ReLU struct {
+	name string
+	mask []bool
+}
+
+// NewReLU returns a ReLU layer.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// Name returns the layer's identifier.
+func (r *ReLU) Name() string { return r.name }
+
+// Params returns nil; ReLU has no parameters.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Forward applies max(0, x).
+func (r *ReLU) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	y := tensor.New(x.Shape...)
+	if cap(r.mask) < x.Len() {
+		r.mask = make([]bool, x.Len())
+	}
+	r.mask = r.mask[:x.Len()]
+	for i, v := range x.Data {
+		if v > 0 {
+			y.Data[i] = v
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+		}
+	}
+	return y
+}
+
+// Backward zeroes gradients where the input was non-positive.
+func (r *ReLU) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(dy.Shape...)
+	for i, v := range dy.Data {
+		if r.mask[i] {
+			dx.Data[i] = v
+		}
+	}
+	return dx
+}
+
+// Flatten reshapes N×C×H×W activations into N×(C·H·W) for the classifier
+// head. It remembers the input shape to unflatten gradients.
+type Flatten struct {
+	name  string
+	shape []int
+}
+
+// NewFlatten returns a Flatten layer.
+func NewFlatten(name string) *Flatten { return &Flatten{name: name} }
+
+// Name returns the layer's identifier.
+func (f *Flatten) Name() string { return f.name }
+
+// Params returns nil; Flatten has no parameters.
+func (f *Flatten) Params() []*Param { return nil }
+
+// Forward flattens all but the batch axis.
+func (f *Flatten) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	f.shape = append(f.shape[:0], x.Shape...)
+	n := x.Dim(0)
+	return x.Reshape(n, x.Len()/n)
+}
+
+// Backward restores the cached input shape.
+func (f *Flatten) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	return dy.Reshape(f.shape...)
+}
+
+// Dropout zeroes activations with probability P during training and scales
+// survivors by 1/(1−P) (inverted dropout). At evaluation time it is the
+// identity.
+type Dropout struct {
+	name string
+	P    float64
+	rng  *tensor.RNG
+	mask []bool
+}
+
+// NewDropout returns a dropout layer with drop probability p.
+func NewDropout(name string, p float64, rng *tensor.RNG) *Dropout {
+	return &Dropout{name: name, P: p, rng: rng}
+}
+
+// Name returns the layer's identifier.
+func (d *Dropout) Name() string { return d.name }
+
+// Params returns nil; Dropout has no parameters.
+func (d *Dropout) Params() []*Param { return nil }
+
+// Forward applies inverted dropout in training mode.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.P <= 0 {
+		d.mask = d.mask[:0]
+		return x
+	}
+	y := tensor.New(x.Shape...)
+	if cap(d.mask) < x.Len() {
+		d.mask = make([]bool, x.Len())
+	}
+	d.mask = d.mask[:x.Len()]
+	scale := float32(1 / (1 - d.P))
+	for i, v := range x.Data {
+		if d.rng.Float64() >= d.P {
+			y.Data[i] = v * scale
+			d.mask[i] = true
+		} else {
+			d.mask[i] = false
+		}
+	}
+	return y
+}
+
+// Backward routes gradients only through surviving units.
+func (d *Dropout) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	if len(d.mask) == 0 {
+		return dy
+	}
+	dx := tensor.New(dy.Shape...)
+	scale := float32(1 / (1 - d.P))
+	for i, v := range dy.Data {
+		if d.mask[i] {
+			dx.Data[i] = v * scale
+		}
+	}
+	return dx
+}

@@ -1,0 +1,63 @@
+package nn
+
+import (
+	"math"
+
+	"remapd/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss of logits
+// (N×C) against integer labels, and the gradient w.r.t. the logits.
+// The softmax is computed with the max-subtraction trick for stability.
+func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, grad *tensor.Tensor) {
+	if logits.Rank() != 2 {
+		panic("nn: SoftmaxCrossEntropy wants N×C logits")
+	}
+	n, c := logits.Dim(0), logits.Dim(1)
+	if len(labels) != n {
+		panic("nn: SoftmaxCrossEntropy label count mismatch")
+	}
+	grad = tensor.New(n, c)
+	invN := 1 / float64(n)
+	for i := 0; i < n; i++ {
+		row := logits.Data[i*c : (i+1)*c]
+		maxv := row[0]
+		for _, v := range row {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(float64(v - maxv))
+		}
+		logSum := math.Log(sum)
+		lbl := labels[i]
+		if lbl < 0 || lbl >= c {
+			panic("nn: SoftmaxCrossEntropy label out of range")
+		}
+		loss += (logSum - float64(row[lbl]-maxv)) * invN
+		grow := grad.Data[i*c : (i+1)*c]
+		for j, v := range row {
+			p := math.Exp(float64(v-maxv)) / sum
+			grow[j] = float32(p * invN)
+			if j == lbl {
+				grow[j] -= float32(invN)
+			}
+		}
+	}
+	return loss, grad
+}
+
+// Accuracy returns the fraction of rows of logits whose argmax equals the
+// label.
+func Accuracy(logits *tensor.Tensor, labels []int) float64 {
+	n := logits.Dim(0)
+	correct := 0
+	for i := 0; i < n; i++ {
+		if logits.ArgMaxRow(i) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(n)
+}

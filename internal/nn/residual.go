@@ -1,0 +1,116 @@
+package nn
+
+import "remapd/internal/tensor"
+
+// Residual wraps a body sub-stack with a skip connection:
+// y = Body(x) + Short(x). An empty Short is the identity shortcut;
+// ResNet down-sampling blocks use a 1×1 strided convolution shortcut.
+type Residual struct {
+	name  string
+	Body  []Layer
+	Short []Layer
+	relu  *ReLU
+}
+
+// NewResidual builds a residual block. The output ReLU is applied after the
+// addition, as in the original ResNet formulation.
+func NewResidual(name string, body, short []Layer) *Residual {
+	return &Residual{name: name, Body: body, Short: short, relu: NewReLU(name + ".out_relu")}
+}
+
+// Name returns the block's identifier.
+func (r *Residual) Name() string { return r.name }
+
+// Params aggregates parameters of both branches.
+func (r *Residual) Params() []*Param {
+	var ps []*Param
+	for _, l := range r.Body {
+		ps = append(ps, l.Params()...)
+	}
+	for _, l := range r.Short {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+func (r *Residual) SetFabric(f Fabric) {
+	for _, l := range r.Body {
+		if fl, ok := l.(FabricUser); ok {
+			fl.SetFabric(f)
+		}
+	}
+	for _, l := range r.Short {
+		if fl, ok := l.(FabricUser); ok {
+			fl.SetFabric(f)
+		}
+	}
+}
+
+// InnerMVMLayers returns the names of fabric-using layers inside the block,
+// so the architecture mapper can place them on crossbars.
+func (r *Residual) InnerMVMLayers() []string {
+	var names []string
+	for _, l := range r.Body {
+		if _, ok := l.(FabricUser); ok {
+			names = append(names, l.Name())
+		}
+	}
+	for _, l := range r.Short {
+		if _, ok := l.(FabricUser); ok {
+			names = append(names, l.Name())
+		}
+	}
+	return names
+}
+
+// InnerWeight looks up the primary weight of a named inner layer.
+func (r *Residual) InnerWeight(name string) *tensor.Tensor {
+	for _, branch := range [][]Layer{r.Body, r.Short} {
+		for _, l := range branch {
+			if l.Name() != name {
+				continue
+			}
+			for _, p := range l.Params() {
+				if p.Name == name+".w" {
+					return p.W
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Forward computes relu(Body(x) + Short(x)).
+func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	b := x
+	for _, l := range r.Body {
+		b = l.Forward(b, train)
+	}
+	s := x
+	for _, l := range r.Short {
+		s = l.Forward(s, train)
+	}
+	if !b.SameShape(s) {
+		panic("nn: residual branch shape mismatch: " + b.String() + " vs " + s.String())
+	}
+	sum := b.Clone()
+	sum.Add(s)
+	return r.relu.Forward(sum, train)
+}
+
+// Backward splits the gradient between the two branches and sums the input
+// gradients.
+func (r *Residual) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	d := r.relu.Backward(dy)
+	db := d
+	for i := len(r.Body) - 1; i >= 0; i-- {
+		db = r.Body[i].Backward(db)
+	}
+	ds := d
+	for i := len(r.Short) - 1; i >= 0; i-- {
+		ds = r.Short[i].Backward(ds)
+	}
+	dx := db.Clone()
+	dx.Add(ds)
+	return dx
+}

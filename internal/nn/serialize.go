@@ -1,0 +1,180 @@
+package nn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"remapd/internal/tensor"
+)
+
+// Weight serialization: a small self-describing binary format so trained
+// models (and their BN running statistics) survive process restarts and
+// can be shared between the cmd tools and examples.
+//
+// Layout (little endian):
+//
+//	magic "RMPD" | version u32 | paramCount u32 |
+//	per param: nameLen u32 | name | rank u32 | dims []u32 | data []f32
+//
+// Running statistics of BatchNorm layers are not Params; they are appended
+// under synthesized names ("<layer>.runmean"/".runvar") so evaluation-mode
+// behaviour round-trips exactly.
+
+const weightsMagic = "RMPD"
+const weightsVersion = 1
+
+// namedTensors enumerates every tensor that must round-trip: trainable
+// parameters plus BN running statistics.
+func namedTensors(n *Network) []struct {
+	name string
+	t    *tensor.Tensor
+} {
+	var out []struct {
+		name string
+		t    *tensor.Tensor
+	}
+	for _, p := range n.Params() {
+		out = append(out, struct {
+			name string
+			t    *tensor.Tensor
+		}{p.Name, p.W})
+	}
+	var walk func(layers []Layer)
+	walk = func(layers []Layer) {
+		for _, l := range layers {
+			switch v := l.(type) {
+			case *BatchNorm2D:
+				out = append(out, struct {
+					name string
+					t    *tensor.Tensor
+				}{v.Name() + ".runmean", v.RunMean})
+				out = append(out, struct {
+					name string
+					t    *tensor.Tensor
+				}{v.Name() + ".runvar", v.RunVar})
+			case *Residual:
+				walk(v.Body)
+				walk(v.Short)
+			}
+		}
+	}
+	walk(n.Layers)
+	return out
+}
+
+// SaveWeights writes every parameter and BN statistic of net to w.
+func SaveWeights(w io.Writer, net *Network) error {
+	ts := namedTensors(net)
+	if _, err := w.Write([]byte(weightsMagic)); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(weightsVersion)); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(ts))); err != nil {
+		return err
+	}
+	for _, nt := range ts {
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(nt.name))); err != nil {
+			return err
+		}
+		if _, err := w.Write([]byte(nt.name)); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint32(nt.t.Rank())); err != nil {
+			return err
+		}
+		for _, d := range nt.t.Shape {
+			if err := binary.Write(w, binary.LittleEndian, uint32(d)); err != nil {
+				return err
+			}
+		}
+		if err := binary.Write(w, binary.LittleEndian, nt.t.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadWeights reads a weight file into net. Every serialized tensor must
+// match a tensor of the same name and shape in net; missing or mismatched
+// entries are errors (the format is for exact architecture round-trips).
+func LoadWeights(r io.Reader, net *Network) error {
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return fmt.Errorf("nn: reading magic: %w", err)
+	}
+	if string(magic) != weightsMagic {
+		return fmt.Errorf("nn: bad magic %q", magic)
+	}
+	var version, count uint32
+	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
+		return err
+	}
+	if version != weightsVersion {
+		return fmt.Errorf("nn: unsupported weights version %d", version)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return err
+	}
+
+	byName := map[string]*tensor.Tensor{}
+	for _, nt := range namedTensors(net) {
+		byName[nt.name] = nt.t
+	}
+	for i := uint32(0); i < count; i++ {
+		var nameLen uint32
+		if err := binary.Read(r, binary.LittleEndian, &nameLen); err != nil {
+			return err
+		}
+		if nameLen > 4096 {
+			return fmt.Errorf("nn: implausible name length %d", nameLen)
+		}
+		nameBuf := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, nameBuf); err != nil {
+			return err
+		}
+		name := string(nameBuf)
+		var rank uint32
+		if err := binary.Read(r, binary.LittleEndian, &rank); err != nil {
+			return err
+		}
+		if rank > 8 {
+			return fmt.Errorf("nn: implausible rank %d for %q", rank, name)
+		}
+		shape := make([]int, rank)
+		vol := 1
+		for d := range shape {
+			var v uint32
+			if err := binary.Read(r, binary.LittleEndian, &v); err != nil {
+				return err
+			}
+			shape[d] = int(v)
+			vol *= int(v)
+		}
+		dst, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("nn: file contains unknown tensor %q", name)
+		}
+		if dst.Len() != vol {
+			return fmt.Errorf("nn: tensor %q volume %d does not match model (%d)", name, vol, dst.Len())
+		}
+		if err := binary.Read(r, binary.LittleEndian, dst.Data); err != nil {
+			return err
+		}
+		for _, v := range dst.Data {
+			if math.IsNaN(float64(v)) {
+				return fmt.Errorf("nn: tensor %q contains NaN", name)
+			}
+		}
+		delete(byName, name)
+	}
+	if len(byName) != 0 {
+		for name := range byName {
+			return fmt.Errorf("nn: file is missing tensor %q", name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+
+	"remapd/internal/tensor"
+)
+
+func serNet(seed uint64) *Network {
+	rng := tensor.NewRNG(seed)
+	g := tensor.ConvGeom{InC: 2, InH: 6, InW: 6, OutC: 3, K: 3, Stride: 1, Pad: 1}
+	blk := NewResidual("b1",
+		[]Layer{NewConv2D("b1.conv", tensor.ConvGeom{InC: 3, InH: 6, InW: 6, OutC: 3, K: 3, Stride: 1, Pad: 1}, rng),
+			NewBatchNorm2D("b1.bn", 3)}, nil)
+	return NewNetwork(
+		NewConv2D("c1", g, rng),
+		NewBatchNorm2D("bn1", 3),
+		NewReLU("r1"),
+		blk,
+		NewFlatten("fl"),
+		NewLinear("fc", 3*6*6, 4, rng),
+	)
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	a := serNet(1)
+	// Perturb running stats so they are non-trivial.
+	rng := tensor.NewRNG(9)
+	x := tensor.New(4, 2, 6, 6)
+	rng.FillNormal(x, 1)
+	a.Forward(x, true)
+
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	b := serNet(2) // different init
+	if err := LoadWeights(bytes.NewReader(buf.Bytes()), b); err != nil {
+		t.Fatal(err)
+	}
+	// Every tensor must match exactly, including BN running stats.
+	at, bt := namedTensors(a), namedTensors(b)
+	if len(at) != len(bt) {
+		t.Fatalf("tensor counts differ: %d vs %d", len(at), len(bt))
+	}
+	for i := range at {
+		if at[i].name != bt[i].name {
+			t.Fatalf("tensor order differs: %q vs %q", at[i].name, bt[i].name)
+		}
+		for j := range at[i].t.Data {
+			if at[i].t.Data[j] != bt[i].t.Data[j] {
+				t.Fatalf("tensor %q differs at %d", at[i].name, j)
+			}
+		}
+	}
+	// Behavioural check: identical outputs in eval mode.
+	ya := a.Forward(x, false)
+	yb := b.Forward(x, false)
+	for i := range ya.Data {
+		if ya.Data[i] != yb.Data[i] {
+			t.Fatal("loaded network computes differently")
+		}
+	}
+}
+
+func TestLoadRejectsWrongArchitecture(t *testing.T) {
+	a := serNet(1)
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(3)
+	other := NewNetwork(NewLinear("fc", 4, 2, rng))
+	if err := LoadWeights(bytes.NewReader(buf.Bytes()), other); err == nil {
+		t.Fatal("loading into a different architecture must fail")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	a := serNet(1)
+	if err := LoadWeights(bytes.NewReader([]byte("NOPE....")), a); err == nil {
+		t.Fatal("bad magic must fail")
+	}
+	if err := LoadWeights(bytes.NewReader(nil), a); err == nil {
+		t.Fatal("empty input must fail")
+	}
+}
+
+func TestLoadRejectsTruncated(t *testing.T) {
+	a := serNet(1)
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()/2]
+	if err := LoadWeights(bytes.NewReader(cut), serNet(1)); err == nil {
+		t.Fatal("truncated file must fail")
+	}
+}
+
+func TestNamedTensorsIncludeBNStats(t *testing.T) {
+	a := serNet(1)
+	names := map[string]bool{}
+	for _, nt := range namedTensors(a) {
+		names[nt.name] = true
+	}
+	for _, want := range []string{"bn1.runmean", "bn1.runvar", "b1.bn.runmean", "c1.w", "fc.b"} {
+		if !names[want] {
+			t.Fatalf("missing %q in %v", want, names)
+		}
+	}
+}

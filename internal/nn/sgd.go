@@ -1,0 +1,64 @@
+package nn
+
+import "remapd/internal/tensor"
+
+// SGD is stochastic gradient descent with classical momentum and decoupled
+// L2 weight decay. After every step it notifies the network's fabric that
+// weights were rewritten, which is how the ReRAM substrate accounts for
+// write endurance and re-clamps stored conductances.
+type SGD struct {
+	LR           float64
+	Momentum     float64
+	WeightDecay  float64
+	GradClip     float64 // max L2 norm per parameter tensor; 0 disables
+	velocity     map[string]*tensor.Tensor
+	net          *Network
+	stepsApplied int
+}
+
+// NewSGD builds an optimizer over net's parameters.
+func NewSGD(net *Network, lr, momentum, weightDecay float64) *SGD {
+	return &SGD{
+		LR:          lr,
+		Momentum:    momentum,
+		WeightDecay: weightDecay,
+		GradClip:    5,
+		velocity:    make(map[string]*tensor.Tensor),
+		net:         net,
+	}
+}
+
+// Steps returns the number of optimizer steps applied so far.
+func (s *SGD) Steps() int { return s.stepsApplied }
+
+// Step applies one update to every parameter and clears the gradients.
+func (s *SGD) Step() {
+	for _, p := range s.net.Params() {
+		g := p.Grad
+		if s.GradClip > 0 {
+			if norm := g.L2Norm(); norm > s.GradClip {
+				g.Scale(float32(s.GradClip / norm))
+			}
+		}
+		if s.WeightDecay > 0 && !p.NoDecay {
+			g.AXPY(float32(s.WeightDecay), p.W)
+		}
+		v, ok := s.velocity[p.Name]
+		if !ok {
+			v = tensor.New(p.W.Shape...)
+			s.velocity[p.Name] = v
+		}
+		lr := float32(s.LR)
+		mu := float32(s.Momentum)
+		for i := range v.Data {
+			v.Data[i] = mu*v.Data[i] + g.Data[i]
+			p.W.Data[i] -= lr * v.Data[i]
+		}
+		g.Zero()
+	}
+	s.stepsApplied++
+	// Every step rewrites the stored conductances on the substrate.
+	for _, name := range s.net.MVMLayers() {
+		s.net.Fabric.WeightsWritten(name)
+	}
+}

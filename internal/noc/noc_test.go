@@ -1,0 +1,356 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"remapd/internal/tensor"
+)
+
+// cfg1 is a 4×4 mesh with one tile per router — simplest to reason about.
+func cfg1() Config {
+	return Config{MeshX: 4, MeshY: 4, Concentration: 1, BufferFlits: 4, RouterDelay: 2}
+}
+
+func TestConfigCounts(t *testing.T) {
+	c := DefaultConfig()
+	if c.Tiles() != 64 || c.Routers() != 16 {
+		t.Fatalf("tiles=%d routers=%d", c.Tiles(), c.Routers())
+	}
+	cm, err := CMeshForTiles(8, 8)
+	if err != nil || cm.MeshX != 4 || cm.MeshY != 4 {
+		t.Fatalf("CMeshForTiles: %v %+v", err, cm)
+	}
+	if _, err := CMeshForTiles(3, 4); err == nil {
+		t.Fatal("odd tile grid must be rejected")
+	}
+}
+
+func TestRouterHopsManhattan(t *testing.T) {
+	s := NewSimulator(cfg1())
+	// Tile i == router i. Router 0 at (0,0); router 15 at (3,3).
+	if h := s.RouterHops(0, 15); h != 6 {
+		t.Fatalf("hops(0,15)=%d, want 6", h)
+	}
+	if h := s.RouterHops(5, 5); h != 0 {
+		t.Fatalf("hops(5,5)=%d, want 0", h)
+	}
+	if h := s.RouterHops(3, 0); h != 3 {
+		t.Fatalf("hops(3,0)=%d, want 3", h)
+	}
+}
+
+func TestRouterHopsConcentration(t *testing.T) {
+	s := NewSimulator(DefaultConfig()) // concentration 4
+	// Tiles 0..3 share router 0.
+	if h := s.RouterHops(0, 3); h != 0 {
+		t.Fatalf("same-router tiles hops=%d, want 0", h)
+	}
+	if h := s.RouterHops(0, 4); h != 1 {
+		t.Fatalf("adjacent-router tiles hops=%d, want 1", h)
+	}
+}
+
+func TestUnicastZeroLoadLatency(t *testing.T) {
+	cfg := cfg1()
+	for _, tc := range []struct{ src, dst, hops int }{
+		{0, 0, 0}, {0, 1, 1}, {0, 3, 3}, {0, 15, 6},
+	} {
+		s := NewSimulator(cfg)
+		p := s.SendUnicast(tc.src, tc.dst, 1, 0)
+		if _, ok := s.RunUntilIdle(1000); !ok {
+			t.Fatalf("packet %d->%d not delivered", tc.src, tc.dst)
+		}
+		want := 2 + tc.hops*(1+cfg.RouterDelay)
+		if got := p.Latency(); got != want {
+			t.Fatalf("latency %d->%d = %d, want %d", tc.src, tc.dst, got, want)
+		}
+	}
+}
+
+func TestWormholeSerializationLatency(t *testing.T) {
+	cfg := cfg1()
+	s := NewSimulator(cfg)
+	const flits = 16
+	p := s.SendUnicast(0, 3, flits, 0)
+	if _, ok := s.RunUntilIdle(1000); !ok {
+		t.Fatal("not delivered")
+	}
+	want := 2 + 3*(1+cfg.RouterDelay) + (flits - 1)
+	if got := p.Latency(); got != want {
+		t.Fatalf("wormhole latency = %d, want %d (pipelined, not store-and-forward)", got, want)
+	}
+}
+
+func TestBroadcastReachesAllTiles(t *testing.T) {
+	cfg := DefaultConfig()
+	s := NewSimulator(cfg)
+	p := s.Broadcast(17, 0)
+	if len(p.Dsts) != cfg.Tiles()-1 {
+		t.Fatalf("broadcast to %d tiles, want %d", len(p.Dsts), cfg.Tiles()-1)
+	}
+	if _, ok := s.RunUntilIdle(10000); !ok {
+		t.Fatalf("broadcast did not drain; %d pending", s.Pending())
+	}
+	for tile, cyc := range p.DeliveredAt {
+		if cyc < 0 {
+			t.Fatalf("tile %d never received the broadcast", tile)
+		}
+	}
+}
+
+func TestMulticastSplitDeliversExactSet(t *testing.T) {
+	s := NewSimulator(cfg1())
+	dsts := []int{3, 12, 15, 5}
+	p := s.SendMulticast(0, dsts, 0)
+	if _, ok := s.RunUntilIdle(1000); !ok {
+		t.Fatal("multicast did not drain")
+	}
+	if len(p.DeliveredAt) != 4 {
+		t.Fatalf("delivered map has %d entries", len(p.DeliveredAt))
+	}
+	for _, d := range dsts {
+		if p.DeliveredAt[d] < 0 {
+			t.Fatalf("dest %d missed", d)
+		}
+	}
+}
+
+func TestMulticastDropsDuplicatesAndSelf(t *testing.T) {
+	s := NewSimulator(cfg1())
+	p := s.SendMulticast(2, []int{2, 7, 7, 9}, 0)
+	if len(p.Dsts) != 2 {
+		t.Fatalf("dsts = %v, want {7, 9}", p.Dsts)
+	}
+	if _, ok := s.RunUntilIdle(1000); !ok {
+		t.Fatal("not drained")
+	}
+}
+
+func TestMultiFlitMulticastRejected(t *testing.T) {
+	s := NewSimulator(cfg1())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.enqueue(0, []int{1, 2}, 5, 0)
+}
+
+func TestContentionSerializesSharedLink(t *testing.T) {
+	cfg := cfg1()
+	const flits = 32
+
+	// Baseline: one long packet 0→3 along row 0.
+	s1 := NewSimulator(cfg)
+	s1.SendUnicast(0, 3, flits, 0)
+	base, ok := s1.RunUntilIdle(10000)
+	if !ok {
+		t.Fatal("baseline not drained")
+	}
+
+	// Contended: 0→3 and 1→3 share the (1→2→3) links.
+	s2 := NewSimulator(cfg)
+	s2.SendUnicast(0, 3, flits, 0)
+	s2.SendUnicast(1, 3, flits, 0)
+	contended, ok := s2.RunUntilIdle(10000)
+	if !ok {
+		t.Fatal("contended not drained")
+	}
+	if contended < base+flits/2 {
+		t.Fatalf("shared link should serialize: baseline %d, contended %d", base, contended)
+	}
+
+	// Disjoint rows: 0→3 (row 0) and 12→15 (row 3) overlap in time.
+	s3 := NewSimulator(cfg)
+	s3.SendUnicast(0, 3, flits, 0)
+	s3.SendUnicast(12, 15, flits, 0)
+	parallel, ok := s3.RunUntilIdle(10000)
+	if !ok {
+		t.Fatal("parallel not drained")
+	}
+	if parallel > base+2 {
+		t.Fatalf("disjoint paths must run in parallel: baseline %d, parallel %d", base, parallel)
+	}
+}
+
+func TestWormholeIntegrityUnderCrossTraffic(t *testing.T) {
+	// Two long packets crossing at a middle router from different inputs
+	// must both arrive complete (lock prevents interleaving corruption).
+	cfg := cfg1()
+	s := NewSimulator(cfg)
+	pa := s.SendUnicast(0, 3, 20, 0)  // west→east through row 0
+	pb := s.SendUnicast(13, 1, 20, 0) // (1,3) north then to (1,0) — crosses router 1
+	if _, ok := s.RunUntilIdle(10000); !ok {
+		t.Fatal("not drained")
+	}
+	if !pa.Done() || !pb.Done() {
+		t.Fatal("packets incomplete")
+	}
+}
+
+func TestBackpressureSmallBuffers(t *testing.T) {
+	cfg := cfg1()
+	cfg.BufferFlits = 1
+	s := NewSimulator(cfg)
+	for i := 0; i < 4; i++ {
+		s.SendUnicast(0, 15, 8, 0)
+	}
+	if _, ok := s.RunUntilIdle(100000); !ok {
+		t.Fatal("1-flit buffers deadlocked or lost flits")
+	}
+}
+
+// Property: any random batch of unicasts and broadcasts drains completely
+// (no deadlock, no loss) and every delivery cycle is sane.
+func TestRandomTrafficDrainsProperty(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(seed uint32, nRaw uint8) bool {
+		rng := tensor.NewRNG(uint64(seed))
+		s := NewSimulator(cfg)
+		n := int(nRaw)%20 + 1
+		var pkts []*Packet
+		for i := 0; i < n; i++ {
+			src := rng.Intn(cfg.Tiles())
+			if rng.Float64() < 0.2 {
+				pkts = append(pkts, s.Broadcast(src, rng.Intn(50)))
+			} else {
+				dst := rng.Intn(cfg.Tiles())
+				if dst == src {
+					dst = (dst + 1) % cfg.Tiles()
+				}
+				pkts = append(pkts, s.SendUnicast(src, dst, 1+rng.Intn(64), rng.Intn(50)))
+			}
+		}
+		if _, ok := s.RunUntilIdle(1_000_000); !ok {
+			return false
+		}
+		for _, p := range pkts {
+			if !p.Done() {
+				return false
+			}
+			for _, c := range p.DeliveredAt {
+				if c < p.InjectAt {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulateRemapPicksNearestReceiver(t *testing.T) {
+	cfg := cfg1()
+	pp := DefaultProtocolParams()
+	pp.WeightFlits = 16
+	// Sender at tile 0; receivers at 1 (hop 1) and 15 (hop 6).
+	res := SimulateRemap(cfg, pp, []int{0}, []int{15, 1})
+	if len(res.Pairs) != 1 {
+		t.Fatalf("pairs = %v", res.Pairs)
+	}
+	if res.Pairs[0].Receiver != 1 || res.Pairs[0].Hops != 1 {
+		t.Fatalf("chose %+v, want receiver 1 at hop 1", res.Pairs[0])
+	}
+	if res.UnmatchedSenders != 0 {
+		t.Fatal("sender should be matched")
+	}
+}
+
+func TestSimulateRemapPhasesOrdered(t *testing.T) {
+	cfg := cfg1()
+	pp := DefaultProtocolParams()
+	pp.WeightFlits = 64
+	res := SimulateRemap(cfg, pp, []int{0, 15}, []int{5, 6, 9})
+	if !(res.RequestDone > 0 && res.ResponseDone >= res.RequestDone && res.SwapDone > res.ResponseDone) {
+		t.Fatalf("phase cycles out of order: %+v", res)
+	}
+	if res.TotalCycles != res.SwapDone {
+		t.Fatal("TotalCycles must equal SwapDone")
+	}
+	if len(res.Pairs) != 2 {
+		t.Fatalf("expected 2 pairs, got %v", res.Pairs)
+	}
+	if res.Pairs[0].Receiver == res.Pairs[1].Receiver {
+		t.Fatal("a receiver may serve only one sender")
+	}
+}
+
+func TestSimulateRemapReceiverConflictResolution(t *testing.T) {
+	cfg := cfg1()
+	pp := DefaultProtocolParams()
+	pp.WeightFlits = 8
+	// Both senders closest to receiver 5; one must take it, the other the
+	// next-nearest (6).
+	res := SimulateRemap(cfg, pp, []int{4, 9}, []int{5, 6})
+	if len(res.Pairs) != 2 {
+		t.Fatalf("pairs = %v", res.Pairs)
+	}
+	got := map[int]bool{}
+	for _, p := range res.Pairs {
+		got[p.Receiver] = true
+	}
+	if !got[5] || !got[6] {
+		t.Fatalf("receivers not disjointly assigned: %v", res.Pairs)
+	}
+}
+
+func TestSimulateRemapUnmatchedSenders(t *testing.T) {
+	cfg := cfg1()
+	pp := DefaultProtocolParams()
+	pp.WeightFlits = 8
+	res := SimulateRemap(cfg, pp, []int{0, 1, 2}, []int{7})
+	if len(res.Pairs) != 1 || res.UnmatchedSenders != 2 {
+		t.Fatalf("pairs=%v unmatched=%d", res.Pairs, res.UnmatchedSenders)
+	}
+}
+
+func TestSimulateRemapParallelSwapsOverlap(t *testing.T) {
+	cfg := cfg1()
+	pp := DefaultProtocolParams()
+	pp.WeightFlits = 256
+
+	// One swap pair in isolation.
+	solo := SimulateRemap(cfg, pp, []int{0}, []int{1})
+	// Two pairs with disjoint paths (opposite mesh corners).
+	dual := SimulateRemap(cfg, pp, []int{0, 15}, []int{1, 14})
+	if len(dual.Pairs) != 2 {
+		t.Fatalf("dual pairs = %v", dual.Pairs)
+	}
+	// The paper's key performance claim: parallel non-overlapping remaps
+	// cost barely more than one.
+	if float64(dual.TotalCycles) > 1.3*float64(solo.TotalCycles) {
+		t.Fatalf("parallel remaps should overlap: solo %d vs dual %d", solo.TotalCycles, dual.TotalCycles)
+	}
+}
+
+func TestMonteCarloOverheadMagnitude(t *testing.T) {
+	cfg := DefaultConfig()
+	pp := DefaultProtocolParams()
+	rng := tensor.NewRNG(42)
+	// Epoch compute at 1.2 GHz for ~1 s ⇒ overhead should be far below 1%.
+	st := MonteCarloOverhead(cfg, pp, 10, 2, 10, 3e6, rng)
+	if st.MeanCycles <= 0 || st.WorstCycles < int(st.MeanCycles) {
+		t.Fatalf("stats insane: %+v", st)
+	}
+	if st.MeanOverhead <= 0 || st.MeanOverhead > 0.02 {
+		t.Fatalf("mean overhead %v outside plausible range", st.MeanOverhead)
+	}
+	if st.WorstOverhead < st.MeanOverhead {
+		t.Fatal("worst < mean")
+	}
+}
+
+func TestNearestReceiversSorted(t *testing.T) {
+	out := NearestReceivers(cfg1(), 0, []int{15, 1, 5})
+	if out[0].Receiver != 1 || out[2].Receiver != 15 {
+		t.Fatalf("sorted order wrong: %v", out)
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Hops < out[i-1].Hops {
+			t.Fatal("not sorted by hops")
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package noc
+
+import (
+	"sort"
+
+	"remapd/internal/tensor"
+)
+
+// The remapping handshake of Fig. 3 has three traffic phases:
+//
+//	(a) every sender tile broadcasts a 1-flit remap request,
+//	(b) every potential receiver tile unicasts a 1-flit response to each
+//	    sender it heard from,
+//	(c) each sender picks its nearest responding receiver (router hop
+//	    count, ties by lower tile id) and the pair exchange their crossbar
+//	    weights as two long wormhole transfers.
+//
+// ProtocolParams collects the knobs of that simulation.
+type ProtocolParams struct {
+	// WeightFlits is the size of one crossbar's weight payload in flits.
+	// A 128×128 array at 8-bit cells is 16 KiB; with 128-bit flits that is
+	// 1024 flits.
+	WeightFlits int
+	// ResponseDelay is the receiver-side decision latency (cycles between
+	// request arrival and response injection).
+	ResponseDelay int
+}
+
+// DefaultProtocolParams matches the paper's setup.
+func DefaultProtocolParams() ProtocolParams {
+	return ProtocolParams{WeightFlits: 1024, ResponseDelay: 4}
+}
+
+// RemapPair is one sender→receiver assignment made by the protocol.
+type RemapPair struct {
+	Sender, Receiver int // tile ids
+	Hops             int
+}
+
+// ProtocolResult reports one simulated remap round.
+type ProtocolResult struct {
+	Pairs []RemapPair
+	// RequestDone, ResponseDone, SwapDone are the cycles at which each
+	// phase completed.
+	RequestDone, ResponseDone, SwapDone int
+	// TotalCycles is the full handshake duration (== SwapDone).
+	TotalCycles int
+	// FlitHops is the total link-traversal count (energy proxy).
+	FlitHops int
+	// UnmatchedSenders counts senders that found no receiver.
+	UnmatchedSenders int
+}
+
+// SimulateRemap runs the three-phase handshake on a fresh network.
+// senders is the set of tiles requesting remap; receivers is the set of
+// tiles willing to accept (senders are excluded automatically). Each
+// receiver serves at most one sender.
+func SimulateRemap(cfg Config, pp ProtocolParams, senders, receivers []int) ProtocolResult {
+	s := NewSimulator(cfg)
+	res := ProtocolResult{}
+
+	isSender := make(map[int]bool, len(senders))
+	for _, t := range senders {
+		isSender[t] = true
+	}
+	recvSet := make([]int, 0, len(receivers))
+	seen := map[int]bool{}
+	for _, t := range receivers {
+		if !isSender[t] && !seen[t] {
+			seen[t] = true
+			recvSet = append(recvSet, t)
+		}
+	}
+
+	// Phase (a): broadcast requests.
+	reqs := make([]*Packet, 0, len(senders))
+	for _, t := range senders {
+		reqs = append(reqs, s.Broadcast(t, 0))
+	}
+	cyc, ok := s.RunUntilIdle(1_000_000)
+	if !ok {
+		panic("noc: request phase did not drain")
+	}
+	res.RequestDone = cyc
+
+	// Phase (b): each receiver responds to every sender, injecting after
+	// its local decision delay from the request's arrival.
+	resps := make([]*Packet, 0, len(recvSet)*len(senders))
+	for si, snd := range senders {
+		arrivals := reqs[si].DeliveredAt
+		for _, rcv := range recvSet {
+			at := arrivals[rcv] + pp.ResponseDelay
+			resps = append(resps, s.SendUnicast(rcv, snd, 1, at))
+		}
+	}
+	if len(resps) > 0 {
+		cyc, ok = s.RunUntilIdle(2_000_000)
+		if !ok {
+			panic("noc: response phase did not drain")
+		}
+	}
+	res.ResponseDone = cyc
+
+	// Phase (c): greedy nearest-receiver matching. Senders are served in
+	// order of their best available distance (closest pair first), which
+	// keeps the matching deterministic and conflict-free.
+	assigned := map[int]bool{}
+	remaining := append([]int(nil), senders...)
+	for len(remaining) > 0 {
+		bestS, bestR, bestH := -1, -1, 1<<30
+		for _, snd := range remaining {
+			for _, rcv := range recvSet {
+				if assigned[rcv] {
+					continue
+				}
+				h := s.RouterHops(snd, rcv)
+				if h < bestH || (h == bestH && (rcv < bestR || bestR == -1)) {
+					bestS, bestR, bestH = snd, rcv, h
+				}
+			}
+		}
+		if bestS == -1 {
+			res.UnmatchedSenders = len(remaining)
+			break
+		}
+		assigned[bestR] = true
+		res.Pairs = append(res.Pairs, RemapPair{Sender: bestS, Receiver: bestR, Hops: bestH})
+		for i, t := range remaining {
+			if t == bestS {
+				remaining = append(remaining[:i], remaining[i+1:]...)
+				break
+			}
+		}
+	}
+
+	// Weight exchange: both directions, all pairs in parallel.
+	start := s.Cycle()
+	for _, pr := range res.Pairs {
+		s.SendUnicast(pr.Sender, pr.Receiver, pp.WeightFlits, start)
+		s.SendUnicast(pr.Receiver, pr.Sender, pp.WeightFlits, start)
+	}
+	if len(res.Pairs) > 0 {
+		cyc, ok = s.RunUntilIdle(10_000_000)
+		if !ok {
+			panic("noc: swap phase did not drain")
+		}
+	}
+	res.SwapDone = cyc
+	res.TotalCycles = cyc
+	res.FlitHops = s.FlitHops()
+	return res
+}
+
+// MonteCarloOverhead reproduces the paper's Section IV.C experiment: run
+// `rounds` random fault scenarios, each with nSenders sender tiles and
+// nReceivers receiver tiles placed uniformly at random, and report the
+// remap handshake's cycle overhead relative to epochCycles of computation.
+type OverheadStats struct {
+	Rounds           int
+	MeanCycles       float64
+	WorstCycles      int
+	MeanOverhead     float64 // fraction of epochCycles
+	WorstOverhead    float64
+	MeanPairs        float64
+	UnmatchedSenders int
+}
+
+// MonteCarloOverhead runs the Monte Carlo overhead study.
+func MonteCarloOverhead(cfg Config, pp ProtocolParams, rounds, nSenders, nReceivers int, epochCycles float64, rng *tensor.RNG) OverheadStats {
+	st := OverheadStats{Rounds: rounds}
+	var sumCycles, sumPairs float64
+	for r := 0; r < rounds; r++ {
+		perm := rng.Perm(cfg.Tiles())
+		senders := append([]int(nil), perm[:nSenders]...)
+		receivers := append([]int(nil), perm[nSenders:nSenders+nReceivers]...)
+		res := SimulateRemap(cfg, pp, senders, receivers)
+		sumCycles += float64(res.TotalCycles)
+		sumPairs += float64(len(res.Pairs))
+		st.UnmatchedSenders += res.UnmatchedSenders
+		if res.TotalCycles > st.WorstCycles {
+			st.WorstCycles = res.TotalCycles
+		}
+	}
+	st.MeanCycles = sumCycles / float64(rounds)
+	st.MeanPairs = sumPairs / float64(rounds)
+	if epochCycles > 0 {
+		st.MeanOverhead = st.MeanCycles / epochCycles
+		st.WorstOverhead = float64(st.WorstCycles) / epochCycles
+	}
+	return st
+}
+
+// NearestReceivers returns, for diagnostic purposes, the receivers sorted
+// by hop distance from a sender.
+func NearestReceivers(cfg Config, sender int, receivers []int) []RemapPair {
+	s := NewSimulator(cfg)
+	out := make([]RemapPair, 0, len(receivers))
+	for _, r := range receivers {
+		out = append(out, RemapPair{Sender: sender, Receiver: r, Hops: s.RouterHops(sender, r)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Hops != out[j].Hops {
+			return out[i].Hops < out[j].Hops
+		}
+		return out[i].Receiver < out[j].Receiver
+	})
+	return out
+}

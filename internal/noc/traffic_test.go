@@ -1,0 +1,95 @@
+package noc
+
+import (
+	"strings"
+	"testing"
+
+	"remapd/internal/tensor"
+)
+
+func TestRunLoadLowRateDeliversEverything(t *testing.T) {
+	cfg := DefaultConfig()
+	rng := tensor.NewRNG(1)
+	st := RunLoad(cfg, UniformRandom, 0.02, 300, rng)
+	if st.Saturated {
+		t.Fatal("2% load must not saturate a c-mesh")
+	}
+	if st.PacketsArrived != st.PacketsSent {
+		t.Fatalf("lost packets: %d/%d", st.PacketsArrived, st.PacketsSent)
+	}
+	if st.AvgLatency < 2 {
+		t.Fatalf("implausible latency %v", st.AvgLatency)
+	}
+}
+
+func TestLoadLatencyMonotoneInRate(t *testing.T) {
+	cfg := DefaultConfig()
+	sweep := LoadSweep(cfg, UniformRandom, []float64{0.02, 0.30}, 300, 7)
+	if sweep[1].AvgLatency <= sweep[0].AvgLatency {
+		t.Fatalf("latency must grow with load: %.1f vs %.1f",
+			sweep[0].AvgLatency, sweep[1].AvgLatency)
+	}
+}
+
+func TestHotspotWorseThanUniform(t *testing.T) {
+	cfg := DefaultConfig()
+	u := RunLoad(cfg, UniformRandom, 0.15, 400, tensor.NewRNG(3))
+	h := RunLoad(cfg, Hotspot, 0.15, 400, tensor.NewRNG(3))
+	if h.AvgLatency <= u.AvgLatency {
+		t.Fatalf("hotspot should congest: uniform %.1f vs hotspot %.1f",
+			u.AvgLatency, h.AvgLatency)
+	}
+}
+
+func TestTransposePatternIsPermutation(t *testing.T) {
+	cfg := DefaultConfig() // 64 tiles = 8×8 square
+	rng := tensor.NewRNG(4)
+	seen := map[int]bool{}
+	for src := 0; src < cfg.Tiles(); src++ {
+		d := destFor(cfg, Transpose, src, rng)
+		if d == src {
+			t.Fatalf("self destination for %d", src)
+		}
+		seen[d] = true
+	}
+	// A transpose permutation touches most tiles (diagonal self-sends are
+	// redirected).
+	if len(seen) < cfg.Tiles()*3/4 {
+		t.Fatalf("transpose destinations cover only %d tiles", len(seen))
+	}
+}
+
+func TestCompareTopologiesFavorsCMesh(t *testing.T) {
+	rows := CompareTopologies(42)
+	if len(rows) != 2 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	mesh, cmesh := rows[0], rows[1]
+	if mesh.Name != "mesh-8x8" || cmesh.Name != "c-mesh-4x4x4" {
+		t.Fatalf("row order %v", rows)
+	}
+	// The paper's §III.B.1 argument: the c-mesh reduces router count and
+	// hop count for the same tile count.
+	if cmesh.Routers >= mesh.Routers {
+		t.Fatal("c-mesh must use fewer routers")
+	}
+	if cmesh.AvgRemapHops >= mesh.AvgRemapHops {
+		t.Fatalf("c-mesh must reduce average hops: %.2f vs %.2f",
+			cmesh.AvgRemapHops, mesh.AvgRemapHops)
+	}
+	if cmesh.FlitHops >= mesh.FlitHops {
+		t.Fatalf("c-mesh must reduce handshake traffic volume: %d vs %d",
+			cmesh.FlitHops, mesh.FlitHops)
+	}
+	if !strings.Contains(FormatTopologyComparison(rows), "c-mesh") {
+		t.Fatal("formatter broken")
+	}
+}
+
+func TestFormatLoadStats(t *testing.T) {
+	cfg := DefaultConfig()
+	sweep := LoadSweep(cfg, UniformRandom, []float64{0.05}, 100, 9)
+	if !strings.Contains(FormatLoadStats(sweep), "uniform") {
+		t.Fatal("formatter broken")
+	}
+}

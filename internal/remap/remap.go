@@ -1,0 +1,441 @@
+// Package remap implements the paper's fault-tolerance policies: the
+// proposed dynamic task remapping (Remap-D) and every baseline the
+// evaluation compares against — no protection, fault-aware static mapping,
+// weight-significance remapping (Remap-WS, [12]), gradient-ranked spare
+// remapping (Remap-T-n%), and the AN-code ECC ([10], via internal/ancode).
+//
+// A policy interacts with the system at two points: Deploy (once, after the
+// network is mapped and pre-deployment faults are present) and EpochEnd
+// (after every training epoch, when BIST results are fresh and no compute
+// is in flight — the paper's remap trigger point).
+package remap
+
+import (
+	"sort"
+
+	"remapd/internal/ancode"
+	"remapd/internal/arch"
+	"remapd/internal/bist"
+	"remapd/internal/noc"
+	"remapd/internal/reram"
+	"remapd/internal/tensor"
+)
+
+// Context carries everything a policy may inspect or mutate.
+type Context struct {
+	Chip  *arch.Chip
+	RNG   *tensor.RNG
+	Epoch int
+
+	// GradAbs accumulates, per MVM layer, the sum of |∂L/∂w| over the
+	// epoch's optimizer steps (filled by the trainer). Remap-T-n% ranks
+	// weight importance with it.
+	GradAbs map[string]*tensor.Tensor
+
+	// NoC configuration for remap-traffic accounting; SimulateNoC enables
+	// the flit-level handshake simulation (slower, used by the overhead
+	// experiments).
+	NoCCfg      noc.Config
+	Protocol    noc.ProtocolParams
+	SimulateNoC bool
+}
+
+// EpochReport summarises what a policy did at one epoch boundary.
+type EpochReport struct {
+	Senders    int // crossbars that requested remapping
+	Swaps      int // task exchanges performed
+	Unmatched  int // senders that found no receiver
+	BISTCycles int // ReRAM cycles spent on fault-density testing
+	NoCCycles  int // NoC cycles of the remap handshake (0 if not simulated)
+}
+
+// Policy is a fault-tolerance scheme.
+type Policy interface {
+	Name() string
+	Deploy(ctx *Context)
+	EpochEnd(ctx *Context) EpochReport
+}
+
+// ---------------------------------------------------------------- None --
+
+// None is the unprotected baseline.
+type None struct{}
+
+// Name implements Policy.
+func (None) Name() string { return "none" }
+
+// Deploy implements Policy.
+func (None) Deploy(*Context) {}
+
+// EpochEnd implements Policy.
+func (None) EpochEnd(*Context) EpochReport { return EpochReport{} }
+
+// -------------------------------------------------------------- Static --
+
+// Static performs one fault-aware mapping at t = 0: backward (least
+// fault-tolerant) tasks are placed on the least-faulty crossbars, forward
+// tasks on the rest. It never adapts afterwards, so post-deployment faults
+// erode it — the paper's argument for *dynamic* remapping.
+type Static struct{}
+
+// Name implements Policy.
+func (Static) Name() string { return "static" }
+
+// Deploy sorts the originally used crossbars by measured density and
+// assigns backward tasks to the cleanest ones.
+func (Static) Deploy(ctx *Context) {
+	chip := ctx.Chip
+	used := chip.MappedXbars()
+	sort.Slice(used, func(a, b int) bool {
+		return chip.TrueDensity(used[a]) < chip.TrueDensity(used[b])
+	})
+	// Order tasks backward-phase first.
+	order := make([]int, 0, len(chip.Tasks))
+	for _, t := range chip.Tasks {
+		if t.Phase == arch.Backward {
+			order = append(order, t.ID)
+		}
+	}
+	for _, t := range chip.Tasks {
+		if t.Phase == arch.Forward {
+			order = append(order, t.ID)
+		}
+	}
+	assign := make([]int, len(chip.Tasks))
+	for i, tid := range order {
+		assign[tid] = used[i]
+	}
+	if err := chip.SetMapping(assign); err != nil {
+		panic("remap: static mapping failed: " + err.Error())
+	}
+}
+
+// EpochEnd does nothing — the mapping is static.
+func (Static) EpochEnd(*Context) EpochReport { return EpochReport{} }
+
+// -------------------------------------------------------------- RemapD --
+
+// RemapD is the paper's proposed policy. At every epoch boundary it runs
+// the BIST pass on each crossbar, then crossbars whose fault density
+// exceeds Threshold and which host a backward-phase (fault-critical) task
+// become senders; crossbars hosting forward-phase tasks with strictly
+// lower density are potential receivers; each sender swaps tasks with its
+// nearest (tile hop count) responding receiver. No spare hardware is used.
+type RemapD struct {
+	// Threshold is the sender trigger density (paper: user-chosen; default
+	// 0.4%, the boundary of the "hot crossbar" manufacturing band).
+	Threshold float64
+	// UseBIST selects density estimation through the BIST FSM (true, the
+	// deployed configuration) or ground truth (false, an ablation).
+	UseBIST bool
+	// RandomReceiver picks a uniformly random eligible receiver instead of
+	// the nearest one — an ablation of the proximity heuristic. Accuracy is
+	// unaffected (any eligible receiver is clean enough); only NoC traffic
+	// distance grows.
+	RandomReceiver bool
+}
+
+// NewRemapD returns the default configuration.
+func NewRemapD() *RemapD { return &RemapD{Threshold: 0.004, UseBIST: true} }
+
+// Name implements Policy.
+func (r *RemapD) Name() string { return "remap-d" }
+
+// Deploy performs the fault-aware initial mapping (the paper's "static"
+// t = 0 placement: backward tasks onto the cleanest crossbars, guided by
+// the first post-programming BIST pass). The dynamic behaviour — reacting
+// to post-deployment faults — then runs at every epoch boundary via
+// EpochEnd. Remap-D is strictly the static placement plus dynamics.
+func (r *RemapD) Deploy(ctx *Context) {
+	Static{}.Deploy(ctx)
+	r.EpochEnd(ctx)
+}
+
+// EpochEnd implements the three-step protocol of Fig. 3 at the system
+// level and (optionally) on the flit-level NoC.
+func (r *RemapD) EpochEnd(ctx *Context) EpochReport {
+	chip := ctx.Chip
+	rep := EpochReport{}
+
+	// Step 0: BIST every mapped crossbar to obtain fault densities.
+	used := chip.MappedXbars()
+	density := make(map[int]float64, len(used))
+	if r.UseBIST {
+		ctrl := bist.NewController(chip.Params)
+		for _, xi := range used {
+			res := ctrl.Run(chip.Xbars[xi])
+			density[xi] = res.DensityEstimate
+		}
+		// Crossbars within an IMA share one BIST controller and are tested
+		// sequentially; IMAs run in parallel.
+		rep.BISTCycles = bist.CyclesPerPass(chip.Params) * chip.Geom.XbarsPerIMA
+	} else {
+		for _, xi := range used {
+			density[xi] = chip.TrueDensity(xi)
+		}
+	}
+
+	// Step 1: senders = over-threshold crossbars hosting backward tasks.
+	var senders []int
+	var receivers []int
+	for _, xi := range used {
+		t := chip.TaskOf(xi)
+		if t == nil {
+			continue
+		}
+		if t.Phase == arch.Backward && density[xi] > r.Threshold {
+			senders = append(senders, xi)
+		} else if t.Phase == arch.Forward {
+			receivers = append(receivers, xi)
+		}
+	}
+	rep.Senders = len(senders)
+	if len(senders) == 0 {
+		return rep
+	}
+	// Worst senders pick first.
+	sort.Slice(senders, func(a, b int) bool { return density[senders[a]] > density[senders[b]] })
+
+	// Step 2+3: nearest eligible receiver per sender, then swap. A
+	// receiver must (a) be strictly cleaner than the sender and (b) itself
+	// be within the acceptable-density threshold — otherwise the swap just
+	// moves the fault-critical task onto another bad crossbar.
+	taken := make(map[int]bool)
+	var pairs [][2]int
+	for _, s := range senders {
+		var eligible []int
+		for _, rx := range receivers {
+			if taken[rx] || density[rx] >= density[s] || density[rx] > r.Threshold {
+				continue
+			}
+			eligible = append(eligible, rx)
+		}
+		if len(eligible) == 0 {
+			rep.Unmatched++
+			continue
+		}
+		best := -1
+		if r.RandomReceiver && ctx.RNG != nil {
+			best = eligible[ctx.RNG.Intn(len(eligible))]
+		} else {
+			bestHop := 1 << 30
+			for _, rx := range eligible {
+				h := chip.HopCount(s, rx)
+				if h < bestHop || (h == bestHop && rx < best) {
+					best, bestHop = rx, h
+				}
+			}
+		}
+		taken[best] = true
+		pairs = append(pairs, [2]int{s, best})
+	}
+	for _, pr := range pairs {
+		chip.SwapTasks(pr[0], pr[1])
+	}
+	rep.Swaps = len(pairs)
+
+	// Optional: replay the handshake on the flit-level NoC for cycle
+	// accounting (tile-level endpoints; duplicate tiles collapse).
+	if ctx.SimulateNoC && len(pairs) > 0 {
+		senderTiles := dedupTiles(chip, senders)
+		recvTiles := dedupTiles(chip, receivers)
+		res := noc.SimulateRemap(ctx.NoCCfg, ctx.Protocol, senderTiles, recvTiles)
+		rep.NoCCycles = res.TotalCycles
+	}
+	return rep
+}
+
+func dedupTiles(chip *arch.Chip, xbars []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, xi := range xbars {
+		t := chip.TileOf(xi)
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// -------------------------------------------------------------- RemapT --
+
+// RemapT models Remap-T-n%: every epoch the top n% of weights ranked by
+// accumulated gradient magnitude are preemptively remapped to spare
+// fault-free crossbars — i.e. those weights are immune to faults — at the
+// cost of n% extra hardware. At deploy time (no gradients yet) the ranking
+// falls back to weight magnitude.
+type RemapT struct {
+	// Fraction is n/100 (0.05 and 0.10 in the paper's Fig. 6).
+	Fraction  float64
+	protected map[string]map[int]bool
+}
+
+// NewRemapT returns a Remap-T policy protecting the given fraction.
+func NewRemapT(fraction float64) *RemapT { return &RemapT{Fraction: fraction} }
+
+// Name implements Policy.
+func (r *RemapT) Name() string {
+	switch r.Fraction {
+	case 0.05:
+		return "remap-t-5%"
+	case 0.10:
+		return "remap-t-10%"
+	}
+	return "remap-t"
+}
+
+// Deploy protects the initially largest weights and installs the corrector.
+func (r *RemapT) Deploy(ctx *Context) {
+	imp := map[string]*tensor.Tensor{}
+	for _, layer := range ctx.Chip.Layers() {
+		w := ctx.Chip.Weight(layer)
+		a := tensor.New(w.Shape...)
+		for i, v := range w.Data {
+			if v < 0 {
+				a.Data[i] = -v
+			} else {
+				a.Data[i] = v
+			}
+		}
+		imp[layer] = a
+	}
+	r.rebuild(ctx, imp)
+	r.install(ctx)
+}
+
+// EpochEnd re-ranks by the epoch's accumulated |grad| and rebuilds the
+// protection set.
+func (r *RemapT) EpochEnd(ctx *Context) EpochReport {
+	if len(ctx.GradAbs) > 0 {
+		r.rebuild(ctx, ctx.GradAbs)
+		ctx.Chip.InvalidateAll()
+	}
+	return EpochReport{}
+}
+
+// rebuild selects the global top-Fraction elements by importance.
+func (r *RemapT) rebuild(ctx *Context, importance map[string]*tensor.Tensor) {
+	type scored struct {
+		layer string
+		idx   int
+		v     float32
+	}
+	var all []scored
+	for layer, imp := range importance {
+		for i, v := range imp.Data {
+			all = append(all, scored{layer, i, v})
+		}
+	}
+	k := int(r.Fraction * float64(len(all)))
+	if k <= 0 {
+		r.protected = map[string]map[int]bool{}
+		return
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].v > all[b].v })
+	prot := map[string]map[int]bool{}
+	for _, s := range all[:k] {
+		m := prot[s.layer]
+		if m == nil {
+			m = map[int]bool{}
+			prot[s.layer] = m
+		}
+		m[s.idx] = true
+	}
+	r.protected = prot
+}
+
+func (r *RemapT) install(ctx *Context) {
+	chip := ctx.Chip
+	// Relocation protection covers every path (the weight physically lives
+	// on a fault-free spare cell).
+	chip.SetCellCorrector(func(t *arch.Task, _ *reram.Crossbar, row, col int) bool {
+		m := r.protected[t.Layer]
+		if m == nil {
+			return false
+		}
+		return m[chip.ElementOf(t, row, col)]
+	}, true)
+}
+
+// -------------------------------------------------------------- RemapWS --
+
+// RemapWS models the weight-significance scheme of [12]: the top 5% of
+// weights by magnitude — determined once from the weights available at
+// deployment, since the scheme presumes a pre-trained model — are remapped
+// to fault-free columns. During from-scratch training the initial ranking
+// is meaningless and 95% of faults go unaddressed, which is exactly the
+// failure mode Fig. 6 shows.
+type RemapWS struct {
+	Fraction  float64
+	protected map[string]map[int]bool
+}
+
+// NewRemapWS returns the 5% configuration of [12].
+func NewRemapWS() *RemapWS { return &RemapWS{Fraction: 0.05} }
+
+// Name implements Policy.
+func (r *RemapWS) Name() string { return "remap-ws" }
+
+// Deploy ranks by |w| at t=0 and installs a permanent protection mask.
+func (r *RemapWS) Deploy(ctx *Context) {
+	rt := &RemapT{Fraction: r.Fraction}
+	imp := map[string]*tensor.Tensor{}
+	for _, layer := range ctx.Chip.Layers() {
+		w := ctx.Chip.Weight(layer)
+		a := tensor.New(w.Shape...)
+		for i, v := range w.Data {
+			if v < 0 {
+				a.Data[i] = -v
+			} else {
+				a.Data[i] = v
+			}
+		}
+		imp[layer] = a
+	}
+	rt.rebuild(ctx, imp)
+	r.protected = rt.protected
+	chip := ctx.Chip
+	chip.SetCellCorrector(func(t *arch.Task, _ *reram.Crossbar, row, col int) bool {
+		m := r.protected[t.Layer]
+		if m == nil {
+			return false
+		}
+		return m[chip.ElementOf(t, row, col)]
+	}, true)
+}
+
+// EpochEnd does nothing: the significance snapshot is never updated.
+func (r *RemapWS) EpochEnd(*Context) EpochReport { return EpochReport{} }
+
+// -------------------------------------------------------------- ANCode --
+
+// ANCode wraps the arithmetic-code ECC baseline: the correction table is
+// profiled at deployment and re-profiled at each epoch boundary, so faults
+// that appear during an epoch are uncorrected until the next refresh, and
+// columns with more faults than the code can absorb stay faulty.
+type ANCode struct {
+	corrector *ancode.Corrector
+}
+
+// NewANCode returns the baseline with the standard single-error code.
+func NewANCode() *ANCode { return &ANCode{corrector: ancode.NewCorrector(ancode.NewCode())} }
+
+// Name implements Policy.
+func (a *ANCode) Name() string { return "an-code" }
+
+// Deploy profiles the chip and installs the correction hook. The AN code
+// corrects stored-codeword reads (forward and transpose weight paths) but
+// cannot cover the gradient outer-product path, whose operands are not
+// encoded.
+func (a *ANCode) Deploy(ctx *Context) {
+	a.corrector.RefreshTable(ctx.Chip.Xbars)
+	ctx.Chip.SetCellCorrector(a.corrector.CellCorrector(), false)
+}
+
+// EpochEnd re-profiles the correction table.
+func (a *ANCode) EpochEnd(ctx *Context) EpochReport {
+	a.corrector.RefreshTable(ctx.Chip.Xbars)
+	ctx.Chip.InvalidateAll()
+	return EpochReport{}
+}

@@ -1,0 +1,211 @@
+package reram
+
+import (
+	"fmt"
+	"math"
+
+	"remapd/internal/tensor"
+)
+
+// Crossbar is one physical ReRAM array: a Size×Size grid of cells, each of
+// which is Healthy or stuck. Faulty cells also carry a sampled stuck
+// conductance so the analog read path (BIST) sees realistic device
+// variation.
+type Crossbar struct {
+	ID     int
+	Size   int
+	Params DeviceParams
+
+	state []CellState
+	// gFault holds the sampled stuck conductance for faulty cells
+	// (undefined for healthy cells).
+	gFault []float64
+	// inPositive records which cell of the weight's differential pair the
+	// fault hit (sampled at injection); it selects the SAF polarity.
+	inPositive []bool
+	// writes counts row-write operations over the crossbar's lifetime
+	// (weight updates + BIST test writes), for endurance accounting.
+	writes uint64
+}
+
+// NewCrossbar returns a fault-free crossbar.
+func NewCrossbar(id int, p DeviceParams) *Crossbar {
+	n := p.CrossbarSize * p.CrossbarSize
+	return &Crossbar{
+		ID:         id,
+		Size:       p.CrossbarSize,
+		Params:     p,
+		state:      make([]CellState, n),
+		gFault:     make([]float64, n),
+		inPositive: make([]bool, n),
+	}
+}
+
+// Cells returns the total number of cells.
+func (x *Crossbar) Cells() int { return x.Size * x.Size }
+
+// State returns the state of cell (r, c).
+func (x *Crossbar) State(r, c int) CellState { return x.state[r*x.Size+c] }
+
+// StateAt returns the state of the cell at flat index i.
+func (x *Crossbar) StateAt(i int) CellState { return x.state[i] }
+
+// FaultG returns the sampled stuck conductance of the cell at flat index i.
+func (x *Crossbar) FaultG(i int) float64 { return x.gFault[i] }
+
+// InjectFault marks cell (r, c) as stuck, sampling its stuck conductance
+// from the device's SA0/SA1 resistance range and the differential-pair
+// polarity uniformly. Injecting over an existing fault replaces it;
+// injecting Healthy heals the cell (used only by tests).
+func (x *Crossbar) InjectFault(r, c int, s CellState, rng *tensor.RNG) {
+	x.InjectFaultPolar(r, c, s, rng.Float64() < 0.5, rng)
+}
+
+// InjectFaultPolar is InjectFault with an explicit pair polarity
+// (inPositive = the fault hits the G⁺ cell). Targeted tests use it.
+func (x *Crossbar) InjectFaultPolar(r, c int, s CellState, inPositive bool, rng *tensor.RNG) {
+	i := r*x.Size + c
+	x.state[i] = s
+	x.inPositive[i] = inPositive
+	switch s {
+	case SA0:
+		x.gFault[i] = 1 / rng.Range(x.Params.SA0RMin, x.Params.SA0RMax)
+	case SA1:
+		x.gFault[i] = 1 / rng.Range(x.Params.SA1RMin, x.Params.SA1RMax)
+	default:
+		x.gFault[i] = 0
+	}
+}
+
+// FaultInPositive reports which pair cell the fault at flat index i hit.
+func (x *Crossbar) FaultInPositive(i int) bool { return x.inPositive[i] }
+
+// FaultCount returns the number of stuck cells.
+func (x *Crossbar) FaultCount() int {
+	n := 0
+	for _, s := range x.state {
+		if s != Healthy {
+			n++
+		}
+	}
+	return n
+}
+
+// CountState returns the number of cells in state s.
+func (x *Crossbar) CountState(s CellState) int {
+	n := 0
+	for _, st := range x.state {
+		if st == s {
+			n++
+		}
+	}
+	return n
+}
+
+// FaultDensity returns the fraction of stuck cells in [0, 1].
+func (x *Crossbar) FaultDensity() float64 {
+	return float64(x.FaultCount()) / float64(x.Cells())
+}
+
+// ColumnFaults returns the number of cells of state s in column c
+// (the quantity the BIST column-current read exposes).
+func (x *Crossbar) ColumnFaults(c int, s CellState) int {
+	n := 0
+	for r := 0; r < x.Size; r++ {
+		if x.state[r*x.Size+c] == s {
+			n++
+		}
+	}
+	return n
+}
+
+// RecordWrite accounts for one full-array write (one row-by-row program
+// pass, e.g. a weight update or a BIST background write).
+func (x *Crossbar) RecordWrite() { x.writes++ }
+
+// Writes returns the number of full-array writes performed.
+func (x *Crossbar) Writes() uint64 { return x.writes }
+
+// ReadColumnCurrent models the analog read used by BIST state S2/S5:
+// every row is driven with the read voltage and the column current is
+// I = Σ_r V·G_r. The cell conductances correspond to allZero (all healthy
+// cells programmed to logic "0" = GMin, SA1 test) or all-one
+// (GMax, SA0 test); faulty cells contribute their sampled stuck conductance.
+func (x *Crossbar) ReadColumnCurrent(c int, programmedOne bool) float64 {
+	p := x.Params
+	gProg := p.GMin()
+	if programmedOne {
+		gProg = p.GMax()
+	}
+	var current float64
+	for r := 0; r < x.Size; r++ {
+		i := r*x.Size + c
+		g := gProg
+		if x.state[i] != Healthy {
+			g = x.gFault[i]
+		}
+		current += p.ReadVoltage * g
+	}
+	return current
+}
+
+// ClampWeights materialises the weights this crossbar would actually apply
+// during an MVM for a rows×cols block stored in the array's top-left corner
+// (block element (i, j) lives in cell (i, j)): healthy cells return the
+// quantised programmed weight; stuck cells return the weight their stuck
+// conductance decodes to. src and dst are flat row-major rows×cols blocks;
+// clip is the layer's weight coding range.
+func (x *Crossbar) ClampWeights(dst, src []float32, rows, cols int, clip float64) {
+	if len(dst) != len(src) || len(src) != rows*cols {
+		panic("reram: ClampWeights block size mismatch")
+	}
+	if rows > x.Size || cols > x.Size {
+		panic(fmt.Sprintf("reram: %d×%d block exceeds crossbar size %d", rows, cols, x.Size))
+	}
+	p := x.Params
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			bi := i*cols + j
+			cell := i*x.Size + j
+			if x.state[cell] == Healthy {
+				w := p.QuantizeWeight(float64(src[bi]), clip)
+				if p.ProgramSigma > 0 {
+					w *= programNoise(x.ID, x.writes, cell, p.ProgramSigma)
+				}
+				dst[bi] = float32(w)
+			} else {
+				dst[bi] = float32(p.StuckWeightAs(x.state[cell], x.gFault[cell], x.inPositive[cell], float64(src[bi]), clip))
+			}
+		}
+	}
+}
+
+// programNoise returns a deterministic lognormal factor exp(σ·z) for the
+// cell's current programmed state: the same (crossbar, write-generation,
+// cell) triple always yields the same factor, so the noise is stable
+// between writes and resampled when the array is reprogrammed.
+func programNoise(id int, writes uint64, cell int, sigma float64) float64 {
+	// splitmix64 over the triple.
+	h := uint64(id)*0x9e3779b97f4a7c15 ^ writes*0xbf58476d1ce4e5b9 ^ uint64(cell)*0x94d049bb133111eb
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	// Two 32-bit uniforms → one Box–Muller normal.
+	u1 := float64(h>>40) / float64(1<<24)
+	u2 := float64(h&0xffffff) / float64(1<<24)
+	if u1 < 1e-12 {
+		u1 = 1e-12
+	}
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return math.Exp(sigma * z)
+}
+
+// HealAll clears every fault (used by tests and what-if experiments).
+func (x *Crossbar) HealAll() {
+	for i := range x.state {
+		x.state[i] = Healthy
+		x.gFault[i] = 0
+	}
+}

@@ -1,0 +1,106 @@
+package tensor
+
+// ConvGeom describes a 2-D convolution geometry. All convolutions in the
+// framework are square-kernel with symmetric padding and stride.
+type ConvGeom struct {
+	InC, InH, InW int // input channels / height / width
+	OutC          int // output channels
+	K             int // kernel size (K×K)
+	Stride        int
+	Pad           int
+}
+
+// OutH returns the output height for the geometry.
+func (g ConvGeom) OutH() int { return (g.InH+2*g.Pad-g.K)/g.Stride + 1 }
+
+// OutW returns the output width for the geometry.
+func (g ConvGeom) OutW() int { return (g.InW+2*g.Pad-g.K)/g.Stride + 1 }
+
+// ColRows returns the number of rows of the im2col matrix for one image:
+// OutH*OutW.
+func (g ConvGeom) ColRows() int { return g.OutH() * g.OutW() }
+
+// ColCols returns the number of columns of the im2col matrix: InC*K*K.
+func (g ConvGeom) ColCols() int { return g.InC * g.K * g.K }
+
+// Im2Col lowers one image (C×H×W, flattened in src) into the patch matrix
+// dst of shape (OutH*OutW) × (InC*K*K). Out-of-bounds (padding) taps are
+// zero. dst must be pre-allocated with ColRows()*ColCols() elements.
+func (g ConvGeom) Im2Col(dst, src []float32) {
+	oh, ow := g.OutH(), g.OutW()
+	cols := g.ColCols()
+	if len(dst) != oh*ow*cols {
+		panic("tensor: Im2Col dst size mismatch")
+	}
+	if len(src) != g.InC*g.InH*g.InW {
+		panic("tensor: Im2Col src size mismatch")
+	}
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			row := dst[(oy*ow+ox)*cols : (oy*ow+ox+1)*cols]
+			di := 0
+			for c := 0; c < g.InC; c++ {
+				chn := src[c*g.InH*g.InW : (c+1)*g.InH*g.InW]
+				for ky := 0; ky < g.K; ky++ {
+					iy := oy*g.Stride + ky - g.Pad
+					if iy < 0 || iy >= g.InH {
+						for kx := 0; kx < g.K; kx++ {
+							row[di] = 0
+							di++
+						}
+						continue
+					}
+					base := iy * g.InW
+					for kx := 0; kx < g.K; kx++ {
+						ix := ox*g.Stride + kx - g.Pad
+						if ix < 0 || ix >= g.InW {
+							row[di] = 0
+						} else {
+							row[di] = chn[base+ix]
+						}
+						di++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2Im scatters the patch-matrix gradient (same layout as Im2Col's dst)
+// back into an image gradient of size InC×InH×InW, accumulating overlapping
+// taps. dstImage is accumulated into (callers should zero it first if
+// starting fresh).
+func (g ConvGeom) Col2Im(dstImage, srcCols []float32) {
+	oh, ow := g.OutH(), g.OutW()
+	cols := g.ColCols()
+	if len(srcCols) != oh*ow*cols {
+		panic("tensor: Col2Im src size mismatch")
+	}
+	if len(dstImage) != g.InC*g.InH*g.InW {
+		panic("tensor: Col2Im dst size mismatch")
+	}
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			row := srcCols[(oy*ow+ox)*cols : (oy*ow+ox+1)*cols]
+			si := 0
+			for c := 0; c < g.InC; c++ {
+				chn := dstImage[c*g.InH*g.InW : (c+1)*g.InH*g.InW]
+				for ky := 0; ky < g.K; ky++ {
+					iy := oy*g.Stride + ky - g.Pad
+					if iy < 0 || iy >= g.InH {
+						si += g.K
+						continue
+					}
+					base := iy * g.InW
+					for kx := 0; kx < g.K; kx++ {
+						ix := ox*g.Stride + kx - g.Pad
+						if ix >= 0 && ix < g.InW {
+							chn[base+ix] += row[si]
+						}
+						si++
+					}
+				}
+			}
+		}
+	}
+}

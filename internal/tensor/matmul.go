@@ -1,0 +1,193 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the matrix volume (rows*cols*inner) above which
+// MatMulInto shards work across goroutines. Below it the scheduling cost
+// outweighs the parallel speedup.
+const parallelThreshold = 64 * 64 * 64
+
+// MatMul returns a × b for 2-D tensors (m×k)·(k×n) → (m×n).
+func MatMul(a, b *Tensor) *Tensor {
+	out := New(a.Shape[0], b.Shape[1])
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes out = a × b, reusing out's storage. out must be m×n.
+// The kernel is an i-k-j loop with the b row held in a slice, which lets the
+// compiler vectorise the inner accumulation; large products are sharded
+// across GOMAXPROCS goroutines by row blocks.
+func MatMulInto(out, a, b *Tensor) {
+	if a.Rank() != 2 || b.Rank() != 2 || out.Rank() != 2 {
+		panic("tensor: MatMulInto requires rank-2 tensors")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic("tensor: MatMulInto inner dimension mismatch")
+	}
+	if out.Shape[0] != m || out.Shape[1] != n {
+		panic("tensor: MatMulInto output shape mismatch")
+	}
+	out.Zero()
+
+	work := func(r0, r1 int) {
+		for i := r0; i < r1; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			orow := out.Data[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[p*n : (p+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	}
+
+	if m*n*k < parallelThreshold {
+		work(0, m)
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		r0 := w * chunk
+		r1 := min(r0+chunk, m)
+		if r0 >= r1 {
+			break
+		}
+		wg.Add(1)
+		go func(r0, r1 int) {
+			defer wg.Done()
+			work(r0, r1)
+		}(r0, r1)
+	}
+	wg.Wait()
+}
+
+// MatMulTransBInto computes out = a × bᵀ where b is n×k (so bᵀ is k×n).
+// This avoids materialising the transpose for backward passes.
+func MatMulTransBInto(out, a, b *Tensor) {
+	if a.Rank() != 2 || b.Rank() != 2 || out.Rank() != 2 {
+		panic("tensor: MatMulTransBInto requires rank-2 tensors")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	n, k2 := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic("tensor: MatMulTransBInto inner dimension mismatch")
+	}
+	if out.Shape[0] != m || out.Shape[1] != n {
+		panic("tensor: MatMulTransBInto output shape mismatch")
+	}
+
+	work := func(r0, r1 int) {
+		for i := r0; i < r1; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			orow := out.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := b.Data[j*k : (j+1)*k]
+				var s float32
+				for p, av := range arow {
+					s += av * brow[p]
+				}
+				orow[j] = s
+			}
+		}
+	}
+
+	if m*n*k < parallelThreshold {
+		work(0, m)
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		r0 := w * chunk
+		r1 := min(r0+chunk, m)
+		if r0 >= r1 {
+			break
+		}
+		wg.Add(1)
+		go func(r0, r1 int) {
+			defer wg.Done()
+			work(r0, r1)
+		}(r0, r1)
+	}
+	wg.Wait()
+}
+
+// MatMulTransAInto computes out = aᵀ × b where a is k×m (so aᵀ is m×k).
+// Used for weight-gradient accumulation (dW = xᵀ·dy patterns).
+func MatMulTransAInto(out, a, b *Tensor) {
+	if a.Rank() != 2 || b.Rank() != 2 || out.Rank() != 2 {
+		panic("tensor: MatMulTransAInto requires rank-2 tensors")
+	}
+	k, m := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic("tensor: MatMulTransAInto inner dimension mismatch")
+	}
+	if out.Shape[0] != m || out.Shape[1] != n {
+		panic("tensor: MatMulTransAInto output shape mismatch")
+	}
+	out.Zero()
+
+	// out[i][j] = Σ_p a[p][i] * b[p][j]. Parallelise over output rows i to
+	// keep writes disjoint; each worker streams over p.
+	work := func(r0, r1 int) {
+		for p := 0; p < k; p++ {
+			arow := a.Data[p*m : (p+1)*m]
+			brow := b.Data[p*n : (p+1)*n]
+			for i := r0; i < r1; i++ {
+				av := arow[i]
+				if av == 0 {
+					continue
+				}
+				orow := out.Data[i*n : (i+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	}
+
+	if m*n*k < parallelThreshold {
+		work(0, m)
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		r0 := w * chunk
+		r1 := min(r0+chunk, m)
+		if r0 >= r1 {
+			break
+		}
+		wg.Add(1)
+		go func(r0, r1 int) {
+			defer wg.Done()
+			work(r0, r1)
+		}(r0, r1)
+	}
+	wg.Wait()
+}

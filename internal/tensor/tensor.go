@@ -1,0 +1,265 @@
+// Package tensor implements the dense float32 tensor math that underpins
+// the CNN training framework. It is the lowest substrate layer of the
+// repository: everything above it (layers, models, the crossbar MVM engine)
+// is expressed in terms of these tensors.
+//
+// Tensors are row-major and of arbitrary rank. The package favours explicit,
+// allocation-conscious APIs (e.g. MatMulInto) because the training loop calls
+// these routines millions of times.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense, row-major float32 array with an explicit shape.
+// The zero value is an empty tensor.
+type Tensor struct {
+	Shape []int
+	Data  []float32
+}
+
+// New returns a zero-filled tensor with the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float32, n)}
+}
+
+// FromSlice wraps data in a tensor of the given shape. The slice is used
+// directly (not copied); its length must match the shape volume.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (volume %d)", len(data), shape, n))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: data}
+}
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Dim returns the size of axis i.
+func (t *Tensor) Dim(i int) int { return t.Shape[i] }
+
+// Rank returns the number of axes.
+func (t *Tensor) Rank() int { return len(t.Shape) }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Reshape returns a view of t with a new shape of equal volume.
+// The underlying data is shared.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape volume %d to %v", len(t.Data), shape))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: t.Data}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// At returns the element at the given multi-index (rank must match).
+func (t *Tensor) At(idx ...int) float32 {
+	return t.Data[t.offset(idx)]
+}
+
+// Set stores v at the given multi-index.
+func (t *Tensor) Set(v float32, idx ...int) {
+	t.Data[t.offset(idx)] = v
+}
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match shape %v", len(idx), t.Shape))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.Shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.Shape))
+		}
+		off = off*t.Shape[i] + x
+	}
+	return off
+}
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.Shape) != len(o.Shape) {
+		return false
+	}
+	for i := range t.Shape {
+		if t.Shape[i] != o.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Add accumulates o into t element-wise. Shapes must have equal volume.
+func (t *Tensor) Add(o *Tensor) {
+	if len(t.Data) != len(o.Data) {
+		panic("tensor: Add volume mismatch")
+	}
+	for i, v := range o.Data {
+		t.Data[i] += v
+	}
+}
+
+// Sub subtracts o from t element-wise.
+func (t *Tensor) Sub(o *Tensor) {
+	if len(t.Data) != len(o.Data) {
+		panic("tensor: Sub volume mismatch")
+	}
+	for i, v := range o.Data {
+		t.Data[i] -= v
+	}
+}
+
+// Scale multiplies every element by s.
+func (t *Tensor) Scale(s float32) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// AXPY computes t += a*o element-wise.
+func (t *Tensor) AXPY(a float32, o *Tensor) {
+	if len(t.Data) != len(o.Data) {
+		panic("tensor: AXPY volume mismatch")
+	}
+	for i, v := range o.Data {
+		t.Data[i] += a * v
+	}
+}
+
+// Dot returns the inner product of the flattened tensors.
+func Dot(a, b *Tensor) float64 {
+	if len(a.Data) != len(b.Data) {
+		panic("tensor: Dot volume mismatch")
+	}
+	var s float64
+	for i := range a.Data {
+		s += float64(a.Data[i]) * float64(b.Data[i])
+	}
+	return s
+}
+
+// Sum returns the sum of all elements as float64 for stability.
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += float64(v)
+	}
+	return s
+}
+
+// AbsMax returns the maximum absolute element value (0 for empty tensors).
+func (t *Tensor) AbsMax() float32 {
+	var m float32
+	for _, v := range t.Data {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// L2Norm returns the Euclidean norm of the flattened tensor.
+func (t *Tensor) L2Norm() float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// ArgMaxRow returns, for a 2-D tensor, the index of the maximum element in
+// row r. Useful for classification outputs.
+func (t *Tensor) ArgMaxRow(r int) int {
+	if t.Rank() != 2 {
+		panic("tensor: ArgMaxRow requires rank 2")
+	}
+	cols := t.Shape[1]
+	row := t.Data[r*cols : (r+1)*cols]
+	best, bi := row[0], 0
+	for i, v := range row {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// Transpose2D returns a new tensor that is the transpose of a 2-D tensor.
+func (t *Tensor) Transpose2D() *Tensor {
+	if t.Rank() != 2 {
+		panic("tensor: Transpose2D requires rank 2")
+	}
+	r, c := t.Shape[0], t.Shape[1]
+	out := New(c, r)
+	// Blocked transpose for cache friendliness.
+	const bs = 32
+	for i0 := 0; i0 < r; i0 += bs {
+		i1 := min(i0+bs, r)
+		for j0 := 0; j0 < c; j0 += bs {
+			j1 := min(j0+bs, c)
+			for i := i0; i < i1; i++ {
+				for j := j0; j < j1; j++ {
+					out.Data[j*r+i] = t.Data[i*c+j]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// String renders a short description (shape plus a handful of values),
+// intended for debugging rather than serialization.
+func (t *Tensor) String() string {
+	n := len(t.Data)
+	if n > 8 {
+		return fmt.Sprintf("Tensor%v[%v %v %v ... %v]", t.Shape, t.Data[0], t.Data[1], t.Data[2], t.Data[n-1])
+	}
+	return fmt.Sprintf("Tensor%v%v", t.Shape, t.Data)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

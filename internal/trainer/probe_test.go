@@ -1,0 +1,214 @@
+package trainer
+
+// probe_test.go contains a manually-invoked calibration probe used while
+// tuning the synthetic workloads (run with: go test -run Probe -v -tags).
+// It is skipped in normal runs.
+
+import (
+	"os"
+	"testing"
+
+	"remapd/internal/arch"
+	"remapd/internal/dataset"
+	"remapd/internal/fault"
+	"remapd/internal/models"
+	"remapd/internal/nn"
+	"remapd/internal/remap"
+	"remapd/internal/reram"
+)
+
+type nnNet = nn.Network
+
+func datasetBig() *dataset.Dataset { return dataset.CIFAR10Like(512, 512, 16, 77) }
+
+func buildProbeModel(name string, seed uint64) *nn.Network {
+	net, err := models.Build(name, models.Config{
+		InC: 3, InH: 16, InW: 16, Classes: 10, WidthScale: 0.125, BatchNorm: true, Seed: seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return net
+}
+
+func TestProbeFaultSensitivity(t *testing.T) {
+	if os.Getenv("REMAPD_PROBE") == "" {
+		t.Skip("calibration probe; set REMAPD_PROBE=1 to run")
+	}
+	// Width/crossbar co-scaling probe: does 1/4 width restore the paper's
+	// forward≫backward tolerance gap?
+	if os.Getenv("REMAPD_WIDTH_PROBE") != "" {
+		dsw := datasetBig()
+		for _, epochs := range []int{6} {
+			w := 0.125
+			xsize := 32
+			_ = epochs
+			mk := func(seed uint64) *nn.Network {
+				net, err := models.Build("vgg11", models.Config{
+					InC: 3, InH: 16, InW: 16, Classes: 10, WidthScale: w, BatchNorm: true, Seed: seed,
+				})
+				if err != nil {
+					panic(err)
+				}
+				return net
+			}
+			chip := func() *arch.Chip {
+				p := reram.DefaultDeviceParams()
+				p.CrossbarSize = xsize
+				return arch.NewChip(p, arch.Geometry{TilesX: 8, TilesY: 8, IMAsPerTile: 2, XbarsPerIMA: 4})
+			}
+			for _, seed := range []uint64{1, 2} {
+				cfg := baseCfg()
+				cfg.Epochs = epochs
+				cfg.Seed = seed
+				ideal, _ := Train(mk(seed), dsw, cfg)
+				cfg = baseCfg()
+				cfg.Epochs = epochs
+				cfg.Seed = seed
+				cfg.Chip = chip()
+				cfg.PhaseInject = &PhaseInjection{Phase: arch.Forward, Density: 0.02}
+				rf, _ := Train(mk(seed), dsw, cfg)
+				cfg = baseCfg()
+				cfg.Epochs = epochs
+				cfg.Seed = seed
+				cfg.Chip = chip()
+				cfg.PhaseInject = &PhaseInjection{Phase: arch.Backward, Density: 0.02}
+				rb, _ := Train(mk(seed), dsw, cfg)
+				t.Logf("epochs %d seed %d: ideal=%.3f fwd=%.3f bwd=%.3f", epochs, seed, ideal.FinalTestAcc, rf.FinalTestAcc, rb.FinalTestAcc)
+			}
+			// Policy comparison at this schedule.
+			pre := fault.DefaultPreProfile()
+			pre.HighDensity = [2]float64{0.04, 0.10}
+			pre.LowDensity = [2]float64{0, 0.004}
+			post := fault.DefaultPostModel()
+			post.CrossbarFraction = 0.01
+			post.CellFraction = 0.03
+			for _, pname := range []string{"none", "static", "an-code", "remap-ws", "remap-d"} {
+				var accs []float64
+				sw := 0
+				for _, seed := range []uint64{1, 2, 3} {
+					var pol remap.Policy
+					switch pname {
+					case "none":
+						pol = remap.None{}
+					case "static":
+						pol = remap.Static{}
+					case "an-code":
+						pol = remap.NewANCode()
+					case "remap-ws":
+						pol = remap.NewRemapWS()
+					default:
+						rd := remap.NewRemapD()
+						rd.Threshold = 0.02
+						pol = rd
+					}
+					cfg := baseCfg()
+					cfg.Epochs = epochs
+					cfg.Seed = seed
+					cfg.Chip = chip()
+					cfg.Pre = &pre
+					cfg.Post = &post
+					cfg.Policy = pol
+					r, _ := Train(mk(seed), dsw, cfg)
+					accs = append(accs, r.FinalTestAcc)
+					sw += r.Swaps
+				}
+				t.Logf("epochs %d policy %-8s: mean=%.3f runs=%v swaps=%d", epochs, pname, (accs[0]+accs[1]+accs[2])/3, accs, sw)
+			}
+		}
+		return
+	}
+
+	ds := smallDataset()
+	base := func() Config { c := baseCfg(); c.Epochs = 5; return c }
+
+	ideal, _ := Train(smallModel(1), ds, base())
+	t.Logf("ideal: %.3f  history=%v", ideal.FinalTestAcc, ideal.EpochTestAcc)
+
+	for _, model := range []string{"cnn-s", "vgg11"} {
+		mk := func(seed uint64) func() *nnNet {
+			return func() *nnNet { return buildProbeModel(model, seed) }
+		}
+		idealM, _ := Train(mk(1)(), ds, base())
+		t.Logf("%s ideal: %.3f", model, idealM.FinalTestAcc)
+		for _, d := range []float64{0.02, 0.05} {
+			for seed := uint64(1); seed <= 3; seed++ {
+				cfg := base()
+				cfg.Chip = smallChip()
+				cfg.PhaseInject = &PhaseInjection{Phase: arch.Forward, Density: d}
+				rf, _ := Train(mk(seed)(), ds, cfg)
+				cfg = base()
+				cfg.Chip = smallChip()
+				cfg.PhaseInject = &PhaseInjection{Phase: arch.Backward, Density: d}
+				rb, _ := Train(mk(seed)(), ds, cfg)
+				t.Logf("%s density %.2f seed %d: fwd=%.3f bwd=%.3f", model, d, seed, rf.FinalTestAcc, rb.FinalTestAcc)
+			}
+		}
+	}
+
+	// Damage curve: where does unprotected training break?
+	for _, mult := range []float64{1, 3, 6, 12} {
+		pre := fault.DefaultPreProfile()
+		pre.HighDensity = [2]float64{0.004 * mult, 0.01 * mult}
+		pre.LowDensity = [2]float64{0, 0.004 * mult}
+		post := fault.DefaultPostModel()
+		post.CrossbarFraction = 0.08
+		post.CellFraction = 0.005 * mult
+		cfg := base()
+		cfg.Epochs = 6
+		p2 := reram.DefaultDeviceParams()
+		p2.CrossbarSize = 32
+		cfg.Chip = arch.NewChip(p2, arch.Geometry{TilesX: 8, TilesY: 8, IMAsPerTile: 2, XbarsPerIMA: 4})
+		cfg.Pre = &pre
+		cfg.Post = &post
+		r, err := Train(buildProbeModel("vgg11", 1), ds, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("damage x%.0f: none=%.3f", mult, r.FinalTestAcc)
+	}
+
+	probeChip := func() *arch.Chip {
+		p := reram.DefaultDeviceParams()
+		p.CrossbarSize = 32 // utilization-matched to the 1/8-width models
+		return arch.NewChip(p, arch.Geometry{TilesX: 8, TilesY: 8, IMAsPerTile: 2, XbarsPerIMA: 4})
+	}
+	pre := fault.DefaultPreProfile()
+	pre.HighDensity = [2]float64{0.04, 0.10}
+	pre.LowDensity = [2]float64{0, 0.004}
+	post := fault.DefaultPostModel()
+	post.CrossbarFraction = 0.02
+	post.CellFraction = 0.06
+	dsBig := datasetBig()
+	mkPolicy := map[string]func() remap.Policy{
+		"none":    func() remap.Policy { return remap.None{} },
+		"static":  func() remap.Policy { return remap.Static{} },
+		"an-code": func() remap.Policy { return remap.NewANCode() },
+		"remap-d": func() remap.Policy {
+			rd := remap.NewRemapD()
+			rd.Threshold = 0.02
+			return rd
+		},
+	}
+	for _, name := range []string{"none", "static", "an-code", "remap-d"} {
+		var accs []float64
+		swaps := 0
+		for seed := uint64(1); seed <= 3; seed++ {
+			cfg := base()
+			cfg.Epochs = 6
+			cfg.Seed = seed
+			cfg.Chip = probeChip()
+			cfg.Pre = &pre
+			cfg.Post = &post
+			cfg.Policy = mkPolicy[name]()
+			r, err := Train(buildProbeModel("vgg11", seed), dsBig, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			accs = append(accs, r.FinalTestAcc)
+			swaps += r.Swaps
+		}
+		mean := (accs[0] + accs[1] + accs[2]) / 3
+		t.Logf("policy %-11s: mean=%.3f runs=%v swaps=%d", name, mean, accs, swaps)
+	}
+}

@@ -1,0 +1,180 @@
+// Package remapd is a from-scratch Go reproduction of "Dynamic Task
+// Remapping for Reliable CNN Training on ReRAM Crossbars" (Tung et al.,
+// DATE 2023): a complete simulated ReRAM crossbar-based computing system
+// (RCS) — CNN training framework, crossbar device/fault models, BIST,
+// c-mesh NoC — together with the paper's Remap-D dynamic task-remapping
+// policy and every baseline it is evaluated against.
+//
+// This package is the public façade: it re-exports the stable API of the
+// internal packages so applications outside this module can build faulty
+// chips, train CNNs on them, and run the paper's experiments.
+//
+// A minimal end-to-end session:
+//
+//	scale := remapd.QuickScale()
+//	regime := remapd.DefaultRegime()
+//	net, _ := remapd.BuildModel("vgg11", scale, 1, 10)
+//	chip := remapd.NewChip(scale)
+//	policy := remapd.NewRemapD()
+//	policy.Threshold = regime.RemapThreshold
+//
+//	cfg := remapd.DefaultTrainConfig()
+//	cfg.Chip, cfg.Policy = chip, policy
+//	cfg.Pre, cfg.Post = &regime.Pre, &regime.Post
+//
+//	ds := remapd.CIFAR10Like(512, 512, scale.ImgSize, 7)
+//	res, _ := remapd.Train(net, ds, cfg)
+//	fmt.Println(res.FinalTestAcc)
+package remapd
+
+import (
+	"remapd/internal/arch"
+	"remapd/internal/bist"
+	"remapd/internal/dataset"
+	"remapd/internal/experiments"
+	"remapd/internal/fault"
+	"remapd/internal/models"
+	"remapd/internal/nn"
+	"remapd/internal/noc"
+	"remapd/internal/remap"
+	"remapd/internal/reram"
+	"remapd/internal/tensor"
+	"remapd/internal/trainer"
+)
+
+// Core tensor / network types.
+type (
+	// Tensor is a dense row-major float32 array.
+	Tensor = tensor.Tensor
+	// RNG is the repository-wide deterministic random generator.
+	RNG = tensor.RNG
+	// Network is an ordered stack of layers bound to a compute fabric.
+	Network = nn.Network
+	// ModelConfig parameterises the model zoo constructors.
+	ModelConfig = models.Config
+)
+
+// Device, architecture, and fault-model types.
+type (
+	// DeviceParams is the ReRAM technology point.
+	DeviceParams = reram.DeviceParams
+	// Crossbar is one physical ReRAM array with per-cell fault state.
+	Crossbar = reram.Crossbar
+	// Chip is the full RCS (crossbars, tasks, mapping); it implements the
+	// training framework's Fabric interface.
+	Chip = arch.Chip
+	// Geometry describes the chip's tile/IMA/crossbar structure.
+	Geometry = arch.Geometry
+	// Task is the unit of remapping (one weight block in one phase).
+	Task = arch.Task
+	// PreProfile is the clustered pre-deployment fault distribution.
+	PreProfile = fault.PreProfile
+	// PostModel is the per-epoch endurance wear-out process.
+	PostModel = fault.PostModel
+	// BISTController is the fault-density self-test FSM.
+	BISTController = bist.Controller
+	// BISTResult is one completed BIST pass.
+	BISTResult = bist.Result
+)
+
+// Policy and training types.
+type (
+	// Policy is a fault-tolerance scheme (Remap-D or a baseline).
+	Policy = remap.Policy
+	// RemapD is the paper's dynamic task-remapping policy.
+	RemapD = remap.RemapD
+	// TrainConfig drives one training run on the (possibly faulty) RCS.
+	TrainConfig = trainer.Config
+	// TrainResult summarises a run.
+	TrainResult = trainer.Result
+	// Dataset is an in-memory image-classification dataset.
+	Dataset = dataset.Dataset
+	// Scale bundles the reproduction-size knobs used by the experiments.
+	Scale = experiments.Scale
+	// FaultRegime is a pre/post fault configuration plus policy threshold.
+	FaultRegime = experiments.FaultRegime
+	// NoCConfig describes the c-mesh network.
+	NoCConfig = noc.Config
+)
+
+// Phases of a training task (backward is the fault-critical one).
+const (
+	Forward  = arch.Forward
+	Backward = arch.Backward
+)
+
+// NewRNG returns a deterministic generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return tensor.NewRNG(seed) }
+
+// DefaultDeviceParams returns the paper's technology point (128×128 arrays
+// at 10 MHz, 1.2 GHz CMOS peripherals).
+func DefaultDeviceParams() DeviceParams { return reram.DefaultDeviceParams() }
+
+// NewChipWith builds an RCS chip from explicit device parameters and
+// geometry.
+func NewChipWith(p DeviceParams, g Geometry) *Chip { return arch.NewChip(p, g) }
+
+// NewChip builds a chip at a reproduction scale's technology point.
+func NewChip(s Scale) *Chip { return experiments.NewChip(s) }
+
+// BuildModel constructs one of the paper's CNNs ("vgg11", "vgg16",
+// "vgg19", "resnet12", "resnet18", "squeezenet", or the auxiliary "cnn-s")
+// at the scale's geometry.
+func BuildModel(name string, s Scale, seed uint64, classes int) (*Network, error) {
+	return experiments.BuildModel(name, s, seed, classes)
+}
+
+// ModelNames lists the registered model constructors.
+func ModelNames() []string { return models.Names() }
+
+// Dataset constructors (synthetic stand-ins for CIFAR-10/100 and SVHN —
+// see DESIGN.md for the substitution rationale).
+var (
+	CIFAR10Like  = dataset.CIFAR10Like
+	CIFAR100Like = dataset.CIFAR100Like
+	SVHNLike     = dataset.SVHNLike
+)
+
+// Policies.
+func NewRemapD() *RemapD { return remap.NewRemapD() }
+
+// NewPolicy constructs any policy by its experiment name ("none",
+// "static", "an-code", "remap-ws", "remap-t-5", "remap-t-10", "remap-d");
+// "ideal" returns nil (train without a chip). The boolean reports whether
+// the policy needs TrainConfig.TrackGradAbs.
+func NewPolicy(name string, reg FaultRegime) (Policy, bool, error) {
+	return experiments.PolicyByName(name, reg)
+}
+
+// PolicyNames lists the Fig. 6 policy columns in presentation order.
+func PolicyNames() []string { return experiments.PolicyNames() }
+
+// Fault profiles.
+var (
+	DefaultPreProfile = fault.DefaultPreProfile
+	DefaultPostModel  = fault.DefaultPostModel
+)
+
+// Training.
+func DefaultTrainConfig() TrainConfig { return trainer.DefaultConfig() }
+
+// Train runs the fault-aware training loop.
+func Train(net *Network, ds *Dataset, cfg TrainConfig) (*TrainResult, error) {
+	return trainer.Train(net, ds, cfg)
+}
+
+// Evaluate returns test accuracy of net on ds.
+func Evaluate(net *Network, ds *Dataset, batch int) float64 {
+	return trainer.Evaluate(net, ds, batch)
+}
+
+// Experiment scales and regimes.
+var (
+	QuickScale    = experiments.QuickScale
+	StandardScale = experiments.StandardScale
+	DefaultRegime = experiments.DefaultRegime
+	PaperRegime   = experiments.PaperRegime
+)
+
+// NewBIST returns a BIST controller for the technology point.
+func NewBIST(p DeviceParams) *BISTController { return bist.NewController(p) }

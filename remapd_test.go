@@ -1,0 +1,78 @@
+package remapd_test
+
+import (
+	"testing"
+
+	"remapd"
+)
+
+// The façade test exercises the public API end-to-end at the smallest
+// possible scale: build a chip, inject the default fault regime, train a
+// tiny model under Remap-D, and check the result is coherent.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	scale := remapd.QuickScale()
+	scale.TrainN, scale.TestN, scale.Epochs = 160, 100, 2
+	regime := remapd.DefaultRegime()
+
+	net, err := remapd.BuildModel("cnn-s", scale, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy, trackGrads, err := remapd.NewPolicy("remap-d", regime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trackGrads {
+		t.Fatal("remap-d must not need gradient tracking")
+	}
+
+	cfg := remapd.DefaultTrainConfig()
+	cfg.Epochs, cfg.BatchSize, cfg.LR = scale.Epochs, scale.BatchSize, scale.LR
+	cfg.Chip = remapd.NewChip(scale)
+	cfg.Policy = policy
+	cfg.Pre, cfg.Post = &regime.Pre, &regime.Post
+
+	ds := remapd.CIFAR10Like(scale.TrainN, scale.TestN, scale.ImgSize, 7)
+	res, err := remapd.Train(net, ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != "remap-d" {
+		t.Fatalf("policy name %q", res.Policy)
+	}
+	if res.FinalTestAcc <= 0.05 || res.FinalTestAcc > 1 {
+		t.Fatalf("accuracy %v out of range", res.FinalTestAcc)
+	}
+	// Evaluate runs after the final epoch-boundary remap (which Train
+	// performs after its last evaluation), so it need not be identical —
+	// but it must be a sane accuracy on the same chip.
+	if acc := remapd.Evaluate(net, ds, 32); acc < 0.05 || acc > 1 {
+		t.Fatalf("Evaluate returned %v", acc)
+	}
+}
+
+func TestPublicAPISurface(t *testing.T) {
+	if got := len(remapd.ModelNames()); got != 7 {
+		t.Fatalf("model zoo size %d, want 7", got)
+	}
+	if got := len(remapd.PolicyNames()); got != 8 {
+		t.Fatalf("policy list size %d, want 8", got)
+	}
+	p := remapd.DefaultDeviceParams()
+	if p.CrossbarSize != 128 {
+		t.Fatalf("device params wrong: %+v", p)
+	}
+	b := remapd.NewBIST(p)
+	x := remapd.NewChipWith(p, remapd.Geometry{TilesX: 2, TilesY: 2, IMAsPerTile: 1, XbarsPerIMA: 1})
+	res := b.Run(x.Xbars[0])
+	if res.Cycles != 260 {
+		t.Fatalf("BIST cycles %d", res.Cycles)
+	}
+	rng := remapd.NewRNG(1)
+	if rng.Float64() < 0 {
+		t.Fatal("rng broken")
+	}
+	if remapd.Forward == remapd.Backward {
+		t.Fatal("phase constants must differ")
+	}
+}
