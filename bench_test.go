@@ -9,6 +9,7 @@
 package remapd_test
 
 import (
+	"context"
 	"testing"
 
 	"remapd/internal/experiments"
@@ -42,7 +43,7 @@ func BenchmarkFig5PhaseTolerance(b *testing.B) {
 	s := benchScale()
 	reg := experiments.DefaultRegime()
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Fig5(s, reg)
+		rows, err := experiments.Fig5(context.Background(), s, reg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -58,7 +59,7 @@ func BenchmarkFig6PolicyComparison(b *testing.B) {
 	s := benchScale()
 	reg := experiments.DefaultRegime()
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Fig6(s, reg, nil)
+		rows, err := experiments.Fig6(context.Background(), s, reg, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -74,7 +75,7 @@ func BenchmarkFig7PostDeploymentSweep(b *testing.B) {
 	s := benchScale()
 	reg := experiments.DefaultRegime()
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Fig7(s, reg, []string{"vgg11"},
+		rows, err := experiments.Fig7(context.Background(), s, reg, []string{"vgg11"},
 			[]float64{0.005, 0.06}, []float64{0.01, 0.04})
 		if err != nil {
 			b.Fatal(err)
@@ -91,12 +92,33 @@ func BenchmarkFig8Scalability(b *testing.B) {
 	s := benchScale()
 	reg := experiments.DefaultRegime()
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Fig8(s, reg)
+		rows, err := experiments.Fig8(context.Background(), s, reg)
 		if err != nil {
 			b.Fatal(err)
 		}
 		if i == 0 {
 			b.Logf("\n%s", experiments.FormatFig8(rows))
+		}
+	}
+}
+
+// BenchmarkFig6RunnerSmoke exercises the parallel experiment runner end to
+// end: the Fig. 6 headline cells at bench scale fanned across 4 workers.
+// CI runs this with -benchtime=1x as the training smoke test.
+func BenchmarkFig6RunnerSmoke(b *testing.B) {
+	s := benchScale()
+	s.Workers = 4
+	reg := experiments.DefaultRegime()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig6(context.Background(), s, reg, []string{"ideal", "none", "remap-d"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 3 {
+			b.Fatalf("rows %d", len(rows))
+		}
+		if i == 0 {
+			b.Logf("\n%s", experiments.FormatFig6(rows))
 		}
 	}
 }
@@ -139,7 +161,7 @@ func BenchmarkAblationThreshold(b *testing.B) {
 	s := benchScale()
 	reg := experiments.DefaultRegime()
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.AblationThreshold(s, reg, "vgg11", []float64{0.004, 0.02, 0.05})
+		rows, err := experiments.AblationThreshold(context.Background(), s, reg, "vgg11", []float64{0.004, 0.02, 0.05})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -155,7 +177,7 @@ func BenchmarkAblationReceiverSelection(b *testing.B) {
 	s := benchScale()
 	reg := experiments.DefaultRegime()
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.AblationReceiverSelection(s, reg, "vgg11")
+		rows, err := experiments.AblationReceiverSelection(context.Background(), s, reg, "vgg11")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -171,7 +193,7 @@ func BenchmarkAblationCoding(b *testing.B) {
 	s := benchScale()
 	reg := experiments.DefaultRegime()
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.AblationCoding(s, reg, "vgg11")
+		rows, err := experiments.AblationCoding(context.Background(), s, reg, "vgg11")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -187,7 +209,7 @@ func BenchmarkAblationBISTvsTruth(b *testing.B) {
 	s := benchScale()
 	reg := experiments.DefaultRegime()
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.AblationBISTvsTruth(s, reg, "vgg11")
+		rows, err := experiments.AblationBISTvsTruth(context.Background(), s, reg, "vgg11")
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -7,11 +7,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"remapd/internal/experiments"
@@ -23,8 +26,14 @@ func main() {
 		scale     = flag.String("scale", "quick", "quick or standard")
 		ablations = flag.Bool("ablations", true, "include the design-choice ablations")
 		csvDir    = flag.String("csv", "", "also write each figure's rows as CSV into this directory")
+		workers   = flag.Int("j", 0, "experiment cells to run in parallel (0 = all cores)")
+		progress  = flag.Bool("progress", false, "log one line per completed experiment cell")
 	)
 	flag.Parse()
+
+	// Ctrl-C cancels in-flight training cells at their next batch boundary.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	writeCSV := func(name string, rows interface{}) {
 		if *csvDir == "" {
@@ -49,6 +58,10 @@ func main() {
 	default:
 		log.Fatalf("unknown scale %q", *scale)
 	}
+	s.Workers = *workers
+	if *progress {
+		s.Progress = log.Printf
+	}
 	reg := experiments.DefaultRegime()
 	start := time.Now()
 	section := func(title string) {
@@ -65,7 +78,7 @@ func main() {
 	if *scale == "quick" {
 		f5.Models = []string{"vgg11"}
 	}
-	rows5, err := experiments.Fig5(f5, reg)
+	rows5, err := experiments.Fig5(ctx, f5, reg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,7 +86,7 @@ func main() {
 	writeCSV("fig5", rows5)
 
 	section("Fig. 6 — policy comparison under pre+post faults")
-	rows6, err := experiments.Fig6(s, reg, nil)
+	rows6, err := experiments.Fig6(ctx, s, reg, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -85,7 +98,7 @@ func main() {
 	if *scale == "quick" {
 		sweepModels = []string{"vgg11"}
 	}
-	rows7, err := experiments.Fig7(s, reg, sweepModels,
+	rows7, err := experiments.Fig7(ctx, s, reg, sweepModels,
 		[]float64{0.005, 0.03, 0.06}, []float64{0.01, 0.02, 0.04})
 	if err != nil {
 		log.Fatal(err)
@@ -94,7 +107,7 @@ func main() {
 	writeCSV("fig7", rows7)
 
 	section("Fig. 8 — scalability (CIFAR-100-like, SVHN-like)")
-	rows8, err := experiments.Fig8(s, reg)
+	rows8, err := experiments.Fig8(ctx, s, reg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -115,28 +128,28 @@ func main() {
 	if *ablations {
 		model := s.Models[len(s.Models)-1]
 		section("Ablation — Remap-D trigger threshold (" + model + ")")
-		rt, err := experiments.AblationThreshold(s, reg, model, []float64{0.004, 0.01, 0.02, 0.05})
+		rt, err := experiments.AblationThreshold(ctx, s, reg, model, []float64{0.004, 0.01, 0.02, 0.05})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Print(experiments.FormatThreshold(rt))
 
 		section("Ablation — receiver selection (nearest vs random)")
-		rr, err := experiments.AblationReceiverSelection(s, reg, model)
+		rr, err := experiments.AblationReceiverSelection(ctx, s, reg, model)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Print(experiments.FormatReceiver(rr))
 
 		section("Ablation — conductance coding scheme")
-		rc, err := experiments.AblationCoding(s, reg, model)
+		rc, err := experiments.AblationCoding(ctx, s, reg, model)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Print(experiments.FormatCoding(rc))
 
 		section("Ablation — BIST estimate vs ground-truth density")
-		rb, err := experiments.AblationBISTvsTruth(s, reg, model)
+		rb, err := experiments.AblationBISTvsTruth(ctx, s, reg, model)
 		if err != nil {
 			log.Fatal(err)
 		}

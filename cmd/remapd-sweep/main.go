@@ -4,10 +4,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"remapd/internal/experiments"
 )
@@ -21,8 +25,13 @@ func main() {
 		seeds      = flag.Int("seeds", 1, "seeds to average")
 		msFlag     = flag.String("m", "0.005,0.03,0.06", "cell fractions (compressed-schedule equivalents of the paper's 0.1–1%)")
 		nsFlag     = flag.String("n", "0.01,0.02,0.04", "crossbar fractions (equivalents of the paper's 0.1–2%)")
+		workers    = flag.Int("j", 0, "sweep cells to run in parallel (0 = all cores)")
+		progress   = flag.Bool("progress", false, "log one line per completed sweep cell")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	s := experiments.StandardScale()
 	s.Epochs = *epochs
@@ -30,6 +39,10 @@ func main() {
 	s.Seeds = nil
 	for i := 0; i < *seeds; i++ {
 		s.Seeds = append(s.Seeds, uint64(i+1))
+	}
+	s.Workers = *workers
+	if *progress {
+		s.Progress = log.Printf
 	}
 	reg := experiments.DefaultRegime()
 
@@ -47,7 +60,7 @@ func main() {
 
 	sweepModels := strings.Split(*modelsFlag, ",")
 	fmt.Printf("Fig. 7 — Remap-D under post-deployment sweeps (%s)\n\n", *modelsFlag)
-	rows, err := experiments.Fig7(s, reg, sweepModels, parse(*msFlag), parse(*nsFlag))
+	rows, err := experiments.Fig7(ctx, s, reg, sweepModels, parse(*msFlag), parse(*nsFlag))
 	if err != nil {
 		log.Fatal(err)
 	}

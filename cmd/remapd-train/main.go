@@ -12,11 +12,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
+	"syscall"
 
 	"remapd/internal/arch"
 	"remapd/internal/dataset"
@@ -41,8 +45,16 @@ func main() {
 		simNoC    = flag.Bool("noc", false, "simulate the remap handshake on the flit-level NoC")
 		usePaper  = flag.Bool("paper-regime", false, "use the paper's literal fault densities instead of the compressed schedule")
 		endurance = flag.Bool("endurance", false, "derive wear-out physically from write counts (Weibull) instead of the phenomenological post model")
+		workers   = flag.Int("j", 0, "cap on compute parallelism (GOMAXPROCS; 0 = all cores)")
 	)
 	flag.Parse()
+	if *workers > 0 {
+		runtime.GOMAXPROCS(*workers)
+	}
+
+	// Ctrl-C stops training at the next batch boundary.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	s := experiments.StandardScale()
 	s.Epochs = *epochs
@@ -85,6 +97,7 @@ func main() {
 	cfg.BatchSize = s.BatchSize
 	cfg.LR = s.LR
 	cfg.Seed = *seed
+	cfg.Ctx = ctx
 	cfg.SimulateNoC = *simNoC
 	cfg.Logf = func(f string, a ...interface{}) { fmt.Printf(f+"\n", a...) }
 
@@ -96,7 +109,7 @@ func main() {
 		} else if *phase != "forward" {
 			log.Fatalf("-phase must be forward or backward, got %q", *phase)
 		}
-		cfg.Chip = newChip(s)
+		cfg.Chip = experiments.NewChip(s)
 		cfg.PhaseInject = &trainer.PhaseInjection{Phase: ph, Density: reg.PhaseDensity}
 		fmt.Printf("targeted %s-phase injection at %.1f%% density\n", *phase, 100*reg.PhaseDensity)
 	case *policy == "ideal":
@@ -106,7 +119,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		cfg.Chip = newChip(s)
+		cfg.Chip = experiments.NewChip(s)
 		cfg.Policy = pol
 		cfg.Pre = &reg.Pre
 		if *endurance {
@@ -131,5 +144,3 @@ func main() {
 	}
 	os.Exit(0)
 }
-
-func newChip(s experiments.Scale) *arch.Chip { return experiments.NewChip(s) }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"remapd/internal/arch"
@@ -23,28 +24,44 @@ type ThresholdRow struct {
 // AblationThreshold sweeps the Remap-D density threshold on one model:
 // too low churns tasks between marginally different crossbars, too high
 // leaves hot crossbars untreated.
-func AblationThreshold(s Scale, reg FaultRegime, model string, thresholds []float64) ([]ThresholdRow, error) {
+func AblationThreshold(ctx context.Context, s Scale, reg FaultRegime, model string, thresholds []float64) ([]ThresholdRow, error) {
 	ds := dataset.CIFAR10Like(s.TrainN, s.TestN, s.ImgSize, 77)
+	var cells []Cell
+	for _, th := range thresholds {
+		for _, seed := range s.Seeds {
+			cells = append(cells, Cell{
+				Key: CellKey{Model: model, Policy: "remap-d", Seed: seed,
+					Extra: fmt.Sprintf("th%g", th)},
+				Run: func(ctx context.Context) (interface{}, error) {
+					net, err := buildModel(model, s, seed)
+					if err != nil {
+						return nil, err
+					}
+					rd := remap.NewRemapD()
+					rd.Threshold = th
+					cfg := baseTrainConfig(s, seed)
+					cfg.Ctx = ctx
+					cfg.Chip = NewChip(s)
+					cfg.Policy = rd
+					cfg.Pre = &reg.Pre
+					cfg.Post = &reg.Post
+					return trainer.Train(net, ds, cfg)
+				},
+			})
+		}
+	}
+	out, err := newRunner(s).Run(ctx, cells)
+	if err != nil {
+		return nil, err
+	}
 	var rows []ThresholdRow
+	i := 0
 	for _, th := range thresholds {
 		var accs []float64
 		swaps, unmatched := 0, 0
-		for _, seed := range s.Seeds {
-			net, err := buildModel(model, s, seed)
-			if err != nil {
-				return nil, err
-			}
-			rd := remap.NewRemapD()
-			rd.Threshold = th
-			cfg := baseTrainConfig(s, seed)
-			cfg.Chip = newChip(s)
-			cfg.Policy = rd
-			cfg.Pre = &reg.Pre
-			cfg.Post = &reg.Post
-			res, err := trainer.Train(net, ds, cfg)
-			if err != nil {
-				return nil, err
-			}
+		for range s.Seeds {
+			res := out[i].(*trainer.Result)
+			i++
 			accs = append(accs, res.FinalTestAcc)
 			swaps += res.Swaps
 			unmatched += res.Unmatched
@@ -66,40 +83,55 @@ type ReceiverRow struct {
 
 // AblationReceiverSelection runs the receiver-choice ablation with the
 // flit-level NoC enabled.
-func AblationReceiverSelection(s Scale, reg FaultRegime, model string) ([]ReceiverRow, error) {
+func AblationReceiverSelection(ctx context.Context, s Scale, reg FaultRegime, model string) ([]ReceiverRow, error) {
 	ds := dataset.CIFAR10Like(s.TrainN, s.TestN, s.ImgSize, 77)
-	var rows []ReceiverRow
-	for _, random := range []bool{false, true} {
-		name := "nearest"
-		if random {
-			name = "random"
+	selections := []struct {
+		name   string
+		random bool
+	}{{"nearest", false}, {"random", true}}
+	var cells []Cell
+	for _, sel := range selections {
+		for _, seed := range s.Seeds {
+			cells = append(cells, Cell{
+				Key: CellKey{Model: model, Policy: "remap-d", Seed: seed, Extra: sel.name},
+				Run: func(ctx context.Context) (interface{}, error) {
+					net, err := buildModel(model, s, seed)
+					if err != nil {
+						return nil, err
+					}
+					rd := remap.NewRemapD()
+					rd.Threshold = reg.RemapThreshold
+					rd.RandomReceiver = sel.random
+					cfg := baseTrainConfig(s, seed)
+					cfg.Ctx = ctx
+					cfg.Chip = NewChip(s)
+					cfg.Policy = rd
+					cfg.Pre = &reg.Pre
+					cfg.Post = &reg.Post
+					cfg.SimulateNoC = true
+					return trainer.Train(net, ds, cfg)
+				},
+			})
 		}
+	}
+	out, err := newRunner(s).Run(ctx, cells)
+	if err != nil {
+		return nil, err
+	}
+	var rows []ReceiverRow
+	i := 0
+	for _, sel := range selections {
 		var accs []float64
 		var cycles int64
 		swaps := 0
-		for _, seed := range s.Seeds {
-			net, err := buildModel(model, s, seed)
-			if err != nil {
-				return nil, err
-			}
-			rd := remap.NewRemapD()
-			rd.Threshold = reg.RemapThreshold
-			rd.RandomReceiver = random
-			cfg := baseTrainConfig(s, seed)
-			cfg.Chip = newChip(s)
-			cfg.Policy = rd
-			cfg.Pre = &reg.Pre
-			cfg.Post = &reg.Post
-			cfg.SimulateNoC = true
-			res, err := trainer.Train(net, ds, cfg)
-			if err != nil {
-				return nil, err
-			}
+		for range s.Seeds {
+			res := out[i].(*trainer.Result)
+			i++
 			accs = append(accs, res.FinalTestAcc)
 			cycles += res.NoCCyclesTotal
 			swaps += res.Swaps
 		}
-		rows = append(rows, ReceiverRow{Policy: name, Accuracy: mean(accs), NoCCycles: cycles, Swaps: swaps})
+		rows = append(rows, ReceiverRow{Policy: sel.name, Accuracy: mean(accs), NoCCycles: cycles, Swaps: swaps})
 	}
 	return rows, nil
 }
@@ -116,37 +148,54 @@ type CodingRow struct {
 }
 
 // AblationCoding runs the Fig. 6 headline cells under both coding schemes.
-func AblationCoding(s Scale, reg FaultRegime, model string) ([]CodingRow, error) {
+func AblationCoding(ctx context.Context, s Scale, reg FaultRegime, model string) ([]CodingRow, error) {
 	ds := dataset.CIFAR10Like(s.TrainN, s.TestN, s.ImgSize, 77)
-	var rows []CodingRow
-	for _, coding := range []reram.CodingScheme{reram.OffsetCoding, reram.DifferentialCoding} {
-		accs := map[string][]float64{}
-		for _, policy := range []string{"ideal", "none", "remap-d"} {
+	codings := []reram.CodingScheme{reram.OffsetCoding, reram.DifferentialCoding}
+	policies := []string{"ideal", "none", "remap-d"}
+	var cells []Cell
+	for _, coding := range codings {
+		for _, policy := range policies {
 			for _, seed := range s.Seeds {
-				net, err := buildModel(model, s, seed)
-				if err != nil {
-					return nil, err
-				}
-				cfg := baseTrainConfig(s, seed)
-				if policy != "ideal" {
-					pol, _, err := PolicyByName(policy, reg)
-					if err != nil {
-						return nil, err
-					}
-					p := reram.DefaultDeviceParams()
-					p.CrossbarSize = s.CrossbarSize
-					p.Coding = coding
-					chip := newChipWithParams(p, s)
-					cfg.Chip = chip
-					cfg.Policy = pol
-					cfg.Pre = &reg.Pre
-					cfg.Post = &reg.Post
-				}
-				res, err := trainer.Train(net, ds, cfg)
-				if err != nil {
-					return nil, err
-				}
-				accs[policy] = append(accs[policy], res.FinalTestAcc)
+				cells = append(cells, Cell{
+					Key: CellKey{Model: model, Policy: policy, Seed: seed, Extra: coding.String()},
+					Run: func(ctx context.Context) (interface{}, error) {
+						net, err := buildModel(model, s, seed)
+						if err != nil {
+							return nil, err
+						}
+						cfg := baseTrainConfig(s, seed)
+						cfg.Ctx = ctx
+						if policy != "ideal" {
+							pol, _, err := PolicyByName(policy, reg)
+							if err != nil {
+								return nil, err
+							}
+							p := reram.DefaultDeviceParams()
+							p.CrossbarSize = s.CrossbarSize
+							p.Coding = coding
+							cfg.Chip = newChipWithParams(p, s)
+							cfg.Policy = pol
+							cfg.Pre = &reg.Pre
+							cfg.Post = &reg.Post
+						}
+						return trainer.Train(net, ds, cfg)
+					},
+				})
+			}
+		}
+	}
+	out, err := newRunner(s).Run(ctx, cells)
+	if err != nil {
+		return nil, err
+	}
+	var rows []CodingRow
+	i := 0
+	for _, coding := range codings {
+		accs := map[string][]float64{}
+		for _, policy := range policies {
+			for range s.Seeds {
+				accs[policy] = append(accs[policy], out[i].(*trainer.Result).FinalTestAcc)
+				i++
 			}
 		}
 		row := CodingRow{
@@ -172,37 +221,52 @@ type BISTvsTruthRow struct {
 
 // AblationBISTvsTruth checks that the low-cost density estimate is good
 // enough to drive remapping.
-func AblationBISTvsTruth(s Scale, reg FaultRegime, model string) ([]BISTvsTruthRow, error) {
+func AblationBISTvsTruth(ctx context.Context, s Scale, reg FaultRegime, model string) ([]BISTvsTruthRow, error) {
 	ds := dataset.CIFAR10Like(s.TrainN, s.TestN, s.ImgSize, 77)
-	var rows []BISTvsTruthRow
-	for _, useBIST := range []bool{true, false} {
-		name := "truth"
-		if useBIST {
-			name = "bist"
+	sources := []struct {
+		name    string
+		useBIST bool
+	}{{"bist", true}, {"truth", false}}
+	var cells []Cell
+	for _, src := range sources {
+		for _, seed := range s.Seeds {
+			cells = append(cells, Cell{
+				Key: CellKey{Model: model, Policy: "remap-d", Seed: seed, Extra: src.name},
+				Run: func(ctx context.Context) (interface{}, error) {
+					net, err := buildModel(model, s, seed)
+					if err != nil {
+						return nil, err
+					}
+					rd := remap.NewRemapD()
+					rd.Threshold = reg.RemapThreshold
+					rd.UseBIST = src.useBIST
+					cfg := baseTrainConfig(s, seed)
+					cfg.Ctx = ctx
+					cfg.Chip = NewChip(s)
+					cfg.Policy = rd
+					cfg.Pre = &reg.Pre
+					cfg.Post = &reg.Post
+					return trainer.Train(net, ds, cfg)
+				},
+			})
 		}
+	}
+	out, err := newRunner(s).Run(ctx, cells)
+	if err != nil {
+		return nil, err
+	}
+	var rows []BISTvsTruthRow
+	i := 0
+	for _, src := range sources {
 		var accs []float64
 		swaps := 0
-		for _, seed := range s.Seeds {
-			net, err := buildModel(model, s, seed)
-			if err != nil {
-				return nil, err
-			}
-			rd := remap.NewRemapD()
-			rd.Threshold = reg.RemapThreshold
-			rd.UseBIST = useBIST
-			cfg := baseTrainConfig(s, seed)
-			cfg.Chip = newChip(s)
-			cfg.Policy = rd
-			cfg.Pre = &reg.Pre
-			cfg.Post = &reg.Post
-			res, err := trainer.Train(net, ds, cfg)
-			if err != nil {
-				return nil, err
-			}
+		for range s.Seeds {
+			res := out[i].(*trainer.Result)
+			i++
 			accs = append(accs, res.FinalTestAcc)
 			swaps += res.Swaps
 		}
-		rows = append(rows, BISTvsTruthRow{Source: name, Accuracy: mean(accs), Swaps: swaps})
+		rows = append(rows, BISTvsTruthRow{Source: src.name, Accuracy: mean(accs), Swaps: swaps})
 	}
 	return rows, nil
 }

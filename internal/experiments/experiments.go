@@ -13,6 +13,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"remapd/internal/arch"
@@ -39,6 +40,13 @@ type Scale struct {
 	Geom         arch.Geometry
 	Models       []string
 	Seeds        []uint64
+
+	// Workers bounds how many experiment cells the runner executes
+	// concurrently (<=0 means GOMAXPROCS). Results are identical for any
+	// value — see runner.go's determinism contract.
+	Workers int
+	// Progress, when non-nil, receives one line per completed cell.
+	Progress func(format string, args ...interface{})
 }
 
 // QuickScale is the benchmark-sized configuration: two models, one seed,
@@ -129,9 +137,6 @@ func NewChip(s Scale) *arch.Chip {
 	return arch.NewChip(p, s.Geom)
 }
 
-// newChip is the internal alias.
-func newChip(s Scale) *arch.Chip { return NewChip(s) }
-
 // BuildModel constructs a registered model at the scale's geometry with an
 // explicit class count (exported for the cmd tools).
 func BuildModel(name string, s Scale, seed uint64, classes int) (*nn.Network, error) {
@@ -193,18 +198,19 @@ func PolicyNames() []string {
 
 // runOne trains one (model, policy, seed) cell and returns final accuracy
 // and the result for overhead accounting.
-func runOne(model, policy string, s Scale, reg FaultRegime, ds *dataset.Dataset, seed uint64, classes int) (*trainer.Result, error) {
+func runOne(ctx context.Context, model, policy string, s Scale, reg FaultRegime, ds *dataset.Dataset, seed uint64, classes int) (*trainer.Result, error) {
 	net, err := buildModelFor(model, s, seed, classes)
 	if err != nil {
 		return nil, err
 	}
 	cfg := baseTrainConfig(s, seed)
+	cfg.Ctx = ctx
 	if policy != "ideal" {
 		pol, trackGrads, err := PolicyByName(policy, reg)
 		if err != nil {
 			return nil, err
 		}
-		cfg.Chip = newChip(s)
+		cfg.Chip = NewChip(s)
 		cfg.Policy = pol
 		cfg.Pre = &reg.Pre
 		cfg.Post = &reg.Post

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -106,7 +107,7 @@ func TestFig5PhaseStudy(t *testing.T) {
 	s := microScale()
 	s.TrainN, s.Epochs = 320, 4
 	s.Models = []string{"vgg11"}
-	rows, err := Fig5(s, DefaultRegime())
+	rows, err := Fig5(context.Background(), s, DefaultRegime())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestFig5PhaseStudy(t *testing.T) {
 
 func TestFig6PolicyMatrix(t *testing.T) {
 	s := microScale()
-	rows, err := Fig6(s, DefaultRegime(), []string{"ideal", "none", "remap-d"})
+	rows, err := Fig6(context.Background(), s, DefaultRegime(), []string{"ideal", "none", "remap-d"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestFig6PolicyMatrix(t *testing.T) {
 
 func TestFig7Sweep(t *testing.T) {
 	s := microScale()
-	rows, err := Fig7(s, DefaultRegime(), []string{"cnn-s"}, []float64{0.01, 0.06}, []float64{0.02})
+	rows, err := Fig7(context.Background(), s, DefaultRegime(), []string{"cnn-s"}, []float64{0.01, 0.06}, []float64{0.02})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +173,7 @@ func TestFig7Sweep(t *testing.T) {
 func TestFig8Scalability(t *testing.T) {
 	s := microScale()
 	s.TrainN = 200 // CIFAR100Like needs 2× this for class coverage
-	rows, err := Fig8(s, DefaultRegime())
+	rows, err := Fig8(context.Background(), s, DefaultRegime())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +247,7 @@ func TestAreaOverheadTable(t *testing.T) {
 
 func TestAblationThresholdRuns(t *testing.T) {
 	s := microScale()
-	rows, err := AblationThreshold(s, DefaultRegime(), "cnn-s", []float64{0.004, 0.02})
+	rows, err := AblationThreshold(context.Background(), s, DefaultRegime(), "cnn-s", []float64{0.004, 0.02})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,7 +261,7 @@ func TestAblationThresholdRuns(t *testing.T) {
 
 func TestAblationReceiverSelection(t *testing.T) {
 	s := microScale()
-	rows, err := AblationReceiverSelection(s, DefaultRegime(), "cnn-s")
+	rows, err := AblationReceiverSelection(context.Background(), s, DefaultRegime(), "cnn-s")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,7 +275,7 @@ func TestAblationReceiverSelection(t *testing.T) {
 
 func TestAblationCoding(t *testing.T) {
 	s := microScale()
-	rows, err := AblationCoding(s, DefaultRegime(), "cnn-s")
+	rows, err := AblationCoding(context.Background(), s, DefaultRegime(), "cnn-s")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +296,7 @@ func TestAblationCoding(t *testing.T) {
 
 func TestAblationBISTvsTruth(t *testing.T) {
 	s := microScale()
-	rows, err := AblationBISTvsTruth(s, DefaultRegime(), "cnn-s")
+	rows, err := AblationBISTvsTruth(context.Background(), s, DefaultRegime(), "cnn-s")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"remapd/internal/arch"
@@ -69,42 +70,55 @@ type Fig5Row struct {
 
 // Fig5 reproduces the forward-vs-backward fault-tolerance study: each
 // model trains three times (no faults, faults on forward crossbars only,
-// faults on backward crossbars only) at the regime's phase density.
-func Fig5(s Scale, reg FaultRegime) ([]Fig5Row, error) {
+// faults on backward crossbars only) at the regime's phase density. The
+// 3 × models × seeds grid runs on the parallel cell runner.
+func Fig5(ctx context.Context, s Scale, reg FaultRegime) ([]Fig5Row, error) {
 	ds := dataset.CIFAR10Like(s.TrainN, s.TestN, s.ImgSize, 77)
+	variants := []struct {
+		name   string
+		inject bool
+		phase  arch.Phase
+	}{
+		{"ideal", false, arch.Forward},
+		{"inject-forward", true, arch.Forward},
+		{"inject-backward", true, arch.Backward},
+	}
+	var cells []Cell
+	for _, model := range s.Models {
+		for _, seed := range s.Seeds {
+			for _, v := range variants {
+				cells = append(cells, Cell{
+					Key: CellKey{Model: model, Policy: v.name, Seed: seed},
+					Run: func(ctx context.Context) (interface{}, error) {
+						net, err := buildModel(model, s, seed)
+						if err != nil {
+							return nil, err
+						}
+						cfg := baseTrainConfig(s, seed)
+						cfg.Ctx = ctx
+						if v.inject {
+							cfg.Chip = NewChip(s)
+							cfg.PhaseInject = &trainer.PhaseInjection{Phase: v.phase, Density: reg.PhaseDensity}
+						}
+						return trainer.Train(net, ds, cfg)
+					},
+				})
+			}
+		}
+	}
+	out, err := newRunner(s).Run(ctx, cells)
+	if err != nil {
+		return nil, err
+	}
 	var rows []Fig5Row
+	i := 0
 	for _, model := range s.Models {
 		var ideal, fwd, bwd []float64
-		for _, seed := range s.Seeds {
-			net, err := buildModel(model, s, seed)
-			if err != nil {
-				return nil, err
-			}
-			cfg := baseTrainConfig(s, seed)
-			res, err := trainer.Train(net, ds, cfg)
-			if err != nil {
-				return nil, err
-			}
-			ideal = append(ideal, res.FinalTestAcc)
-
-			for _, phase := range []arch.Phase{arch.Forward, arch.Backward} {
-				net, err := buildModel(model, s, seed)
-				if err != nil {
-					return nil, err
-				}
-				cfg := baseTrainConfig(s, seed)
-				cfg.Chip = newChip(s)
-				cfg.PhaseInject = &trainer.PhaseInjection{Phase: phase, Density: reg.PhaseDensity}
-				res, err := trainer.Train(net, ds, cfg)
-				if err != nil {
-					return nil, err
-				}
-				if phase == arch.Forward {
-					fwd = append(fwd, res.FinalTestAcc)
-				} else {
-					bwd = append(bwd, res.FinalTestAcc)
-				}
-			}
+		for range s.Seeds {
+			ideal = append(ideal, out[i].(*trainer.Result).FinalTestAcc)
+			fwd = append(fwd, out[i+1].(*trainer.Result).FinalTestAcc)
+			bwd = append(bwd, out[i+2].(*trainer.Result).FinalTestAcc)
+			i += 3
 		}
 		row := Fig5Row{
 			Model: model, IdealAcc: mean(ideal),
@@ -132,22 +146,38 @@ type Fig6Row struct {
 // Fig6 reproduces the policy comparison under combined pre- and
 // post-deployment faults. Policies run in PolicyNames order; the "ideal"
 // row is the fault-free reference.
-func Fig6(s Scale, reg FaultRegime, policies []string) ([]Fig6Row, error) {
+func Fig6(ctx context.Context, s Scale, reg FaultRegime, policies []string) ([]Fig6Row, error) {
 	if len(policies) == 0 {
 		policies = PolicyNames()
 	}
 	ds := dataset.CIFAR10Like(s.TrainN, s.TestN, s.ImgSize, 77)
+	var cells []Cell
+	for _, model := range s.Models {
+		for _, policy := range policies {
+			for _, seed := range s.Seeds {
+				cells = append(cells, Cell{
+					Key: CellKey{Model: model, Policy: policy, Seed: seed},
+					Run: func(ctx context.Context) (interface{}, error) {
+						return runOne(ctx, model, policy, s, reg, ds, seed, 10)
+					},
+				})
+			}
+		}
+	}
+	out, err := newRunner(s).Run(ctx, cells)
+	if err != nil {
+		return nil, err
+	}
 	var rows []Fig6Row
+	i := 0
 	for _, model := range s.Models {
 		idealAcc := 0.0
 		for _, policy := range policies {
 			var accs []float64
 			swaps, unmatched := 0, 0
-			for _, seed := range s.Seeds {
-				res, err := runOne(model, policy, s, reg, ds, seed, 10)
-				if err != nil {
-					return nil, err
-				}
+			for range s.Seeds {
+				res := out[i].(*trainer.Result)
+				i++
 				accs = append(accs, res.FinalTestAcc)
 				swaps += res.Swaps
 				unmatched += res.Unmatched
@@ -182,31 +212,54 @@ type Fig7Row struct {
 // per-epoch wear parameters. ms and ns are the sweep axes; the compressed
 // schedule means the paper's (0.1–1%, 0.1–2%) axes map to roughly 6× these
 // values here.
-func Fig7(s Scale, reg FaultRegime, sweepModels []string, ms, ns []float64) ([]Fig7Row, error) {
+func Fig7(ctx context.Context, s Scale, reg FaultRegime, sweepModels []string, ms, ns []float64) ([]Fig7Row, error) {
 	ds := dataset.CIFAR10Like(s.TrainN, s.TestN, s.ImgSize, 77)
-	var rows []Fig7Row
+	var cells []Cell
 	for _, model := range sweepModels {
-		var idealAccs []float64
 		for _, seed := range s.Seeds {
-			res, err := runOne(model, "ideal", s, reg, ds, seed, 10)
-			if err != nil {
-				return nil, err
-			}
-			idealAccs = append(idealAccs, res.FinalTestAcc)
+			cells = append(cells, Cell{
+				Key: CellKey{Model: model, Policy: "ideal", Seed: seed},
+				Run: func(ctx context.Context) (interface{}, error) {
+					return runOne(ctx, model, "ideal", s, reg, ds, seed, 10)
+				},
+			})
 		}
-		idealAcc := mean(idealAccs)
 		for _, m := range ms {
 			for _, n := range ns {
 				r := reg
 				r.Post.CellFraction = m
 				r.Post.CrossbarFraction = n
-				var accs []float64
 				for _, seed := range s.Seeds {
-					res, err := runOne(model, "remap-d", s, r, ds, seed, 10)
-					if err != nil {
-						return nil, err
-					}
-					accs = append(accs, res.FinalTestAcc)
+					cells = append(cells, Cell{
+						Key: CellKey{Model: model, Policy: "remap-d", Seed: seed,
+							Extra: fmt.Sprintf("m%g-n%g", m, n)},
+						Run: func(ctx context.Context) (interface{}, error) {
+							return runOne(ctx, model, "remap-d", s, r, ds, seed, 10)
+						},
+					})
+				}
+			}
+		}
+	}
+	out, err := newRunner(s).Run(ctx, cells)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig7Row
+	i := 0
+	for _, model := range sweepModels {
+		var idealAccs []float64
+		for range s.Seeds {
+			idealAccs = append(idealAccs, out[i].(*trainer.Result).FinalTestAcc)
+			i++
+		}
+		idealAcc := mean(idealAccs)
+		for _, m := range ms {
+			for _, n := range ns {
+				var accs []float64
+				for range s.Seeds {
+					accs = append(accs, out[i].(*trainer.Result).FinalTestAcc)
+					i++
 				}
 				acc := mean(accs)
 				rows = append(rows, Fig7Row{
@@ -235,7 +288,7 @@ type Fig8Row struct {
 
 // Fig8 reproduces the scalability study on the CIFAR-100-like and
 // SVHN-like datasets with the same fault regime as Fig. 6.
-func Fig8(s Scale, reg FaultRegime) ([]Fig8Row, error) {
+func Fig8(ctx context.Context, s Scale, reg FaultRegime) ([]Fig8Row, error) {
 	sets := []struct {
 		name    string
 		classes int
@@ -248,18 +301,37 @@ func Fig8(s Scale, reg FaultRegime) ([]Fig8Row, error) {
 			return dataset.SVHNLike(s.TrainN, s.TestN, s.ImgSize, 99)
 		}},
 	}
-	var rows []Fig8Row
+	policies := []string{"ideal", "none", "remap-d"}
+	var cells []Cell
 	for _, set := range sets {
 		ds := set.build()
+		classes := set.classes
+		for _, model := range s.Models {
+			for _, policy := range policies {
+				for _, seed := range s.Seeds {
+					cells = append(cells, Cell{
+						Key: CellKey{Model: model, Policy: policy, Seed: seed, Extra: set.name},
+						Run: func(ctx context.Context) (interface{}, error) {
+							return runOne(ctx, model, policy, s, reg, ds, seed, classes)
+						},
+					})
+				}
+			}
+		}
+	}
+	out, err := newRunner(s).Run(ctx, cells)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig8Row
+	i := 0
+	for _, set := range sets {
 		for _, model := range s.Models {
 			accs := map[string][]float64{}
-			for _, policy := range []string{"ideal", "none", "remap-d"} {
-				for _, seed := range s.Seeds {
-					res, err := runOne(model, policy, s, reg, ds, seed, set.classes)
-					if err != nil {
-						return nil, err
-					}
-					accs[policy] = append(accs[policy], res.FinalTestAcc)
+			for _, policy := range policies {
+				for range s.Seeds {
+					accs[policy] = append(accs[policy], out[i].(*trainer.Result).FinalTestAcc)
+					i++
 				}
 			}
 			row := Fig8Row{

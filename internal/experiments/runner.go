@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the parallel experiment runner. Every figure and ablation of
+// the evaluation is a grid of independent (model, policy, seed, regime)
+// training runs — "cells" — that the sequential loops used to execute one
+// at a time. The runner fans cells across a bounded worker pool instead.
+//
+// Determinism contract: a cell's result depends only on its coordinates
+// (CellKey), never on scheduling. Every random stream a cell consumes is
+// seeded from its coordinates — the training/fault RNGs from the cell's
+// seed coordinate, exactly as the sequential loops seeded them, and any
+// auxiliary stream from CellKey.RNGSeed — and cells share no mutable state
+// (datasets are read-only after construction; each cell builds its own
+// network, chip, and RNGs). Results are reassembled by submission index,
+// so figure rows are bit-identical to the sequential loops regardless of
+// worker count or completion order.
+
+// CellKey identifies one independent experiment cell by its grid
+// coordinates. Extra distinguishes cells that vary something beyond the
+// (model, policy, seed) axes — a regime point, a dataset, a phase.
+type CellKey struct {
+	Model  string
+	Policy string
+	Seed   uint64
+	Extra  string
+}
+
+// String renders the key for progress lines and error messages.
+func (k CellKey) String() string {
+	s := fmt.Sprintf("%s/%s/seed%d", k.Model, k.Policy, k.Seed)
+	if k.Extra != "" {
+		s += "/" + k.Extra
+	}
+	return s
+}
+
+// RNGSeed derives a deterministic seed from the cell's coordinates
+// (FNV-1a over the rendered key). Cells that need randomness beyond the
+// training seed draw from this, so streams never alias across cells and
+// never depend on scheduling order.
+func (k CellKey) RNGSeed() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, b := range []byte(k.String()) {
+		h ^= uint64(b)
+		h *= prime
+	}
+	return h
+}
+
+// Cell couples a key with the work it identifies. Run must be self
+// contained: it may read shared immutable inputs (a *dataset.Dataset) but
+// must construct everything it mutates (network, chip, RNGs) itself, and
+// should pass ctx into trainer.Config.Ctx so cancellation stops the run at
+// the next batch boundary.
+type Cell struct {
+	Key CellKey
+	Run func(ctx context.Context) (interface{}, error)
+}
+
+// Runner executes cells on a bounded worker pool.
+type Runner struct {
+	// Workers bounds concurrent cells; <=0 means GOMAXPROCS.
+	Workers int
+	// Logf, when non-nil, receives one progress line per completed cell
+	// (cells done / total / elapsed).
+	Logf func(format string, args ...interface{})
+}
+
+// Run executes every cell and returns their results indexed by submission
+// order. On the first cell error it cancels the remaining cells (in-flight
+// cells stop at their next cancellation check) and returns that error; a
+// panicking cell is converted into an error instead of killing the
+// process. The results of cells that did not complete are nil.
+func (r *Runner) Run(ctx context.Context, cells []Cell) ([]interface{}, error) {
+	if len(cells) == 0 {
+		return nil, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]interface{}, len(cells))
+	errs := make([]error, len(cells))
+	jobs := make(chan int)
+	start := time.Now()
+	var done atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				res, err := runCell(runCtx, cells[i])
+				results[i], errs[i] = res, err
+				if err != nil {
+					cancel() // first failure stops the grid
+				}
+				n := done.Add(1)
+				if r.Logf != nil {
+					status := "ok"
+					if err != nil {
+						status = err.Error()
+					}
+					r.Logf("cell %d/%d %s: %s (elapsed %s)",
+						n, len(cells), cells[i].Key, status,
+						time.Since(start).Round(time.Millisecond))
+				}
+			}
+		}()
+	}
+
+feed:
+	for i := range cells {
+		select {
+		case jobs <- i:
+		case <-runCtx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Report the lowest-indexed genuine failure so the error is as
+	// deterministic as the results; cancellation fallout (cells that
+	// returned context.Canceled because another cell failed first) only
+	// surfaces when nothing better exists.
+	var firstErr error
+	for _, e := range errs {
+		if e != nil && !errors.Is(e, context.Canceled) {
+			firstErr = e
+			break
+		}
+	}
+	if firstErr == nil {
+		if err := ctx.Err(); err != nil {
+			firstErr = err // the caller's context (e.g. SIGINT) was cancelled
+		} else {
+			for _, e := range errs {
+				if e != nil {
+					firstErr = e
+					break
+				}
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// runCell executes one cell with panic recovery.
+func runCell(ctx context.Context, c Cell) (res interface{}, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("cell %s panicked: %v\n%s", c.Key, p, debug.Stack())
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res, err = c.Run(ctx)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		err = fmt.Errorf("cell %s: %w", c.Key, err)
+	}
+	return res, err
+}
+
+// newRunner builds the runner a figure function uses, honouring the
+// scale's worker bound and progress sink.
+func newRunner(s Scale) *Runner {
+	return &Runner{Workers: s.Workers, Logf: s.Progress}
+}

@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// arithCells builds n cells whose result is a pure function of the cell
+// index, with a tiny index-dependent sleep so completion order differs
+// from submission order under concurrency.
+func arithCells(n int, ran *atomic.Int64) []Cell {
+	cells := make([]Cell, n)
+	for i := 0; i < n; i++ {
+		cells[i] = Cell{
+			Key: CellKey{Model: "arith", Policy: "mul", Seed: uint64(i)},
+			Run: func(ctx context.Context) (interface{}, error) {
+				time.Sleep(time.Duration((n-i)%4) * time.Millisecond)
+				if ran != nil {
+					ran.Add(1)
+				}
+				return i * i, nil
+			},
+		}
+	}
+	return cells
+}
+
+func TestRunnerResultsInSubmissionOrder(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		r := &Runner{Workers: workers}
+		out, err := r.Run(context.Background(), arithCells(20, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 20 {
+			t.Fatalf("workers=%d: %d results", workers, len(out))
+		}
+		for i, v := range out {
+			if v.(int) != i*i {
+				t.Fatalf("workers=%d: result[%d] = %v, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunnerProgressCallback(t *testing.T) {
+	var lines atomic.Int64
+	r := &Runner{Workers: 4, Logf: func(format string, args ...interface{}) {
+		lines.Add(1)
+		msg := fmt.Sprintf(format, args...)
+		if !strings.Contains(msg, "/10") {
+			t.Errorf("progress line %q lacks the cell total", msg)
+		}
+	}}
+	if _, err := r.Run(context.Background(), arithCells(10, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if lines.Load() != 10 {
+		t.Fatalf("progress lines %d, want 10", lines.Load())
+	}
+}
+
+func TestRunnerErrorCancelsInFlightCells(t *testing.T) {
+	boom := errors.New("boom")
+	// Every cell except the failing one blocks until cancelled, so Run can
+	// only return if the failure cancels the shared context.
+	cells := make([]Cell, 8)
+	for i := range cells {
+		key := CellKey{Model: "block", Seed: uint64(i)}
+		run := func(ctx context.Context) (interface{}, error) {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}
+		if i == 3 {
+			key.Model = "fail"
+			run = func(ctx context.Context) (interface{}, error) {
+				return nil, boom
+			}
+		}
+		cells[i] = Cell{Key: key, Run: run}
+	}
+	done := make(chan struct{})
+	var out []interface{}
+	var err error
+	go func() {
+		defer close(done)
+		out, err = (&Runner{Workers: 8}).Run(context.Background(), cells)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("runner did not cancel in-flight cells after a failure")
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the failing cell's error", err)
+	}
+	if !strings.Contains(err.Error(), "fail") {
+		t.Fatalf("err %q does not name the failing cell", err)
+	}
+	if out != nil {
+		t.Fatal("results must be nil on failure")
+	}
+}
+
+func TestRunnerPanicBecomesError(t *testing.T) {
+	cells := arithCells(4, nil)
+	cells[2].Run = func(ctx context.Context) (interface{}, error) {
+		panic("cell exploded")
+	}
+	_, err := (&Runner{Workers: 2}).Run(context.Background(), cells)
+	if err == nil {
+		t.Fatal("panicking cell must surface as an error")
+	}
+	if !strings.Contains(err.Error(), "panicked") || !strings.Contains(err.Error(), "cell exploded") {
+		t.Fatalf("panic error %q", err)
+	}
+}
+
+func TestRunnerParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int64
+	cells := make([]Cell, 6)
+	for i := range cells {
+		cells[i] = Cell{
+			Key: CellKey{Model: "slow", Seed: uint64(i)},
+			Run: func(ctx context.Context) (interface{}, error) {
+				ran.Add(1)
+				if i == 0 {
+					cancel() // simulate SIGINT arriving mid-run
+				}
+				<-ctx.Done()
+				return nil, ctx.Err()
+			},
+		}
+	}
+	_, err := (&Runner{Workers: 2}).Run(ctx, cells)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() == int64(len(cells)) {
+		t.Fatal("cancellation should have prevented some queued cells from starting")
+	}
+}
+
+func TestCellKeySeedDerivation(t *testing.T) {
+	a := CellKey{Model: "vgg11", Policy: "remap-d", Seed: 1}
+	if a.RNGSeed() != a.RNGSeed() {
+		t.Fatal("RNGSeed must be deterministic")
+	}
+	seen := map[uint64]CellKey{}
+	for _, k := range []CellKey{
+		a,
+		{Model: "vgg11", Policy: "remap-d", Seed: 2},
+		{Model: "vgg16", Policy: "remap-d", Seed: 1},
+		{Model: "vgg11", Policy: "none", Seed: 1},
+		{Model: "vgg11", Policy: "remap-d", Seed: 1, Extra: "m0.03-n0.01"},
+	} {
+		if prev, dup := seen[k.RNGSeed()]; dup {
+			t.Fatalf("seed collision between %s and %s", prev, k)
+		}
+		seen[k.RNGSeed()] = k
+	}
+}
+
+// determinismScale is small enough that the full j1-vs-j4 comparison stays
+// in unit-test budget: 3 policies × 2 seeds of the 3-layer cnn-s.
+func determinismScale() Scale {
+	s := QuickScale()
+	s.Name = "determinism"
+	s.TrainN, s.TestN = 128, 64
+	s.Epochs = 2
+	s.Models = []string{"cnn-s"}
+	s.Seeds = []uint64{1, 2}
+	return s
+}
+
+func TestFig6DeterministicAcrossWorkerCounts(t *testing.T) {
+	reg := DefaultRegime()
+	policies := []string{"ideal", "none", "remap-d"}
+	var baseline []Fig6Row
+	for _, workers := range []int{1, 4} {
+		s := determinismScale()
+		s.Workers = workers
+		rows, err := Fig6(context.Background(), s, reg, policies)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if workers == 1 {
+			baseline = rows
+			continue
+		}
+		if !reflect.DeepEqual(baseline, rows) {
+			t.Fatalf("Fig6 rows differ between 1 and %d workers:\n%s\nvs\n%s",
+				workers, FormatFig6(baseline), FormatFig6(rows))
+		}
+		if FormatFig6(baseline) != FormatFig6(rows) {
+			t.Fatal("formatted Fig6 tables differ across worker counts")
+		}
+	}
+}
+
+// TestFig6QuickScaleParallelDeterminism is the acceptance-criterion check
+// at full QuickScale (2 models × 8 policies × 5 epochs — CPU-minutes), so
+// it only runs when explicitly requested.
+func TestFig6QuickScaleParallelDeterminism(t *testing.T) {
+	if os.Getenv("REMAPD_QUICK_DETERMINISM") == "" {
+		t.Skip("set REMAPD_QUICK_DETERMINISM=1 to run the QuickScale -j1 vs -j4 comparison")
+	}
+	reg := DefaultRegime()
+	var tables []string
+	var elapsed []time.Duration
+	for _, workers := range []int{1, 4} {
+		s := QuickScale()
+		s.Workers = workers
+		start := time.Now()
+		rows, err := Fig6(context.Background(), s, reg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		elapsed = append(elapsed, time.Since(start))
+		tables = append(tables, FormatFig6(rows))
+	}
+	if tables[0] != tables[1] {
+		t.Fatalf("QuickScale Fig6 differs between -j1 and -j4:\n%s\nvs\n%s", tables[0], tables[1])
+	}
+	t.Logf("QuickScale Fig6: -j1 %s, -j4 %s (GOMAXPROCS bounds the speedup)", elapsed[0], elapsed[1])
+}

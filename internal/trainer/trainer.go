@@ -4,6 +4,7 @@
 package trainer
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -57,6 +58,10 @@ type Config struct {
 	SimulateNoC bool
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...interface{})
+	// Ctx, when non-nil, cancels the run: Train returns Ctx.Err() at the
+	// next batch boundary once the context is done. The experiment runner
+	// uses this to stop in-flight cells on the first error or SIGINT.
+	Ctx context.Context
 }
 
 // DefaultConfig returns the reproduction-scale training hyperparameters.
@@ -146,6 +151,9 @@ func Train(net *nn.Network, ds *dataset.Dataset, cfg Config) (*Result, error) {
 	}
 
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if err := ctxErr(cfg.Ctx); err != nil {
+			return nil, err
+		}
 		if epoch > 0 && decayAt[epoch] {
 			opt.LR /= 2
 		}
@@ -158,6 +166,9 @@ func Train(net *nn.Network, ds *dataset.Dataset, cfg Config) (*Result, error) {
 		var lossSum float64
 		batches := ds.TrainBatches(cfg.BatchSize, trainRNG)
 		for _, b := range batches {
+			if err := ctxErr(cfg.Ctx); err != nil {
+				return nil, err
+			}
 			logits := net.Forward(b.X, true)
 			loss, grad := nn.SoftmaxCrossEntropy(logits, b.Y)
 			if !math.IsNaN(loss) && !math.IsInf(loss, 0) {
@@ -206,6 +217,19 @@ func Train(net *nn.Network, ds *dataset.Dataset, cfg Config) (*Result, error) {
 		res.FinalMeanDensity = fault.Collect(cfg.Chip.Xbars).MeanDensity
 	}
 	return res, nil
+}
+
+// ctxErr reports a done context (nil ctx never cancels).
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
 }
 
 // Evaluate returns the test-set accuracy of the network in eval mode.

@@ -1,8 +1,11 @@
 package trainer
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"remapd/internal/arch"
 	"remapd/internal/dataset"
@@ -37,6 +40,34 @@ func baseCfg() Config {
 	cfg.BatchSize = 32
 	cfg.LR = 0.05
 	return cfg
+}
+
+func TestTrainCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := baseCfg()
+	cfg.Ctx = ctx
+	if _, err := Train(smallModel(1), smallDataset(), cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestTrainCancelledMidRun(t *testing.T) {
+	// A deadline far shorter than the full run must stop training at a
+	// batch boundary instead of letting it finish.
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	cfg := baseCfg()
+	cfg.Epochs = 50
+	cfg.Ctx = ctx
+	start := time.Now()
+	_, err := Train(smallModel(1), smallDataset(), cfg)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("cancellation took %s to stop training", elapsed)
+	}
 }
 
 func TestTrainIdealConverges(t *testing.T) {
