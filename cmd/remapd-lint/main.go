@@ -1,0 +1,95 @@
+// Command remapd-lint runs the repo's determinism & safety analyzer suite
+// (internal/lint) over the module and exits non-zero on any finding. It is
+// the CI gate that keeps the invariants behind bit-identical experiment
+// replay machine-checked instead of conventional.
+//
+// Usage:
+//
+//	remapd-lint [-list] [packages]
+//
+// Package patterns follow the go tool's shape: ./... (default) lints the
+// whole module, ./internal/remap lints one package, ./internal/... a
+// subtree. Findings print as "file:line:col: [rule] message".
+//
+// A finding is suppressed by a "//lint:allow <rule> <reason>" comment on
+// the offending line or the line above; an allow that suppresses nothing
+// is reported as stale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"remapd/internal/lint"
+)
+
+func main() {
+	listRules := flag.Bool("list", false, "list the rule suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: remapd-lint [-list] [packages]\n\npackages default to ./... (the whole module)\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *listRules {
+		for _, a := range lint.All {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		fmt.Printf("%-16s %s\n", "stale-allow", "a //lint:allow comment that suppresses nothing (checked implicitly)")
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fatal(err)
+	}
+	all, err := loader.Discover()
+	if err != nil {
+		fatal(err)
+	}
+	var paths []string
+	for _, p := range all {
+		for _, pat := range patterns {
+			if loader.Match(p, pat) {
+				paths = append(paths, p)
+				break
+			}
+		}
+	}
+	if len(paths) == 0 {
+		fatal(fmt.Errorf("no packages match %v", patterns))
+	}
+
+	var findings []lint.Finding
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fatal(err)
+		}
+		findings = append(findings, lint.RunPackage(pkg)...)
+	}
+	lint.SortFindings(findings)
+	for _, f := range findings {
+		// Report module-relative paths so output is stable across checkouts.
+		if rel, err := filepath.Rel(loader.ModuleDir, f.Pos.Filename); err == nil {
+			f.Pos.Filename = rel
+		}
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "remapd-lint: %d finding(s) in %d package(s)\n", len(findings), len(paths))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "remapd-lint:", err)
+	os.Exit(2)
+}

@@ -16,6 +16,7 @@ package arch
 import (
 	"fmt"
 
+	"remapd/internal/det"
 	"remapd/internal/nn"
 	"remapd/internal/reram"
 	"remapd/internal/tensor"
@@ -355,13 +356,10 @@ func (c *Chip) InvalidateAll() {
 	}
 }
 
-// Layers returns the names of the layers mapped on the chip.
+// Layers returns the names of the layers mapped on the chip, in sorted
+// order so policy code that iterates them is schedule-independent.
 func (c *Chip) Layers() []string {
-	out := make([]string, 0, len(c.weights))
-	for l := range c.weights {
-		out = append(out, l)
-	}
-	return out
+	return det.SortedKeys(c.weights)
 }
 
 // ---- nn.Fabric implementation ----
@@ -397,7 +395,7 @@ func (c *Chip) TransformGradient(layer string, grad *tensor.Tensor) {
 		return
 	}
 	scale := float64(grad.AbsMax())
-	if scale == 0 {
+	if scale == 0 { //lint:allow float-eq exact zero guard: AbsMax is exactly 0 only for an all-zero gradient
 		return
 	}
 	for _, t := range c.Tasks {

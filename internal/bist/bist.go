@@ -278,7 +278,7 @@ func CurrentCurve(p reram.DeviceParams, size, maxFaults, trials int, kind reram.
 		if k == 0 {
 			baseline = pt.MeanI
 		}
-		if baseline != 0 {
+		if baseline != 0 { //lint:allow float-eq exact zero guard against dividing by an unset baseline
 			pt.RelativeToFaulFree = pt.MeanI / baseline
 		}
 		curve = append(curve, pt)

@@ -1,0 +1,27 @@
+// Package det provides deterministic iteration helpers. Go randomizes map
+// iteration order on purpose; any map walk whose body order matters (it
+// appends, accumulates floats, writes output, or returns) therefore
+// injects scheduling noise into results that the rest of this repository
+// works hard to keep bit-identical. The remapd-lint map-order rule flags
+// such walks; the fix is to iterate over SortedKeys(m) instead.
+//
+// This package is the one place allowed to range over a map while
+// building a slice, because the sort below canonicalizes the order before
+// anything observes it.
+package det
+
+import (
+	"cmp"
+	"slices"
+)
+
+// SortedKeys returns the keys of m in ascending order, giving map
+// iteration a deterministic, platform-independent sequence.
+func SortedKeys[M ~map[K]V, K cmp.Ordered, V any](m M) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}

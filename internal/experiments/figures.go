@@ -327,18 +327,21 @@ func Fig8(ctx context.Context, s Scale, reg FaultRegime) ([]Fig8Row, error) {
 	i := 0
 	for _, set := range sets {
 		for _, model := range s.Models {
-			accs := map[string][]float64{}
-			for _, policy := range policies {
+			// Aggregate per policy position (ideal, none, remap-d) rather
+			// than through a string-keyed map, so accumulation order is
+			// fixed by the policies slice.
+			accs := make([][]float64, len(policies))
+			for pi := range policies {
 				for range s.Seeds {
-					accs[policy] = append(accs[policy], out[i].(*trainer.Result).FinalTestAcc)
+					accs[pi] = append(accs[pi], out[i].(*trainer.Result).FinalTestAcc)
 					i++
 				}
 			}
 			row := Fig8Row{
 				Dataset: set.name, Model: model,
-				IdealAcc:  mean(accs["ideal"]),
-				NoProtAcc: mean(accs["none"]),
-				RemapDAcc: mean(accs["remap-d"]),
+				IdealAcc:  mean(accs[0]),
+				NoProtAcc: mean(accs[1]),
+				RemapDAcc: mean(accs[2]),
 			}
 			row.NoProtDrop = row.IdealAcc - row.NoProtAcc
 			row.RemapDDrop = row.IdealAcc - row.RemapDAcc

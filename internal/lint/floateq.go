@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// FloatEq flags == and != between floating-point operands, plus switch
+// statements over a float tag (the same comparison in disguise). Exact
+// float equality breaks silently under any change to accumulation order
+// or FMA contraction — precisely what the parallel runner and sharded
+// matmul kernels are allowed to vary. Comparisons belong in tolerance
+// helpers (a function whose name contains "approx"/"almost"/"within" is
+// exempt); intentional exact checks (e.g. the zero-skip fast path) need
+// an explicit allow.
+var FloatEq = &Analyzer{
+	Name: "float-eq",
+	Doc:  "==/!= on float operands outside tolerance helpers; compare within an epsilon",
+	Run: func(pass *Pass) {
+		if !pass.InDirs("internal", "cmd") {
+			return
+		}
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if ok && toleranceHelper(fd.Name.Name) {
+					continue
+				}
+				ast.Inspect(decl, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.BinaryExpr:
+						if n.Op != token.EQL && n.Op != token.NEQ {
+							return true
+						}
+						xt, yt := pass.TypeOf(n.X), pass.TypeOf(n.Y)
+						if xt != nil && yt != nil && (isFloat(xt) || isFloat(yt)) {
+							pass.Reportf(n.OpPos,
+								"%s on float operands: exact equality breaks under reordered accumulation; use a tolerance helper", n.Op)
+						}
+					case *ast.SwitchStmt:
+						if n.Tag != nil {
+							if t := pass.TypeOf(n.Tag); t != nil && isFloat(t) {
+								pass.Reportf(n.Switch,
+									"switch on float value: each case is an exact equality; compare with a tolerance or switch on a derived integer")
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+	},
+}
+
+// toleranceHelper reports whether a function name marks an approved
+// approximate-comparison helper.
+func toleranceHelper(name string) bool {
+	l := strings.ToLower(name)
+	return strings.Contains(l, "approx") || strings.Contains(l, "almost") || strings.Contains(l, "within")
+}

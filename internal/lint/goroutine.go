@@ -1,0 +1,92 @@
+package lint
+
+import "go/ast"
+
+// CtxGoroutine requires that goroutines launched in internal/experiments
+// and internal/trainer are joined: either the goroutine participates in a
+// sync.WaitGroup, or it selects on a context's Done channel, or the
+// launching function waits on a WaitGroup. A fire-and-forget goroutine in
+// the experiment path outlives its cell — it can write a result after the
+// runner has reassembled rows, race the next cell's state, or leak past a
+// SIGINT cancellation, all of which break the "a cell's result depends
+// only on its coordinates" contract.
+var CtxGoroutine = &Analyzer{
+	Name: "ctx-goroutine",
+	Doc:  "goroutines in internal/experiments and internal/trainer must be joined via sync.WaitGroup or select on a context",
+	Run: func(pass *Pass) {
+		if !pass.InDirs("internal/experiments", "internal/trainer") {
+			return
+		}
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				waits := funcWaits(pass, fd.Body)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					g, ok := n.(*ast.GoStmt)
+					if !ok {
+						return true
+					}
+					if waits || goroutineJoined(pass, g) {
+						return true
+					}
+					pass.Reportf(g.Pos(),
+						"goroutine is never joined: wire it to a sync.WaitGroup or select on a context so it cannot outlive its cell")
+					return true
+				})
+			}
+		}
+	},
+}
+
+// funcWaits reports whether the function body calls (*sync.WaitGroup).Wait.
+func funcWaits(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" &&
+			namedType(pass.TypeOf(sel.X), "sync", "WaitGroup") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// goroutineJoined reports whether the go statement's function literal body
+// references a sync.WaitGroup (Done/Add on a captured group) or receives
+// from a context's Done channel. A call to a named function cannot be
+// inspected, so it only passes via the launching function's Wait.
+func goroutineJoined(pass *Pass, g *ast.GoStmt) bool {
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	joined := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if joined {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if obj := pass.Info.Uses[n]; obj != nil && namedType(obj.Type(), "sync", "WaitGroup") {
+				joined = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" &&
+				namedType(pass.TypeOf(sel.X), "context", "Context") {
+				joined = true
+			}
+		}
+		return !joined
+	})
+	return joined
+}

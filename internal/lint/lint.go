@@ -1,0 +1,212 @@
+// Package lint is the repo's determinism & safety analyzer suite. Every
+// result in this reproduction depends on bit-identical replay: a cell of
+// the experiment grid must produce the same bytes whether it runs first or
+// last, on one worker or sixteen. The analyzers in this package turn the
+// conventions that guarantee that — no wall-clock reads in simulation
+// code, one seeded RNG, no order-sensitive map iteration, no raw float
+// equality, no unjoined goroutines — into machine-checked rules that gate
+// CI.
+//
+// The framework is deliberately self-contained: it is built on stdlib
+// go/parser, go/ast and go/types only (no golang.org/x/tools), with the
+// standard library imported through go/importer's source mode so the tool
+// works in the offline build environment.
+//
+// Findings print as "file:line:col: [rule] message" and any finding makes
+// the driver exit non-zero. A finding can be suppressed with a
+//
+//	//lint:allow <rule> <reason>
+//
+// comment on the offending line or the line directly above it. Allows are
+// verified: one that suppresses nothing is itself reported (rule
+// "stale-allow"), so the allowlist can never rot.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one reported rule violation.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+// String renders the finding in the canonical file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
+}
+
+// Analyzer is one named rule.
+type Analyzer struct {
+	// Name is the rule identifier used in findings and allow comments.
+	Name string
+	// Doc is a one-line description of what the rule protects.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// All is the suite, in the order rules run and are documented.
+var All = []*Analyzer{
+	NoWallClock,
+	NoGlobalRand,
+	SeededRNG,
+	MapOrder,
+	FloatEq,
+	NoNakedPrint,
+	CtxGoroutine,
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// Path is the package's import path (e.g. "remapd/internal/remap");
+	// rules scope themselves with it.
+	Path string
+
+	rule     string
+	allows   []*allowDirective
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos unless an allow directive suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	for _, a := range p.allows {
+		if a.rule == p.rule && a.file == position.Filename &&
+			(a.line == position.Line || a.line == position.Line-1) {
+			a.used = true
+			return
+		}
+	}
+	*p.findings = append(*p.findings, Finding{Pos: position, Rule: p.rule, Msg: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf is a nil-safe shorthand for the pass's type information.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// InDirs reports whether the package lives under any of the given
+// module-relative prefixes ("internal", "cmd", "internal/experiments", ...).
+func (p *Pass) InDirs(prefixes ...string) bool {
+	rel := p.Path
+	if i := strings.Index(rel, "/"); i >= 0 {
+		rel = rel[i+1:] // strip the module path segment
+	} else {
+		rel = "" // the module root package
+	}
+	for _, pre := range prefixes {
+		if rel == pre || strings.HasPrefix(rel, pre+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	file   string
+	line   int
+	rule   string
+	reason string
+	pos    token.Pos
+	used   bool
+}
+
+const allowPrefix = "//lint:allow"
+
+// parseAllows extracts every allow directive from the package's comments.
+// Malformed directives (no rule, unknown rule, or missing reason) are
+// reported immediately under "stale-allow" — a suppression that cannot
+// work is as dangerous as one that no longer does.
+func parseAllows(fset *token.FileSet, files []*ast.File, known map[string]bool, findings *[]Finding) []*allowDirective {
+	var out []*allowDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(c.Text, allowPrefix))
+				bad := func(msg string) {
+					*findings = append(*findings, Finding{Pos: pos, Rule: "stale-allow", Msg: msg})
+				}
+				if len(fields) == 0 {
+					bad("malformed allow: missing rule name")
+					continue
+				}
+				if !known[fields[0]] {
+					bad(fmt.Sprintf("malformed allow: unknown rule %q", fields[0]))
+					continue
+				}
+				if len(fields) < 2 {
+					bad(fmt.Sprintf("malformed allow: %s needs a reason", fields[0]))
+					continue
+				}
+				out = append(out, &allowDirective{
+					file: pos.Filename, line: pos.Line, pos: c.Pos(),
+					rule: fields[0], reason: strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// RunPackage runs the whole suite over one loaded package and returns its
+// findings sorted by position. Stale allow directives — ones that matched
+// no finding of their rule — are appended as findings themselves.
+func RunPackage(pkg *Package) []Finding {
+	known := map[string]bool{}
+	for _, a := range All {
+		known[a.Name] = true
+	}
+	var findings []Finding
+	allows := parseAllows(pkg.Fset, pkg.Files, known, &findings)
+	pass := &Pass{
+		Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info,
+		Path: pkg.Path, allows: allows, findings: &findings,
+	}
+	for _, a := range All {
+		pass.rule = a.Name
+		a.Run(pass)
+	}
+	for _, a := range allows {
+		if !a.used {
+			findings = append(findings, Finding{
+				Pos:  pkg.Fset.Position(a.pos),
+				Rule: "stale-allow",
+				Msg:  fmt.Sprintf("allow for %s suppresses nothing — remove it", a.rule),
+			})
+		}
+	}
+	SortFindings(findings)
+	return findings
+}
+
+// SortFindings orders findings by file, then line, then column, then rule.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+}

@@ -1,0 +1,242 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package of the module.
+type Package struct {
+	Path  string // import path ("remapd/internal/remap")
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File // non-test files, in filename order
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks module packages with stdlib machinery
+// only: module packages are resolved against the module directory and the
+// standard library through go/importer's source mode (works offline, no
+// export data needed). Loaded packages are memoized so shared dependencies
+// type-check once.
+type Loader struct {
+	Fset       *token.FileSet
+	ModuleDir  string
+	ModulePath string
+	// Overlay maps extra import paths onto directories; the fixture tests
+	// use it to load testdata packages under "remapd/internal/..." paths so
+	// path-scoped rules fire.
+	Overlay map[string]string
+
+	pkgs    map[string]*Package
+	loading map[string]bool
+	std     types.Importer
+}
+
+// NewLoader finds the module root at or above dir and returns a loader
+// for it.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod at or above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		ModuleDir:  root,
+		ModulePath: modPath,
+		pkgs:       map[string]*Package{},
+		loading:    map[string]bool{},
+		std:        importer.ForCompiler(fset, "source", nil),
+	}, nil
+}
+
+// modulePath reads the module path from a go.mod file.
+func modulePath(file string) (string, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", file)
+}
+
+// Import implements types.Importer: module-local paths (and overlay
+// entries) load through the loader itself; everything else is treated as
+// standard library and resolved from source.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if l.isLocal(path) {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *Loader) isLocal(path string) bool {
+	if _, ok := l.Overlay[path]; ok {
+		return true
+	}
+	return path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/")
+}
+
+// dirOf maps an import path to its directory.
+func (l *Loader) dirOf(path string) string {
+	if dir, ok := l.Overlay[path]; ok {
+		return dir
+	}
+	if path == l.ModulePath {
+		return l.ModuleDir
+	}
+	return filepath.Join(l.ModuleDir, filepath.FromSlash(strings.TrimPrefix(path, l.ModulePath+"/")))
+}
+
+// Load parses and type-checks one package (memoized).
+func (l *Loader) Load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.dirOf(path)
+	names, err := goFiles(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", path, err)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: %s: no buildable Go files in %s", path, dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// goFiles lists the buildable (non-test) .go files of dir, sorted.
+func goFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") ||
+			strings.HasPrefix(name, "_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Discover walks the module and returns the import paths of every package
+// (directories holding at least one buildable .go file), skipping testdata,
+// hidden directories, and underscore-prefixed directories.
+func (l *Loader) Discover() ([]string, error) {
+	var paths []string
+	err := filepath.WalkDir(l.ModuleDir, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != l.ModuleDir && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		names, err := goFiles(p)
+		if err != nil || len(names) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(l.ModuleDir, p)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			paths = append(paths, l.ModulePath)
+		} else {
+			paths = append(paths, l.ModulePath+"/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// Match reports whether an import path matches a command-line pattern.
+// Patterns follow the go tool's shape: "./..." (everything), "./dir/..."
+// (subtree), "./dir" (exact), or a full import path with optional "/...".
+func (l *Loader) Match(path, pattern string) bool {
+	pattern = strings.TrimSuffix(pattern, "/")
+	if pattern == "." || pattern == "./..." || pattern == "..." {
+		return true
+	}
+	// Normalize "./x" to the import-path form.
+	if rest, ok := strings.CutPrefix(pattern, "./"); ok {
+		pattern = l.ModulePath + "/" + rest
+	}
+	if sub, ok := strings.CutSuffix(pattern, "/..."); ok {
+		return path == sub || strings.HasPrefix(path, sub+"/")
+	}
+	return path == pattern
+}

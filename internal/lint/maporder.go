@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `range` over a map whose body is order-sensitive: it
+// appends to a slice, accumulates floating-point values (float addition
+// is not associative, so the sum depends on visit order), writes output,
+// or returns a value derived inside the loop. Go randomizes map iteration
+// order per run, so each of these turns into run-to-run noise — the exact
+// nondeterminism class that previously lurked in remap.RemapT.rebuild and
+// nn.LoadTensors. The fix is to iterate det.SortedKeys(m); package det is
+// the one sanctioned range-and-append site.
+var MapOrder = &Analyzer{
+	Name: "map-order",
+	Doc:  "range over a map with an order-sensitive body (append/float accumulation/output/return); iterate det.SortedKeys instead",
+	Run: func(pass *Pass) {
+		if !pass.InDirs("internal", "cmd") || pathHasSuffix(pass.Path, "internal/det") {
+			return
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := pass.TypeOf(rng.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if why := orderSensitive(pass, rng.Body); why != "" {
+					pass.Reportf(rng.Pos(),
+						"range over map %s %s — iteration order is randomized; loop over det.SortedKeys instead",
+						exprString(rng.X), why)
+				}
+				return true
+			})
+		}
+	},
+}
+
+// orderSensitive scans a range body for the operations whose result
+// depends on visit order, returning a description of the first one found.
+func orderSensitive(pass *Pass, body *ast.BlockStmt) string {
+	var why string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if why != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			obj := calleeObj(pass, n)
+			if isBuiltin(obj, "append") {
+				why = "appends to a slice"
+			} else if isBuiltin(obj, "print") || isBuiltin(obj, "println") {
+				why = "writes output"
+			} else if isPkgFunc(obj, "fmt", "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln") {
+				why = "writes output"
+			} else if sel, ok := n.Fun.(*ast.SelectorExpr); ok && obj != nil &&
+				strings.HasPrefix(sel.Sel.Name, "Write") && obj.Pkg() != nil {
+				why = "writes output"
+			}
+		case *ast.AssignStmt:
+			switch n.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				if len(n.Lhs) == 1 && pass.TypeOf(n.Lhs[0]) != nil && isFloat(pass.TypeOf(n.Lhs[0])) {
+					why = "accumulates floats (float addition is order-dependent)"
+				}
+			}
+		case *ast.ReturnStmt:
+			if len(n.Results) > 0 {
+				why = "returns a value chosen by iteration order"
+			}
+		}
+		return why == ""
+	})
+	return why
+}
+
+// exprString renders a short description of the ranged expression.
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	default:
+		return "expression"
+	}
+}

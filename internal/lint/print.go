@@ -1,0 +1,37 @@
+package lint
+
+import "go/ast"
+
+// NoNakedPrint bans fmt.Print/Printf/Println and the print/println
+// builtins in internal/ packages. Library code that writes straight to
+// stdout interleaves unpredictably with the parallel runner's progress
+// stream and cannot be captured per cell; results leave a function as
+// return values, and progress lines go through the trainer/runner Logf
+// sinks, which the caller multiplexes.
+var NoNakedPrint = &Analyzer{
+	Name: "no-naked-print",
+	Doc:  "fmt.Print*/println are banned in internal/; use Logf sinks or return values",
+	Run: func(pass *Pass) {
+		if !pass.InDirs("internal") {
+			return
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				obj := calleeObj(pass, call)
+				switch {
+				case isPkgFunc(obj, "fmt", "Print", "Printf", "Println"):
+					pass.Reportf(call.Pos(),
+						"fmt.%s writes straight to stdout from library code; route output through a Logf sink or return it", obj.Name())
+				case isBuiltin(obj, "print"), isBuiltin(obj, "println"):
+					pass.Reportf(call.Pos(),
+						"builtin %s writes to stderr with an unstable format; route output through a Logf sink or return it", obj.Name())
+				}
+				return true
+			})
+		}
+	},
+}

@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// NoGlobalRand bans math/rand (v1 and v2) module-wide. The global
+// math/rand stream is process-shared — two concurrently running cells
+// draw interleaved values, destroying replay — and its sequence is not
+// guaranteed stable across Go releases. tensor.RNG (xoshiro256**, seeded
+// per cell) is the repository's only randomness source.
+var NoGlobalRand = &Analyzer{
+	Name: "no-global-rand",
+	Doc:  "math/rand is banned everywhere; tensor.RNG is the only randomness source",
+	Run: func(pass *Pass) {
+		for _, f := range pass.Files {
+			for _, imp := range f.Imports {
+				switch strings.Trim(imp.Path.Value, `"`) {
+				case "math/rand", "math/rand/v2":
+					pass.Reportf(imp.Pos(),
+						"import of %s: the global stream is shared across goroutines and unstable across Go releases; use tensor.RNG seeded from cell coordinates", imp.Path.Value)
+				}
+			}
+		}
+	},
+}
+
+// SeededRNG requires that tensor.NewRNG seeds in non-test internal/ code
+// flow from data (cell coordinates, config, a parent stream) rather than
+// constants. A constant seed hard-wires one stream: two call sites with
+// the same literal alias their randomness, and sweeping seeds from the
+// experiment grid silently has no effect.
+var SeededRNG = &Analyzer{
+	Name: "seeded-rng",
+	Doc:  "tensor.NewRNG in internal/ must not take constant seeds; seeds flow from cell coordinates or config",
+	Run: func(pass *Pass) {
+		if !pass.InDirs("internal") || pathHasSuffix(pass.Path, "internal/tensor") {
+			return
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 {
+					return true
+				}
+				obj := calleeObj(pass, call)
+				if obj == nil || obj.Name() != "NewRNG" || obj.Pkg() == nil ||
+					!pathHasSuffix(obj.Pkg().Path(), "internal/tensor") {
+					return true
+				}
+				if tv, ok := pass.Info.Types[call.Args[0]]; ok && tv.Value != nil {
+					pass.Reportf(call.Pos(),
+						"tensor.NewRNG with constant seed %s: seeds must derive from cell coordinates or config so streams never alias across cells", tv.Value)
+				}
+				return true
+			})
+		}
+	},
+}

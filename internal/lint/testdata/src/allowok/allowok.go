@@ -1,0 +1,19 @@
+// Package allowok is the suppression fixture: a working allow, a stale
+// allow, and a malformed allow.
+package allowok
+
+import "time"
+
+// Timing has two clock reads; the allow suppresses exactly the first.
+func Timing() (time.Time, time.Time) {
+	//lint:allow no-wall-clock fixture: operator-facing progress display
+	a := time.Now()
+	b := time.Now() // want "no-wall-clock"
+	return a, b
+}
+
+//lint:allow map-order nothing on the next line ranges a map // want "stale-allow"
+
+//lint:allow bogus-rule no such rule exists // want "stale-allow"
+
+//lint:allow float-eq // want "stale-allow"

@@ -1,0 +1,44 @@
+// Package floateq is the float-eq rule fixture.
+package floateq
+
+// BadEq compares floats exactly.
+func BadEq(a, b float64) bool {
+	return a == b // want "float-eq"
+}
+
+// BadNeqZero is still an exact comparison, even against zero.
+func BadNeqZero(x float32) bool {
+	return x != 0 // want "float-eq"
+}
+
+// BadSwitch hides exact equality in each case clause.
+func BadSwitch(x float64) string {
+	switch x { // want "float-eq"
+	case 1.0:
+		return "one"
+	}
+	return "other"
+}
+
+// approxEqual is an approved tolerance helper; the exact comparison
+// inside only short-circuits the trivially equal case.
+func approxEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < tol
+}
+
+// GoodInt is integer equality.
+func GoodInt(a, b int) bool {
+	return a == b
+}
+
+// GoodUse keeps the helper referenced.
+func GoodUse() bool {
+	return approxEqual(1, 1, 1e-9)
+}

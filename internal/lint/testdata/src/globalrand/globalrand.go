@@ -1,0 +1,11 @@
+// Package globalrand is the no-global-rand rule fixture.
+package globalrand
+
+import (
+	"math/rand" // want "no-global-rand"
+)
+
+// Draw consumes the process-global stream.
+func Draw() int {
+	return rand.Int()
+}

@@ -1,0 +1,48 @@
+// Package goroutine is the ctx-goroutine rule fixture (loaded under an
+// internal/experiments overlay path so the rule is in scope).
+package goroutine
+
+import (
+	"context"
+	"sync"
+)
+
+// Bad launches a goroutine nothing ever joins.
+func Bad() {
+	go func() {}() // want "ctx-goroutine"
+}
+
+// BadNamed launches an uninspectable function and never waits.
+func BadNamed(f func()) {
+	go f() // want "ctx-goroutine"
+}
+
+// GoodWaitGroup joins through a WaitGroup.
+func GoodWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// GoodNamedWait may launch opaque work because the function waits.
+func GoodNamedWait(f func(), wg *sync.WaitGroup) {
+	wg.Add(1)
+	go f()
+	wg.Wait()
+}
+
+// GoodCtx exits when the context is cancelled.
+func GoodCtx(ctx context.Context, work <-chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-work:
+			}
+		}
+	}()
+}

@@ -1,0 +1,56 @@
+// Package maporder is the map-order rule fixture.
+package maporder
+
+import "fmt"
+
+// BadAppend collects keys in randomized order.
+func BadAppend(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "map-order"
+		out = append(out, k)
+	}
+	return out
+}
+
+// BadFloatSum accumulates floats in randomized order (float addition is
+// not associative).
+func BadFloatSum(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m { // want "map-order"
+		sum += v
+	}
+	return sum
+}
+
+// BadPrint emits one line per entry in randomized order.
+func BadPrint(m map[int]int) {
+	for k, v := range m { // want "map-order"
+		fmt.Println(k, v) // want "no-naked-print"
+	}
+}
+
+// BadReturn returns whichever key the runtime visits first.
+func BadReturn(m map[string]bool) string {
+	for k := range m { // want "map-order"
+		return k
+	}
+	return ""
+}
+
+// GoodCount is order-insensitive.
+func GoodCount(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// GoodIntSum is exact and commutative, so visit order cannot matter.
+func GoodIntSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,24 @@
+// Package nakedprint is the no-naked-print rule fixture.
+package nakedprint
+
+import (
+	"fmt"
+	"io"
+)
+
+// Bad writes straight to stdout/stderr from library code.
+func Bad() {
+	fmt.Println("done")       // want "no-naked-print"
+	fmt.Printf("x=%d\n", 1)   // want "no-naked-print"
+	println("debug leftover") // want "no-naked-print"
+}
+
+// GoodSink routes output through an explicit writer.
+func GoodSink(w io.Writer) {
+	fmt.Fprintln(w, "done")
+}
+
+// GoodLogf routes output through a caller-supplied sink.
+func GoodLogf(logf func(string, ...interface{})) {
+	logf("epoch %d", 1)
+}

@@ -1,0 +1,26 @@
+// Package seededrng is the seeded-rng rule fixture.
+package seededrng
+
+import "remapd/internal/tensor"
+
+const defaultSeed = 7
+
+// BadLiteral hard-wires one stream.
+func BadLiteral() *tensor.RNG {
+	return tensor.NewRNG(42) // want "seeded-rng"
+}
+
+// BadNamedConst is the same hazard behind a name.
+func BadNamedConst() *tensor.RNG {
+	return tensor.NewRNG(defaultSeed) // want "seeded-rng"
+}
+
+// GoodFlow derives the seed from data the caller controls.
+func GoodFlow(seed uint64) *tensor.RNG {
+	return tensor.NewRNG(seed ^ 0x9e3779b97f4a7c15)
+}
+
+// GoodSplit derives a child stream from a parent generator.
+func GoodSplit(parent *tensor.RNG) *tensor.RNG {
+	return tensor.NewRNG(parent.Uint64())
+}

@@ -1,0 +1,20 @@
+// Package wallclock is the no-wall-clock rule fixture.
+package wallclock
+
+import "time"
+
+// Progress reads the clock twice; both reads are findings.
+func Progress() string {
+	start := time.Now()               // want "no-wall-clock"
+	return time.Since(start).String() // want "no-wall-clock"
+}
+
+// Remaining uses time.Until, the third banned reader.
+func Remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want "no-wall-clock"
+}
+
+// Timeout only uses duration constants and arithmetic — allowed.
+func Timeout() time.Duration {
+	return 5 * time.Second
+}

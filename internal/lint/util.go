@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// calleeObj resolves a call expression to the object it invokes (a
+// function, method, or builtin), or nil when the callee is dynamic.
+func calleeObj(pass *Pass, call *ast.CallExpr) types.Object {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pass.Info.Uses[fn]
+	case *ast.SelectorExpr:
+		return pass.Info.Uses[fn.Sel]
+	}
+	return nil
+}
+
+// isPkgFunc reports whether obj is the named function of the package with
+// the given import path.
+func isPkgFunc(obj types.Object, pkgPath string, names ...string) bool {
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != pkgPath {
+		return false
+	}
+	for _, n := range names {
+		if obj.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// isBuiltin reports whether obj is the named universe builtin.
+func isBuiltin(obj types.Object, name string) bool {
+	b, ok := obj.(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// isFloat reports whether t's underlying type is a floating-point kind
+// (including untyped float constants).
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// namedType reports whether t is the named type pkgPath.name, looking
+// through one level of pointer.
+func namedType(t types.Type, pkgPath, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// pathHasSuffix reports whether the package import path ends with the
+// given module-relative suffix (e.g. "internal/tensor"), so rules stay
+// correct under overlay paths used by the fixture tests.
+func pathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}

@@ -1,0 +1,34 @@
+package lint
+
+import "go/ast"
+
+// NoWallClock forbids reading the host clock in simulation and experiment
+// code. A cell's result must depend only on its grid coordinates; a
+// time.Now that leaks into control flow (timeouts, "has it been long
+// enough" checks, seeds) silently couples results to machine load. The
+// only legitimate uses are operator-facing progress/elapsed displays,
+// which must carry an explicit //lint:allow so reviewers see each one.
+var NoWallClock = &Analyzer{
+	Name: "no-wall-clock",
+	Doc:  "time.Now/Since/Until are forbidden in internal/ and cmd/; simulation state must not depend on the host clock",
+	Run: func(pass *Pass) {
+		if !pass.InDirs("internal", "cmd") {
+			return
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj := pass.Info.Uses[sel.Sel]
+				if isPkgFunc(obj, "time", "Now", "Since", "Until") {
+					pass.Reportf(sel.Pos(),
+						"time.%s reads the wall clock; cell results must depend only on their coordinates (progress timing needs an explicit allow)",
+						obj.Name())
+				}
+				return true
+			})
+		}
+	},
+}

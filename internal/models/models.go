@@ -8,8 +8,8 @@ package models
 
 import (
 	"fmt"
-	"sort"
 
+	"remapd/internal/det"
 	"remapd/internal/nn"
 	"remapd/internal/tensor"
 )
@@ -70,12 +70,7 @@ func Build(name string, cfg Config) (*nn.Network, error) {
 
 // Names lists the registered models in sorted order.
 func Names() []string {
-	out := make([]string, 0, len(registry))
-	for n := range registry {
-		out = append(out, n)
-	}
-	sort.Strings(out)
-	return out
+	return det.SortedKeys(registry)
 }
 
 // vggPlan is a VGG configuration string: channel counts with -1 as maxpool.

@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 
+	"remapd/internal/det"
 	"remapd/internal/tensor"
 )
 
@@ -172,9 +173,9 @@ func LoadWeights(r io.Reader, net *Network) error {
 		delete(byName, name)
 	}
 	if len(byName) != 0 {
-		for name := range byName {
-			return fmt.Errorf("nn: file is missing tensor %q", name)
-		}
+		// Report the lexically first missing tensor so the error message is
+		// deterministic.
+		return fmt.Errorf("nn: file is missing tensor %q", det.SortedKeys(byName)[0])
 	}
 	return nil
 }

@@ -18,7 +18,11 @@
 //   - Data transfers (weight swaps) are long unicast wormhole packets.
 package noc
 
-import "fmt"
+import (
+	"fmt"
+
+	"remapd/internal/det"
+)
 
 // Config describes the network.
 type Config struct {
@@ -327,8 +331,10 @@ func (s *Simulator) Step() {
 				o := s.outputPortFor(ri, d)
 				byOut[o] = append(byOut[o], d)
 			}
-			for o, ds := range byOut {
-				wants[in] = append(wants[in], request{out: o, dsts: ds})
+			// Sorted port order: request order feeds arbitration, so a raw
+			// map walk here would make cycle counts vary run to run.
+			for _, o := range det.SortedKeys(byOut) {
+				wants[in] = append(wants[in], request{out: o, dsts: byOut[o]})
 			}
 		}
 

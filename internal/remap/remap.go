@@ -16,6 +16,7 @@ import (
 	"remapd/internal/ancode"
 	"remapd/internal/arch"
 	"remapd/internal/bist"
+	"remapd/internal/det"
 	"remapd/internal/noc"
 	"remapd/internal/reram"
 	"remapd/internal/tensor"
@@ -157,9 +158,12 @@ func (r *RemapD) EpochEnd(ctx *Context) EpochReport {
 	chip := ctx.Chip
 	rep := EpochReport{}
 
-	// Step 0: BIST every mapped crossbar to obtain fault densities.
+	// Step 0: BIST every mapped crossbar to obtain fault densities. The
+	// densities are kept in a slice indexed by crossbar id (not a map):
+	// every later step walks crossbars in slice order, so no code path can
+	// depend on map iteration order.
 	used := chip.MappedXbars()
-	density := make(map[int]float64, len(used))
+	density := make([]float64, len(chip.Xbars))
 	if r.UseBIST {
 		ctrl := bist.NewController(chip.Params)
 		for _, xi := range used {
@@ -200,7 +204,7 @@ func (r *RemapD) EpochEnd(ctx *Context) EpochReport {
 	// receiver must (a) be strictly cleaner than the sender and (b) itself
 	// be within the acceptable-density threshold — otherwise the swap just
 	// moves the fault-critical task onto another bad crossbar.
-	taken := make(map[int]bool)
+	taken := make([]bool, len(chip.Xbars))
 	var pairs [][2]int
 	for _, s := range senders {
 		var eligible []int
@@ -276,10 +280,13 @@ func NewRemapT(fraction float64) *RemapT { return &RemapT{Fraction: fraction} }
 
 // Name implements Policy.
 func (r *RemapT) Name() string {
-	switch r.Fraction {
-	case 0.05:
+	// Switch on the rounded percentage, not the float itself: exact float
+	// equality on a configured fraction is the kind of comparison the
+	// float-eq lint rule exists to keep out of this codebase.
+	switch int(r.Fraction*100 + 0.5) {
+	case 5:
 		return "remap-t-5%"
-	case 0.10:
+	case 10:
 		return "remap-t-10%"
 	}
 	return "remap-t"
@@ -322,8 +329,11 @@ func (r *RemapT) rebuild(ctx *Context, importance map[string]*tensor.Tensor) {
 		v     float32
 	}
 	var all []scored
-	for layer, imp := range importance {
-		for i, v := range imp.Data {
+	// Sorted layer order: the sort below breaks score ties by slice
+	// position, so the visit order here must be deterministic for the
+	// protection set to be replayable.
+	for _, layer := range det.SortedKeys(importance) {
+		for i, v := range importance[layer].Data {
 			all = append(all, scored{layer, i, v})
 		}
 	}

@@ -41,7 +41,7 @@ func MatMulInto(out, a, b *Tensor) {
 			orow := out.Data[i*n : (i+1)*n]
 			for p := 0; p < k; p++ {
 				av := arow[p]
-				if av == 0 {
+				if av == 0 { //lint:allow float-eq zero-skip fast path: skipping an exact-zero operand cannot change the sum
 					continue
 				}
 				brow := b.Data[p*n : (p+1)*n]
@@ -156,7 +156,7 @@ func MatMulTransAInto(out, a, b *Tensor) {
 			brow := b.Data[p*n : (p+1)*n]
 			for i := r0; i < r1; i++ {
 				av := arow[i]
-				if av == 0 {
+				if av == 0 { //lint:allow float-eq zero-skip fast path: skipping an exact-zero operand cannot change the sum
 					continue
 				}
 				orow := out.Data[i*n : (i+1)*n]
