@@ -17,6 +17,7 @@ import (
 	"syscall"
 	"time"
 
+	"remapd/internal/checkpoint"
 	"remapd/internal/experiments"
 )
 
@@ -28,6 +29,7 @@ func main() {
 		csvDir    = flag.String("csv", "", "also write each figure's rows as CSV into this directory")
 		workers   = flag.Int("j", 0, "experiment cells to run in parallel (0 = all cores)")
 		progress  = flag.Bool("progress", false, "log one line per completed experiment cell")
+		ckptDir   = flag.String("checkpoint-dir", "", "persist per-epoch cell checkpoints here; an interrupted report resumes bit-identically")
 	)
 	flag.Parse()
 
@@ -61,6 +63,13 @@ func main() {
 	s.Workers = *workers
 	if *progress {
 		s.Progress = log.Printf
+	}
+	if *ckptDir != "" {
+		store, err := checkpoint.NewStore(*ckptDir, log.Printf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s.Checkpoints = store
 	}
 	reg := experiments.DefaultRegime()
 	//lint:allow no-wall-clock operator-facing report timing; results are computed from seeds only

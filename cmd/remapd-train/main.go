@@ -23,6 +23,7 @@ import (
 	"syscall"
 
 	"remapd/internal/arch"
+	"remapd/internal/checkpoint"
 	"remapd/internal/dataset"
 	"remapd/internal/experiments"
 	"remapd/internal/fault"
@@ -46,6 +47,7 @@ func main() {
 		usePaper  = flag.Bool("paper-regime", false, "use the paper's literal fault densities instead of the compressed schedule")
 		endurance = flag.Bool("endurance", false, "derive wear-out physically from write counts (Weibull) instead of the phenomenological post model")
 		workers   = flag.Int("j", 0, "cap on compute parallelism (GOMAXPROCS; 0 = all cores)")
+		ckptDir   = flag.String("checkpoint-dir", "", "persist a per-epoch checkpoint here; an interrupted run resumes bit-identically")
 	)
 	flag.Parse()
 	if *workers > 0 {
@@ -130,6 +132,20 @@ func main() {
 			cfg.Post = &reg.Post
 		}
 		cfg.TrackGradAbs = trackGrads
+	}
+
+	if *ckptDir != "" {
+		store, err := checkpoint.NewStore(*ckptDir, cfg.Logf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The key names the run; the fingerprint binds the snapshot to
+		// every flag that shapes its results, so changing a flag quietly
+		// invalidates the old snapshot instead of misapplying it.
+		key := fmt.Sprintf("%s/%s/seed%d/%s", *model, *policy, *seed, *dsName)
+		fingerprint := fmt.Sprintf("train1|m=%s p=%s ph=%s ds=%s e=%d tr=%d te=%d w=%g s=%d noc=%v paper=%v end=%v",
+			*model, *policy, *phase, *dsName, *epochs, *trainN, *testN, *width, *seed, *simNoC, *usePaper, *endurance)
+		cfg.Checkpoint = store.Cell(key, fingerprint)
 	}
 
 	res, err := trainer.Train(net, ds, cfg)

@@ -332,6 +332,46 @@ func (c *Chip) SetMapping(xbarOfTask []int) error {
 	return nil
 }
 
+// Mapping returns a copy of the current task→crossbar assignment
+// (index = task ID), the shape SetMapping accepts. Checkpoints persist it.
+func (c *Chip) Mapping() []int {
+	out := make([]int, len(c.xbarOfTask))
+	copy(out, c.xbarOfTask)
+	return out
+}
+
+// RestoreMapping installs an assignment without any write accounting:
+// checkpoint resume restores the write counters separately, so recording
+// the moves again would double-count wear. The assignment is validated
+// like SetMapping.
+func (c *Chip) RestoreMapping(xbarOfTask []int) error {
+	if len(xbarOfTask) != len(c.Tasks) {
+		return fmt.Errorf("arch: mapping covers %d of %d tasks", len(xbarOfTask), len(c.Tasks))
+	}
+	seen := make(map[int]bool, len(xbarOfTask))
+	for tid, xi := range xbarOfTask {
+		if xi < 0 || xi >= len(c.Xbars) {
+			return fmt.Errorf("arch: task %d mapped to invalid crossbar %d", tid, xi)
+		}
+		if seen[xi] {
+			return fmt.Errorf("arch: crossbar %d hosts two tasks", xi)
+		}
+		seen[xi] = true
+	}
+	for i := range c.taskOfXbar {
+		c.taskOfXbar[i] = -1
+	}
+	for tid, xi := range xbarOfTask {
+		c.xbarOfTask[tid] = xi
+		c.taskOfXbar[xi] = tid
+	}
+	c.InvalidateAll()
+	return nil
+}
+
+// RestoreSteps overwrites the optimizer-step counter (checkpoint resume).
+func (c *Chip) RestoreSteps(n uint64) { c.steps = n }
+
 // SwapTasks exchanges the tasks of two crossbars (both must host tasks) and
 // accounts a weight rewrite on both arrays. This is the physical weight
 // exchange of the remapping step (Fig. 3(c)).

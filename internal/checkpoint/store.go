@@ -1,0 +1,121 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"remapd/internal/trainer"
+)
+
+// Store manages the checkpoint files of one experiment run: one file per
+// cell, all in a single directory.
+type Store struct {
+	dir string
+	// logf receives warnings about corrupt or stale checkpoints (never
+	// nil; defaults to a no-op).
+	logf func(format string, args ...interface{})
+}
+
+// NewStore creates (if necessary) the checkpoint directory and returns a
+// store over it. logf may be nil.
+func NewStore(dir string, logf func(format string, args ...interface{})) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: create store: %w", err)
+	}
+	if logf == nil {
+		logf = func(string, ...interface{}) {}
+	}
+	return &Store{dir: dir, logf: logf}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Cell returns the checkpointer for one experiment cell. key is the
+// cell's stable identity (its CellKey string); fingerprint binds the
+// snapshot to the cell's full configuration, so a checkpoint left behind
+// by a differently-configured run of the same key is skipped, not
+// misapplied.
+func (s *Store) Cell(key, fingerprint string) *CellCheckpointer {
+	return &CellCheckpointer{
+		store:       s,
+		key:         key,
+		fingerprint: fingerprint,
+		path:        filepath.Join(s.dir, cellFileName(key)),
+	}
+}
+
+// cellFileName derives a filesystem-safe, collision-resistant name: the
+// sanitized key keeps files human-navigable, the FNV hash of the exact key
+// keeps distinct keys distinct even when sanitization collides.
+func cellFileName(key string) string {
+	var b strings.Builder
+	for _, r := range key {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('-')
+		}
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return fmt.Sprintf("%s-%016x.ckpt", b.String(), h.Sum64())
+}
+
+// CellCheckpointer implements trainer.CheckpointHook for one cell.
+type CellCheckpointer struct {
+	store       *Store
+	key         string
+	fingerprint string
+	path        string
+}
+
+// Path returns the cell's checkpoint file path (tests and tooling).
+func (c *CellCheckpointer) Path() string { return c.path }
+
+// Resume implements trainer.CheckpointHook. Missing files start fresh
+// silently; unreadable, corrupt, or stale (fingerprint-mismatched) files
+// start fresh with a logged warning — one bad checkpoint degrades exactly
+// one cell to a restart, never the whole run. A snapshot that validates
+// but cannot be applied to this configuration is a hard error.
+func (c *CellCheckpointer) Resume(st *trainer.TrainState) (int, bool, error) {
+	data, err := os.ReadFile(c.path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, false, nil
+	}
+	if err != nil {
+		c.store.logf("checkpoint %s: read failed (%v); restarting cell from epoch 0", c.key, err)
+		return 0, false, nil
+	}
+	snap, err := Decode(data)
+	if err != nil {
+		c.store.logf("checkpoint %s: %v; restarting cell from epoch 0", c.key, err)
+		return 0, false, nil
+	}
+	if snap.Fingerprint != c.fingerprint {
+		c.store.logf("checkpoint %s: stale fingerprint (have %s, want %s); restarting cell from epoch 0",
+			c.key, snap.Fingerprint, c.fingerprint)
+		return 0, false, nil
+	}
+	if err := snap.Apply(st); err != nil {
+		return 0, false, err
+	}
+	return snap.Epoch, true, nil
+}
+
+// Save implements trainer.CheckpointHook: encode and atomically replace
+// the cell's snapshot.
+func (c *CellCheckpointer) Save(st *trainer.TrainState, epochsDone int) error {
+	data, err := EncodeState(st, c.fingerprint, epochsDone)
+	if err != nil {
+		return err
+	}
+	return writeAtomic(c.path, data)
+}

@@ -29,10 +29,11 @@ func AblationThreshold(ctx context.Context, s Scale, reg FaultRegime, model stri
 	var cells []Cell
 	for _, th := range thresholds {
 		for _, seed := range s.Seeds {
+			key := CellKey{Model: model, Policy: "remap-d", Seed: seed,
+				Extra: fmt.Sprintf("th%g", th)}
 			cells = append(cells, Cell{
-				Key: CellKey{Model: model, Policy: "remap-d", Seed: seed,
-					Extra: fmt.Sprintf("th%g", th)},
-				Run: func(ctx context.Context) (interface{}, error) {
+				Key: key,
+				Run: func(ctx context.Context, logf Logf) (interface{}, error) {
 					net, err := buildModel(model, s, seed)
 					if err != nil {
 						return nil, err
@@ -41,6 +42,8 @@ func AblationThreshold(ctx context.Context, s Scale, reg FaultRegime, model stri
 					rd.Threshold = th
 					cfg := baseTrainConfig(s, seed)
 					cfg.Ctx = ctx
+					cfg.Logf = logf
+					cfg.Checkpoint = s.cellCheckpoint(reg, key, 10)
 					cfg.Chip = NewChip(s)
 					cfg.Policy = rd
 					cfg.Pre = &reg.Pre
@@ -92,9 +95,10 @@ func AblationReceiverSelection(ctx context.Context, s Scale, reg FaultRegime, mo
 	var cells []Cell
 	for _, sel := range selections {
 		for _, seed := range s.Seeds {
+			key := CellKey{Model: model, Policy: "remap-d", Seed: seed, Extra: sel.name}
 			cells = append(cells, Cell{
-				Key: CellKey{Model: model, Policy: "remap-d", Seed: seed, Extra: sel.name},
-				Run: func(ctx context.Context) (interface{}, error) {
+				Key: key,
+				Run: func(ctx context.Context, logf Logf) (interface{}, error) {
 					net, err := buildModel(model, s, seed)
 					if err != nil {
 						return nil, err
@@ -104,6 +108,8 @@ func AblationReceiverSelection(ctx context.Context, s Scale, reg FaultRegime, mo
 					rd.RandomReceiver = sel.random
 					cfg := baseTrainConfig(s, seed)
 					cfg.Ctx = ctx
+					cfg.Logf = logf
+					cfg.Checkpoint = s.cellCheckpoint(reg, key, 10)
 					cfg.Chip = NewChip(s)
 					cfg.Policy = rd
 					cfg.Pre = &reg.Pre
@@ -156,15 +162,18 @@ func AblationCoding(ctx context.Context, s Scale, reg FaultRegime, model string)
 	for _, coding := range codings {
 		for _, policy := range policies {
 			for _, seed := range s.Seeds {
+				key := CellKey{Model: model, Policy: policy, Seed: seed, Extra: coding.String()}
 				cells = append(cells, Cell{
-					Key: CellKey{Model: model, Policy: policy, Seed: seed, Extra: coding.String()},
-					Run: func(ctx context.Context) (interface{}, error) {
+					Key: key,
+					Run: func(ctx context.Context, logf Logf) (interface{}, error) {
 						net, err := buildModel(model, s, seed)
 						if err != nil {
 							return nil, err
 						}
 						cfg := baseTrainConfig(s, seed)
 						cfg.Ctx = ctx
+						cfg.Logf = logf
+						cfg.Checkpoint = s.cellCheckpoint(reg, key, 10)
 						if policy != "ideal" {
 							pol, _, err := PolicyByName(policy, reg)
 							if err != nil {
@@ -233,9 +242,10 @@ func AblationBISTvsTruth(ctx context.Context, s Scale, reg FaultRegime, model st
 	var cells []Cell
 	for _, src := range sources {
 		for _, seed := range s.Seeds {
+			key := CellKey{Model: model, Policy: "remap-d", Seed: seed, Extra: src.name}
 			cells = append(cells, Cell{
-				Key: CellKey{Model: model, Policy: "remap-d", Seed: seed, Extra: src.name},
-				Run: func(ctx context.Context) (interface{}, error) {
+				Key: key,
+				Run: func(ctx context.Context, logf Logf) (interface{}, error) {
 					net, err := buildModel(model, s, seed)
 					if err != nil {
 						return nil, err
@@ -245,6 +255,8 @@ func AblationBISTvsTruth(ctx context.Context, s Scale, reg FaultRegime, model st
 					rd.UseBIST = src.useBIST
 					cfg := baseTrainConfig(s, seed)
 					cfg.Ctx = ctx
+					cfg.Logf = logf
+					cfg.Checkpoint = s.cellCheckpoint(reg, key, 10)
 					cfg.Chip = NewChip(s)
 					cfg.Policy = rd
 					cfg.Pre = &reg.Pre

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"remapd/internal/arch"
+	"remapd/internal/checkpoint"
 	"remapd/internal/dataset"
 	"remapd/internal/fault"
 	"remapd/internal/models"
@@ -47,6 +48,31 @@ type Scale struct {
 	Workers int
 	// Progress, when non-nil, receives one line per completed cell.
 	Progress func(format string, args ...interface{})
+	// Checkpoints, when non-nil, makes every cell crash-safe: the trainer
+	// snapshots the full run state after each epoch, completed cells are
+	// skipped on re-run, and interrupted cells resume bit-identically.
+	Checkpoints *checkpoint.Store
+}
+
+// cellFingerprint renders every configuration knob a cell's result depends
+// on. It binds a checkpoint to its producing configuration: a stored
+// snapshot whose fingerprint differs from the resuming run's is stale and
+// ignored. Scheduling-only knobs (Workers, Progress, Checkpoints) are
+// deliberately excluded — they cannot change results.
+func cellFingerprint(s Scale, reg FaultRegime, key CellKey, classes int) string {
+	return fmt.Sprintf("ck1|%s|img%d-tr%d-te%d-w%g-e%d-b%d-lr%g-x%d-g%dx%dx%dx%d|pre%+v|post%+v|th%g-pd%g|c%d|%s",
+		s.Name, s.ImgSize, s.TrainN, s.TestN, s.WidthScale, s.Epochs, s.BatchSize, s.LR,
+		s.CrossbarSize, s.Geom.TilesX, s.Geom.TilesY, s.Geom.IMAsPerTile, s.Geom.XbarsPerIMA,
+		reg.Pre, reg.Post, reg.RemapThreshold, reg.PhaseDensity, classes, key)
+}
+
+// cellCheckpoint returns the checkpoint hook for one cell, or nil when
+// checkpointing is disabled.
+func (s Scale) cellCheckpoint(reg FaultRegime, key CellKey, classes int) trainer.CheckpointHook {
+	if s.Checkpoints == nil {
+		return nil
+	}
+	return s.Checkpoints.Cell(key.String(), cellFingerprint(s, reg, key, classes))
 }
 
 // QuickScale is the benchmark-sized configuration: two models, one seed,
@@ -197,16 +223,19 @@ func PolicyNames() []string {
 }
 
 // runOne trains one (model, policy, seed) cell and returns final accuracy
-// and the result for overhead accounting.
-func runOne(ctx context.Context, model, policy string, s Scale, reg FaultRegime, ds *dataset.Dataset, seed uint64, classes int) (*trainer.Result, error) {
-	net, err := buildModelFor(model, s, seed, classes)
+// and the result for overhead accounting. key carries the cell's grid
+// coordinates for checkpoint identity; logf receives the cell's progress.
+func runOne(ctx context.Context, key CellKey, s Scale, reg FaultRegime, ds *dataset.Dataset, classes int, logf Logf) (*trainer.Result, error) {
+	net, err := buildModelFor(key.Model, s, key.Seed, classes)
 	if err != nil {
 		return nil, err
 	}
-	cfg := baseTrainConfig(s, seed)
+	cfg := baseTrainConfig(s, key.Seed)
 	cfg.Ctx = ctx
-	if policy != "ideal" {
-		pol, trackGrads, err := PolicyByName(policy, reg)
+	cfg.Logf = logf
+	cfg.Checkpoint = s.cellCheckpoint(reg, key, classes)
+	if key.Policy != "ideal" {
+		pol, trackGrads, err := PolicyByName(key.Policy, reg)
 		if err != nil {
 			return nil, err
 		}

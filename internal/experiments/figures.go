@@ -87,15 +87,18 @@ func Fig5(ctx context.Context, s Scale, reg FaultRegime) ([]Fig5Row, error) {
 	for _, model := range s.Models {
 		for _, seed := range s.Seeds {
 			for _, v := range variants {
+				key := CellKey{Model: model, Policy: v.name, Seed: seed}
 				cells = append(cells, Cell{
-					Key: CellKey{Model: model, Policy: v.name, Seed: seed},
-					Run: func(ctx context.Context) (interface{}, error) {
+					Key: key,
+					Run: func(ctx context.Context, logf Logf) (interface{}, error) {
 						net, err := buildModel(model, s, seed)
 						if err != nil {
 							return nil, err
 						}
 						cfg := baseTrainConfig(s, seed)
 						cfg.Ctx = ctx
+						cfg.Logf = logf
+						cfg.Checkpoint = s.cellCheckpoint(reg, key, 10)
 						if v.inject {
 							cfg.Chip = NewChip(s)
 							cfg.PhaseInject = &trainer.PhaseInjection{Phase: v.phase, Density: reg.PhaseDensity}
@@ -155,10 +158,11 @@ func Fig6(ctx context.Context, s Scale, reg FaultRegime, policies []string) ([]F
 	for _, model := range s.Models {
 		for _, policy := range policies {
 			for _, seed := range s.Seeds {
+				key := CellKey{Model: model, Policy: policy, Seed: seed}
 				cells = append(cells, Cell{
-					Key: CellKey{Model: model, Policy: policy, Seed: seed},
-					Run: func(ctx context.Context) (interface{}, error) {
-						return runOne(ctx, model, policy, s, reg, ds, seed, 10)
+					Key: key,
+					Run: func(ctx context.Context, logf Logf) (interface{}, error) {
+						return runOne(ctx, key, s, reg, ds, 10, logf)
 					},
 				})
 			}
@@ -217,10 +221,11 @@ func Fig7(ctx context.Context, s Scale, reg FaultRegime, sweepModels []string, m
 	var cells []Cell
 	for _, model := range sweepModels {
 		for _, seed := range s.Seeds {
+			key := CellKey{Model: model, Policy: "ideal", Seed: seed}
 			cells = append(cells, Cell{
-				Key: CellKey{Model: model, Policy: "ideal", Seed: seed},
-				Run: func(ctx context.Context) (interface{}, error) {
-					return runOne(ctx, model, "ideal", s, reg, ds, seed, 10)
+				Key: key,
+				Run: func(ctx context.Context, logf Logf) (interface{}, error) {
+					return runOne(ctx, key, s, reg, ds, 10, logf)
 				},
 			})
 		}
@@ -230,11 +235,12 @@ func Fig7(ctx context.Context, s Scale, reg FaultRegime, sweepModels []string, m
 				r.Post.CellFraction = m
 				r.Post.CrossbarFraction = n
 				for _, seed := range s.Seeds {
+					key := CellKey{Model: model, Policy: "remap-d", Seed: seed,
+						Extra: fmt.Sprintf("m%g-n%g", m, n)}
 					cells = append(cells, Cell{
-						Key: CellKey{Model: model, Policy: "remap-d", Seed: seed,
-							Extra: fmt.Sprintf("m%g-n%g", m, n)},
-						Run: func(ctx context.Context) (interface{}, error) {
-							return runOne(ctx, model, "remap-d", s, r, ds, seed, 10)
+						Key: key,
+						Run: func(ctx context.Context, logf Logf) (interface{}, error) {
+							return runOne(ctx, key, s, r, ds, 10, logf)
 						},
 					})
 				}
@@ -309,10 +315,11 @@ func Fig8(ctx context.Context, s Scale, reg FaultRegime) ([]Fig8Row, error) {
 		for _, model := range s.Models {
 			for _, policy := range policies {
 				for _, seed := range s.Seeds {
+					key := CellKey{Model: model, Policy: policy, Seed: seed, Extra: set.name}
 					cells = append(cells, Cell{
-						Key: CellKey{Model: model, Policy: policy, Seed: seed, Extra: set.name},
-						Run: func(ctx context.Context) (interface{}, error) {
-							return runOne(ctx, model, policy, s, reg, ds, seed, classes)
+						Key: key,
+						Run: func(ctx context.Context, logf Logf) (interface{}, error) {
+							return runOne(ctx, key, s, reg, ds, classes, logf)
 						},
 					})
 				}

@@ -62,14 +62,19 @@ func (k CellKey) RNGSeed() uint64 {
 	return h
 }
 
+// Logf is the progress-line sink type shared across the runner layers.
+type Logf = func(format string, args ...interface{})
+
 // Cell couples a key with the work it identifies. Run must be self
 // contained: it may read shared immutable inputs (a *dataset.Dataset) but
 // must construct everything it mutates (network, chip, RNGs) itself, and
 // should pass ctx into trainer.Config.Ctx so cancellation stops the run at
-// the next batch boundary.
+// the next batch boundary. logf (never nil) multiplexes the cell's
+// progress lines into the runner's sink, prefixed with the cell key, so
+// interleaved per-epoch output from concurrent cells stays attributable.
 type Cell struct {
 	Key CellKey
-	Run func(ctx context.Context) (interface{}, error)
+	Run func(ctx context.Context, logf Logf) (interface{}, error)
 }
 
 // Runner executes cells on a bounded worker pool.
@@ -116,7 +121,7 @@ func (r *Runner) Run(ctx context.Context, cells []Cell) ([]interface{}, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				res, err := runCell(runCtx, cells[i])
+				res, err := runCell(runCtx, cells[i], r.cellLogf(cells[i].Key))
 				results[i], errs[i] = res, err
 				if err != nil {
 					cancel() // first failure stops the grid
@@ -176,8 +181,22 @@ feed:
 	return results, nil
 }
 
+// cellLogf returns the per-cell progress sink: every line a cell emits
+// (per-epoch training progress, checkpoint-resume notices) is prefixed
+// with its key and routed through the runner's Logf. With no sink
+// configured the cells log into a no-op.
+func (r *Runner) cellLogf(key CellKey) Logf {
+	if r.Logf == nil {
+		return func(string, ...interface{}) {}
+	}
+	prefix := "[" + key.String() + "] "
+	return func(format string, args ...interface{}) {
+		r.Logf(prefix+format, args...)
+	}
+}
+
 // runCell executes one cell with panic recovery.
-func runCell(ctx context.Context, c Cell) (res interface{}, err error) {
+func runCell(ctx context.Context, c Cell, logf Logf) (res interface{}, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("cell %s panicked: %v\n%s", c.Key, p, debug.Stack())
@@ -186,7 +205,7 @@ func runCell(ctx context.Context, c Cell) (res interface{}, err error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	res, err = c.Run(ctx)
+	res, err = c.Run(ctx, logf)
 	if err != nil && !errors.Is(err, context.Canceled) {
 		err = fmt.Errorf("cell %s: %w", c.Key, err)
 	}

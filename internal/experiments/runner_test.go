@@ -20,7 +20,7 @@ func arithCells(n int, ran *atomic.Int64) []Cell {
 	for i := 0; i < n; i++ {
 		cells[i] = Cell{
 			Key: CellKey{Model: "arith", Policy: "mul", Seed: uint64(i)},
-			Run: func(ctx context.Context) (interface{}, error) {
+			Run: func(ctx context.Context, _ Logf) (interface{}, error) {
 				time.Sleep(time.Duration((n-i)%4) * time.Millisecond)
 				if ran != nil {
 					ran.Add(1)
@@ -74,13 +74,13 @@ func TestRunnerErrorCancelsInFlightCells(t *testing.T) {
 	cells := make([]Cell, 8)
 	for i := range cells {
 		key := CellKey{Model: "block", Seed: uint64(i)}
-		run := func(ctx context.Context) (interface{}, error) {
+		run := func(ctx context.Context, _ Logf) (interface{}, error) {
 			<-ctx.Done()
 			return nil, ctx.Err()
 		}
 		if i == 3 {
 			key.Model = "fail"
-			run = func(ctx context.Context) (interface{}, error) {
+			run = func(ctx context.Context, _ Logf) (interface{}, error) {
 				return nil, boom
 			}
 		}
@@ -111,7 +111,7 @@ func TestRunnerErrorCancelsInFlightCells(t *testing.T) {
 
 func TestRunnerPanicBecomesError(t *testing.T) {
 	cells := arithCells(4, nil)
-	cells[2].Run = func(ctx context.Context) (interface{}, error) {
+	cells[2].Run = func(ctx context.Context, _ Logf) (interface{}, error) {
 		panic("cell exploded")
 	}
 	_, err := (&Runner{Workers: 2}).Run(context.Background(), cells)
@@ -131,7 +131,7 @@ func TestRunnerParentCancellation(t *testing.T) {
 	for i := range cells {
 		cells[i] = Cell{
 			Key: CellKey{Model: "slow", Seed: uint64(i)},
-			Run: func(ctx context.Context) (interface{}, error) {
+			Run: func(ctx context.Context, _ Logf) (interface{}, error) {
 				ran.Add(1)
 				if i == 0 {
 					cancel() // simulate SIGINT arriving mid-run

@@ -93,3 +93,22 @@ func (m *EnduranceModel) Apply(xbars []*reram.Crossbar, rng *tensor.RNG) int {
 
 // Reset forgets the applied-write bookkeeping (fresh deployment).
 func (m *EnduranceModel) Reset() { m.applied = make(map[int]uint64) }
+
+// AppliedWrites returns a copy of the per-crossbar write counts up to which
+// failures have already been materialised (checkpoint snapshot).
+func (m *EnduranceModel) AppliedWrites() map[int]uint64 {
+	out := make(map[int]uint64, len(m.applied))
+	for id, w := range m.applied {
+		out[id] = w
+	}
+	return out
+}
+
+// RestoreAppliedWrites replaces the bookkeeping with a checkpointed copy,
+// so a resumed run materialises only the wear accrued after the snapshot.
+func (m *EnduranceModel) RestoreAppliedWrites(applied map[int]uint64) {
+	m.applied = make(map[int]uint64, len(applied))
+	for id, w := range applied {
+		m.applied[id] = w
+	}
+}

@@ -26,6 +26,14 @@ import (
 const weightsMagic = "RMPD"
 const weightsVersion = 1
 
+// Optimizer state shares the per-tensor layout under its own magic, so a
+// checkpoint can persist SGD momentum alongside the weights:
+//
+//	magic "RMPO" | version u32 | lr f64 | steps u64 | tensorCount u32 |
+//	per tensor: nameLen u32 | name | rank u32 | dims []u32 | data []f32
+const optimizerMagic = "RMPO"
+const optimizerVersion = 1
+
 // namedTensors enumerates every tensor that must round-trip: trainable
 // parameters plus BN running statistics.
 func namedTensors(n *Network) []struct {
@@ -65,6 +73,60 @@ func namedTensors(n *Network) []struct {
 	return out
 }
 
+// writeTensorEntry writes one named tensor in the shared layout.
+func writeTensorEntry(w io.Writer, name string, t *tensor.Tensor) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(name))); err != nil {
+		return err
+	}
+	if _, err := w.Write([]byte(name)); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(t.Rank())); err != nil {
+		return err
+	}
+	for _, d := range t.Shape {
+		if err := binary.Write(w, binary.LittleEndian, uint32(d)); err != nil {
+			return err
+		}
+	}
+	return binary.Write(w, binary.LittleEndian, t.Data)
+}
+
+// readTensorHeader reads one entry's name and shape, leaving r positioned
+// at the entry's float32 payload (volume = product of the returned shape).
+func readTensorHeader(r io.Reader) (name string, shape []int, vol int, err error) {
+	var nameLen uint32
+	if err := binary.Read(r, binary.LittleEndian, &nameLen); err != nil {
+		return "", nil, 0, err
+	}
+	if nameLen > 4096 {
+		return "", nil, 0, fmt.Errorf("nn: implausible name length %d", nameLen)
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(r, nameBuf); err != nil {
+		return "", nil, 0, err
+	}
+	name = string(nameBuf)
+	var rank uint32
+	if err := binary.Read(r, binary.LittleEndian, &rank); err != nil {
+		return "", nil, 0, err
+	}
+	if rank > 8 {
+		return "", nil, 0, fmt.Errorf("nn: implausible rank %d for %q", rank, name)
+	}
+	shape = make([]int, rank)
+	vol = 1
+	for d := range shape {
+		var v uint32
+		if err := binary.Read(r, binary.LittleEndian, &v); err != nil {
+			return "", nil, 0, err
+		}
+		shape[d] = int(v)
+		vol *= int(v)
+	}
+	return name, shape, vol, nil
+}
+
 // SaveWeights writes every parameter and BN statistic of net to w.
 func SaveWeights(w io.Writer, net *Network) error {
 	ts := namedTensors(net)
@@ -78,21 +140,7 @@ func SaveWeights(w io.Writer, net *Network) error {
 		return err
 	}
 	for _, nt := range ts {
-		if err := binary.Write(w, binary.LittleEndian, uint32(len(nt.name))); err != nil {
-			return err
-		}
-		if _, err := w.Write([]byte(nt.name)); err != nil {
-			return err
-		}
-		if err := binary.Write(w, binary.LittleEndian, uint32(nt.t.Rank())); err != nil {
-			return err
-		}
-		for _, d := range nt.t.Shape {
-			if err := binary.Write(w, binary.LittleEndian, uint32(d)); err != nil {
-				return err
-			}
-		}
-		if err := binary.Write(w, binary.LittleEndian, nt.t.Data); err != nil {
+		if err := writeTensorEntry(w, nt.name, nt.t); err != nil {
 			return err
 		}
 	}
@@ -126,34 +174,9 @@ func LoadWeights(r io.Reader, net *Network) error {
 		byName[nt.name] = nt.t
 	}
 	for i := uint32(0); i < count; i++ {
-		var nameLen uint32
-		if err := binary.Read(r, binary.LittleEndian, &nameLen); err != nil {
+		name, _, vol, err := readTensorHeader(r)
+		if err != nil {
 			return err
-		}
-		if nameLen > 4096 {
-			return fmt.Errorf("nn: implausible name length %d", nameLen)
-		}
-		nameBuf := make([]byte, nameLen)
-		if _, err := io.ReadFull(r, nameBuf); err != nil {
-			return err
-		}
-		name := string(nameBuf)
-		var rank uint32
-		if err := binary.Read(r, binary.LittleEndian, &rank); err != nil {
-			return err
-		}
-		if rank > 8 {
-			return fmt.Errorf("nn: implausible rank %d for %q", rank, name)
-		}
-		shape := make([]int, rank)
-		vol := 1
-		for d := range shape {
-			var v uint32
-			if err := binary.Read(r, binary.LittleEndian, &v); err != nil {
-				return err
-			}
-			shape[d] = int(v)
-			vol *= int(v)
 		}
 		dst, ok := byName[name]
 		if !ok {
@@ -177,5 +200,98 @@ func LoadWeights(r io.Reader, net *Network) error {
 		// deterministic.
 		return fmt.Errorf("nn: file is missing tensor %q", det.SortedKeys(byName)[0])
 	}
+	return nil
+}
+
+// SaveOptimizer writes opt's mutable state — the decayed learning rate, the
+// step counter, and every momentum tensor — so a resumed run continues the
+// exact update trajectory. Velocity tensors are written in sorted name
+// order for byte-identical output.
+func SaveOptimizer(w io.Writer, opt *SGD) error {
+	if _, err := w.Write([]byte(optimizerMagic)); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(optimizerVersion)); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, opt.LR); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint64(opt.stepsApplied)); err != nil {
+		return err
+	}
+	names := det.SortedKeys(opt.velocity)
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(names))); err != nil {
+		return err
+	}
+	for _, name := range names {
+		if err := writeTensorEntry(w, name, opt.velocity[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadOptimizer restores state saved by SaveOptimizer into opt. Every
+// serialized velocity must name a parameter of opt's network with a
+// matching volume; parameters without a serialized velocity keep the
+// lazy-zero initialisation (they had not been stepped when the state was
+// saved).
+func LoadOptimizer(r io.Reader, opt *SGD) error {
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return fmt.Errorf("nn: reading optimizer magic: %w", err)
+	}
+	if string(magic) != optimizerMagic {
+		return fmt.Errorf("nn: bad optimizer magic %q", magic)
+	}
+	var version uint32
+	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
+		return err
+	}
+	if version != optimizerVersion {
+		return fmt.Errorf("nn: unsupported optimizer version %d", version)
+	}
+	var lr float64
+	if err := binary.Read(r, binary.LittleEndian, &lr); err != nil {
+		return err
+	}
+	var steps uint64
+	if err := binary.Read(r, binary.LittleEndian, &steps); err != nil {
+		return err
+	}
+	var count uint32
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return err
+	}
+	paramByName := map[string]*Param{}
+	for _, p := range opt.net.Params() {
+		paramByName[p.Name] = p
+	}
+	velocity := make(map[string]*tensor.Tensor, count)
+	for i := uint32(0); i < count; i++ {
+		name, shape, vol, err := readTensorHeader(r)
+		if err != nil {
+			return err
+		}
+		p, ok := paramByName[name]
+		if !ok {
+			return fmt.Errorf("nn: optimizer state for unknown parameter %q", name)
+		}
+		if p.W.Len() != vol {
+			return fmt.Errorf("nn: velocity %q volume %d does not match parameter (%d)", name, vol, p.W.Len())
+		}
+		if _, dup := velocity[name]; dup {
+			return fmt.Errorf("nn: duplicate velocity %q", name)
+		}
+		v := tensor.New(shape...)
+		if err := binary.Read(r, binary.LittleEndian, v.Data); err != nil {
+			return err
+		}
+		velocity[name] = v
+	}
+	opt.LR = lr
+	opt.stepsApplied = int(steps)
+	opt.velocity = velocity
 	return nil
 }

@@ -57,6 +57,26 @@ type Policy interface {
 	EpochEnd(ctx *Context) EpochReport
 }
 
+// Resumable is implemented by policies carrying internal mutable state that
+// cannot be reconstructed from the chip alone — e.g. Remap-T's
+// gradient-ranked protection set, which derives from an epoch of gradients
+// a resumed process never saw. PolicyState must be deterministic (a
+// checkpoint of the same state is byte-identical) and RestorePolicyState
+// must reject malformed input rather than install partial state.
+type Resumable interface {
+	PolicyState() ([]byte, error)
+	RestorePolicyState(data []byte) error
+}
+
+// Reattacher is implemented by policies that must rebind to a restored
+// chip when a checkpointed run resumes: reinstall cell correctors, rebuild
+// tables derivable from the (already restored) crossbar fault state. The
+// trainer calls Reattach instead of Deploy on the resume path — Deploy
+// would redo the t=0 placement against the wrong densities.
+type Reattacher interface {
+	Reattach(ctx *Context)
+}
+
 // ---------------------------------------------------------------- None --
 
 // None is the unprotected baseline.

@@ -1,0 +1,153 @@
+package remap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"remapd/internal/arch"
+	"remapd/internal/det"
+	"remapd/internal/reram"
+)
+
+// This file implements checkpoint/resume support for the policies with
+// internal mutable state (Resumable) or installed chip hooks (Reattacher).
+//
+//   - RemapT: the protection set is rebuilt every epoch from that epoch's
+//     accumulated |grad|, which a resumed process never observed — it must
+//     be serialized. Reattach reinstalls the spare-cell corrector.
+//   - RemapWS: the significance snapshot is taken once from the weights at
+//     t = 0; re-deriving it at resume time would rank the *trained*
+//     weights instead — it must be serialized. Reattach reinstalls the
+//     corrector.
+//   - ANCode: the correction table is a pure function of the crossbar
+//     fault state, which the checkpoint restores exactly, so Reattach just
+//     re-profiles and reinstalls; there is nothing to serialize.
+//   - None, Static, RemapD keep no state outside the chip (RemapD's
+//     densities are re-measured every epoch boundary), so they implement
+//     neither interface.
+
+// protectedSet is the shared map[layer]→set-of-weight-indices shape of the
+// RemapT / RemapWS protection state.
+type protectedSet = map[string]map[int]bool
+
+// encodeProtected serializes a protection set deterministically: layers in
+// sorted name order, indices ascending.
+//
+//	u32 layerCount | per layer: u32 nameLen | name | u32 n | n × u32 idx
+func encodeProtected(prot protectedSet) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := binary.Write(&buf, binary.LittleEndian, uint32(len(prot))); err != nil {
+		return nil, err
+	}
+	for _, layer := range det.SortedKeys(prot) {
+		if err := binary.Write(&buf, binary.LittleEndian, uint32(len(layer))); err != nil {
+			return nil, err
+		}
+		buf.WriteString(layer)
+		idxs := det.SortedKeys(prot[layer])
+		if err := binary.Write(&buf, binary.LittleEndian, uint32(len(idxs))); err != nil {
+			return nil, err
+		}
+		for _, i := range idxs {
+			if err := binary.Write(&buf, binary.LittleEndian, uint32(i)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeProtected parses encodeProtected output, rejecting malformed input
+// without returning partial state.
+func decodeProtected(data []byte) (protectedSet, error) {
+	r := bytes.NewReader(data)
+	var layers uint32
+	if err := binary.Read(r, binary.LittleEndian, &layers); err != nil {
+		return nil, fmt.Errorf("remap: protected set header: %w", err)
+	}
+	prot := protectedSet{}
+	for l := uint32(0); l < layers; l++ {
+		var nameLen uint32
+		if err := binary.Read(r, binary.LittleEndian, &nameLen); err != nil {
+			return nil, fmt.Errorf("remap: protected layer name length: %w", err)
+		}
+		if nameLen > 4096 {
+			return nil, fmt.Errorf("remap: implausible layer name length %d", nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, name); err != nil {
+			return nil, fmt.Errorf("remap: protected layer name: %w", err)
+		}
+		var n uint32
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+			return nil, fmt.Errorf("remap: protected index count: %w", err)
+		}
+		if uint64(n)*4 > uint64(r.Len()) {
+			return nil, fmt.Errorf("remap: protected set for %q claims %d indices beyond input", name, n)
+		}
+		m := make(map[int]bool, n)
+		for i := uint32(0); i < n; i++ {
+			var idx uint32
+			if err := binary.Read(r, binary.LittleEndian, &idx); err != nil {
+				return nil, fmt.Errorf("remap: protected index: %w", err)
+			}
+			m[int(idx)] = true
+		}
+		prot[string(name)] = m
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("remap: %d trailing bytes after protected set", r.Len())
+	}
+	return prot, nil
+}
+
+// PolicyState implements Resumable: the current protection set.
+func (r *RemapT) PolicyState() ([]byte, error) { return encodeProtected(r.protected) }
+
+// RestorePolicyState implements Resumable.
+func (r *RemapT) RestorePolicyState(data []byte) error {
+	prot, err := decodeProtected(data)
+	if err != nil {
+		return err
+	}
+	r.protected = prot
+	return nil
+}
+
+// Reattach implements Reattacher: reinstall the spare-cell corrector over
+// the restored protection set.
+func (r *RemapT) Reattach(ctx *Context) { r.install(ctx) }
+
+// PolicyState implements Resumable: the t=0 significance snapshot.
+func (r *RemapWS) PolicyState() ([]byte, error) { return encodeProtected(r.protected) }
+
+// RestorePolicyState implements Resumable.
+func (r *RemapWS) RestorePolicyState(data []byte) error {
+	prot, err := decodeProtected(data)
+	if err != nil {
+		return err
+	}
+	r.protected = prot
+	return nil
+}
+
+// Reattach implements Reattacher.
+func (r *RemapWS) Reattach(ctx *Context) {
+	chip := ctx.Chip
+	chip.SetCellCorrector(func(t *arch.Task, _ *reram.Crossbar, row, col int) bool {
+		m := r.protected[t.Layer]
+		if m == nil {
+			return false
+		}
+		return m[chip.ElementOf(t, row, col)]
+	}, true)
+}
+
+// Reattach implements Reattacher: the AN-code table is derived entirely
+// from the restored crossbar fault state, so re-profiling reproduces it.
+func (a *ANCode) Reattach(ctx *Context) {
+	a.corrector.RefreshTable(ctx.Chip.Xbars)
+	ctx.Chip.SetCellCorrector(a.corrector.CellCorrector(), false)
+}

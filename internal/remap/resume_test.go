@@ -1,0 +1,114 @@
+package remap
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func sampleProtected() protectedSet {
+	return protectedSet{
+		"conv1": {0: true, 7: true, 31: true},
+		"conv2": {},
+		"fc":    {1023: true, 4: true},
+	}
+}
+
+func TestProtectedSetRoundTrip(t *testing.T) {
+	want := sampleProtected()
+	data, err := encodeProtected(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeProtected(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("round trip mismatch:\nwant %v\ngot  %v", want, got)
+	}
+}
+
+func TestProtectedSetEncodingIsDeterministic(t *testing.T) {
+	a, err := encodeProtected(sampleProtected())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		b, err := encodeProtected(sampleProtected())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatal("encoding depends on map iteration order")
+		}
+	}
+}
+
+func TestPolicyStateRoundTripViaInterfaces(t *testing.T) {
+	src := NewRemapT(0.05)
+	src.protected = sampleProtected()
+	blob, err := src.PolicyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := NewRemapT(0.05)
+	if err := dst.RestorePolicyState(blob); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(src.protected, dst.protected) {
+		t.Fatal("RemapT protected sets differ after restore")
+	}
+
+	ws := NewRemapWS()
+	ws.protected = sampleProtected()
+	wsBlob, err := ws.PolicyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws2 := NewRemapWS()
+	if err := ws2.RestorePolicyState(wsBlob); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ws.protected, ws2.protected) {
+		t.Fatal("RemapWS protected sets differ after restore")
+	}
+}
+
+func TestRestorePolicyStateRejectsMalformedInput(t *testing.T) {
+	valid, err := encodeProtected(sampleProtected())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty-vs-header": valid[:2],
+		"truncated-layer": valid[:len(valid)-5],
+		"trailing-bytes":  append(append([]byte(nil), valid...), 0xFF),
+	}
+	for name, data := range cases {
+		r := NewRemapT(0.05)
+		r.protected = protectedSet{"keep": {1: true}}
+		if err := r.RestorePolicyState(data); err == nil {
+			t.Errorf("%s: malformed input accepted", name)
+		}
+		// A rejected restore must not clobber the existing state.
+		if !reflect.DeepEqual(r.protected, protectedSet{"keep": {1: true}}) {
+			t.Errorf("%s: failed restore mutated policy state", name)
+		}
+	}
+}
+
+func TestResumableImplementations(t *testing.T) {
+	// The policies with irreproducible internal state must be Resumable;
+	// the stateless ones must not carry a misleading implementation.
+	var _ Resumable = (*RemapT)(nil)
+	var _ Resumable = (*RemapWS)(nil)
+	var _ Reattacher = (*RemapT)(nil)
+	var _ Reattacher = (*RemapWS)(nil)
+	var _ Reattacher = (*ANCode)(nil)
+	for name, p := range map[string]Policy{"none": None{}, "static": Static{}, "remap-d": NewRemapD()} {
+		if _, ok := p.(Resumable); ok {
+			t.Errorf("%s must not be Resumable — it has no state to serialize", name)
+		}
+	}
+}

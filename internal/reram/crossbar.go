@@ -209,3 +209,30 @@ func (x *Crossbar) HealAll() {
 		x.gFault[i] = 0
 	}
 }
+
+// FaultCells returns the flat indices of all stuck cells in ascending
+// order — the sparse walk a checkpoint serializes.
+func (x *Crossbar) FaultCells() []int {
+	var out []int
+	for i, s := range x.state {
+		if s != Healthy {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// RestoreFault reinstates a stuck cell with its previously sampled stuck
+// conductance and pair polarity. Unlike InjectFault it draws nothing from
+// an RNG: checkpoint resume must reproduce the exact analog state the
+// snapshot captured.
+func (x *Crossbar) RestoreFault(i int, s CellState, g float64, inPositive bool) {
+	x.state[i] = s
+	x.gFault[i] = g
+	x.inPositive[i] = inPositive
+}
+
+// RestoreWrites overwrites the lifetime write counter. Checkpoint resume
+// uses it so endurance accounting — and the write-generation-keyed
+// programming noise — continue exactly where the snapshot left off.
+func (x *Crossbar) RestoreWrites(n uint64) { x.writes = n }

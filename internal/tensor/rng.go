@@ -111,6 +111,33 @@ func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64())
 }
 
+// RNGState is the complete serializable state of an RNG: the xoshiro256**
+// word vector plus the cached Box–Muller variate. Restoring it resumes the
+// stream bit-identically, including a pending second normal draw.
+type RNGState struct {
+	S         [4]uint64
+	HaveGauss bool
+	Gauss     float64
+}
+
+// State captures the generator's current state for checkpointing.
+func (r *RNG) State() RNGState {
+	return RNGState{S: r.s, HaveGauss: r.haveGauss, Gauss: r.gauss}
+}
+
+// Restore overwrites the generator with a previously captured state. An
+// all-zero word vector (never produced by State on a seeded generator, but
+// possible from corrupt input) is nudged to a valid state, matching the
+// NewRNG guard.
+func (r *RNG) Restore(st RNGState) {
+	r.s = st.S
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	r.haveGauss = st.HaveGauss
+	r.gauss = st.Gauss
+}
+
 // FillNormal fills t with N(0, std²) variates.
 func (r *RNG) FillNormal(t *Tensor, std float64) {
 	for i := range t.Data {

@@ -58,6 +58,10 @@ type Config struct {
 	SimulateNoC bool
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...interface{})
+	// Checkpoint, when non-nil, persists the run state after every epoch
+	// and resumes from the latest usable snapshot, making the run
+	// crash-safe: an interrupted cell continues bit-identically.
+	Checkpoint CheckpointHook
 	// Ctx, when non-nil, cancels the run: Train returns Ctx.Err() at the
 	// next batch boundary once the context is done. The experiment runner
 	// uses this to stop in-flight cells on the first error or SIGINT.
@@ -98,6 +102,13 @@ func Train(net *nn.Network, ds *dataset.Dataset, cfg Config) (*Result, error) {
 	if cfg.Epochs <= 0 || cfg.BatchSize <= 0 {
 		return nil, fmt.Errorf("trainer: bad config: %d epochs, batch %d", cfg.Epochs, cfg.BatchSize)
 	}
+	if ds.TrainLen()/cfg.BatchSize == 0 {
+		// TrainBatches drops partial batches, so fewer samples than one
+		// batch means zero training steps per epoch — reject up front
+		// instead of panicking on an empty loss curve later.
+		return nil, fmt.Errorf("trainer: dataset has %d training samples, fewer than one batch of %d",
+			ds.TrainLen(), cfg.BatchSize)
+	}
 	pol := cfg.Policy
 	if pol == nil {
 		pol = remap.None{}
@@ -117,13 +128,6 @@ func Train(net *nn.Network, ds *dataset.Dataset, cfg Config) (*Result, error) {
 			return nil, err
 		}
 		net.SetFabric(cfg.Chip)
-		if cfg.Pre != nil {
-			res.FaultsInjected += cfg.Pre.Inject(cfg.Chip.Xbars, faultRNG)
-			cfg.Chip.InvalidateAll()
-		}
-		if cfg.PhaseInject != nil {
-			res.FaultsInjected += injectPhase(cfg.Chip, cfg.PhaseInject, faultRNG)
-		}
 		nocCfg, err := noc.CMeshForTiles(cfg.Chip.Geom.TilesX, cfg.Chip.Geom.TilesY)
 		if err != nil {
 			return nil, err
@@ -136,10 +140,59 @@ func Train(net *nn.Network, ds *dataset.Dataset, cfg Config) (*Result, error) {
 			Protocol:    noc.DefaultProtocolParams(),
 			SimulateNoC: cfg.SimulateNoC,
 		}
-		pol.Deploy(ctx)
 	}
 
 	opt := nn.NewSGD(net, cfg.LR, cfg.Momentum, cfg.WeightDecay)
+
+	// Everything above is a pure function of the configuration — mapping,
+	// seeding, and optimizer construction consume no random draws. A
+	// checkpoint therefore only has to restore the *mutable* state on top:
+	// weights, optimizer, RNG streams, chip faults/wear, policy state.
+	startEpoch, resumed := 0, false
+	var ckptState *TrainState
+	if cfg.Checkpoint != nil {
+		ckptState = &TrainState{
+			Net:       net,
+			Opt:       opt,
+			TrainRNG:  trainRNG,
+			FaultRNG:  faultRNG,
+			Chip:      cfg.Chip,
+			Endurance: cfg.Endurance,
+			Policy:    pol,
+			Result:    res,
+		}
+		ep, ok, err := cfg.Checkpoint.Resume(ckptState)
+		if err != nil {
+			return nil, fmt.Errorf("trainer: checkpoint resume: %w", err)
+		}
+		if ok && ep > cfg.Epochs {
+			return nil, fmt.Errorf("trainer: checkpoint claims %d completed epochs but config trains %d", ep, cfg.Epochs)
+		}
+		startEpoch, resumed = ep, ok
+	}
+	if resumed {
+		if cfg.Chip != nil {
+			// Faults, mapping, and write counters were restored directly;
+			// the policy only needs to reinstall its runtime hooks.
+			if ra, okRA := pol.(remap.Reattacher); okRA {
+				ra.Reattach(ctx)
+			}
+			cfg.Chip.InvalidateAll()
+		}
+		logf("resumed from checkpoint: %d/%d epochs done", startEpoch, cfg.Epochs)
+	} else if cfg.Chip != nil {
+		// Fresh deployment. The order (pre-profile, targeted phase
+		// injection, policy deploy) fixes the faultRNG draw sequence, so
+		// every fresh run of a configuration is bit-identical.
+		if cfg.Pre != nil {
+			res.FaultsInjected += cfg.Pre.Inject(cfg.Chip.Xbars, faultRNG)
+			cfg.Chip.InvalidateAll()
+		}
+		if cfg.PhaseInject != nil {
+			res.FaultsInjected += injectPhase(cfg.Chip, cfg.PhaseInject, faultRNG)
+		}
+		pol.Deploy(ctx)
+	}
 	// Step decay: halve the learning rate at 60% and 85% of the schedule
 	// (the usual CIFAR recipe, and what lets training compensate static
 	// forward-path faults).
@@ -150,7 +203,7 @@ func Train(net *nn.Network, ds *dataset.Dataset, cfg Config) (*Result, error) {
 		mvmSet[l] = true
 	}
 
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
 		if err := ctxErr(cfg.Ctx); err != nil {
 			return nil, err
 		}
@@ -180,9 +233,9 @@ func Train(net *nn.Network, ds *dataset.Dataset, cfg Config) (*Result, error) {
 			}
 			opt.Step()
 		}
-		if len(batches) > 0 {
-			res.TrainLoss = append(res.TrainLoss, lossSum/float64(len(batches)))
-		}
+		// The up-front dataset check guarantees at least one batch.
+		avgLoss := lossSum / float64(len(batches))
+		res.TrainLoss = append(res.TrainLoss, avgLoss)
 
 		// Endurance wear-out from this epoch's writes.
 		if cfg.Chip != nil && cfg.Post != nil {
@@ -210,7 +263,14 @@ func Train(net *nn.Network, ds *dataset.Dataset, cfg Config) (*Result, error) {
 		if acc > res.BestTestAcc {
 			res.BestTestAcc = acc
 		}
-		logf("epoch %2d: loss=%.4f acc=%.4f", epoch+1, res.TrainLoss[len(res.TrainLoss)-1], acc)
+		logf("epoch %2d: loss=%.4f acc=%.4f", epoch+1, avgLoss, acc)
+		if cfg.Checkpoint != nil {
+			// Persist the epoch boundary before starting the next epoch;
+			// a crash from here on resumes at epoch+1 bit-identically.
+			if err := cfg.Checkpoint.Save(ckptState, epoch+1); err != nil {
+				return nil, fmt.Errorf("trainer: checkpoint save after epoch %d: %w", epoch+1, err)
+			}
+		}
 	}
 	res.FinalTestAcc = res.EpochTestAcc[len(res.EpochTestAcc)-1]
 	if cfg.Chip != nil {
