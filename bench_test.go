@@ -218,3 +218,26 @@ func BenchmarkAblationBISTvsTruth(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkWeightsWrittenNilRecorder pins the telemetry overhead contract
+// on the matmul hot path: the per-step WeightsWritten notification with no
+// Recorder attached must stay allocation-free (the disabled path is one
+// nil check). Run with -benchmem; allocs/op must be 0.
+func BenchmarkWeightsWrittenNilRecorder(b *testing.B) {
+	s := benchScale()
+	net, err := experiments.BuildModel("cnn-s", s, 1, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	chip := experiments.NewChip(s)
+	if err := chip.MapNetwork(net); err != nil {
+		b.Fatal(err)
+	}
+	layer := net.MVMLayers()[0]
+	chip.WeightsWritten(layer) // warm the dirty-map entry
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chip.WeightsWritten(layer)
+	}
+}

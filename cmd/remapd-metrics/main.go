@@ -1,0 +1,128 @@
+// Command remapd-metrics summarises a telemetry directory written by
+// remapd-train or remapd-report (-metrics-dir): per-policy remap activity,
+// the remap hop-distance histogram, the BIST density-drift curve, and —
+// when the directory also holds a harness.json profile — the slowest
+// experiment cells and costliest report phases.
+//
+// Examples:
+//
+//	remapd-metrics -dir metrics
+//	remapd-metrics -dir metrics -top 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"remapd/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		dir = flag.String("dir", "metrics", "telemetry directory (the -metrics-dir of a previous run)")
+		top = flag.Int("top", 10, "how many slowest cells / costliest phases to show")
+	)
+	flag.Parse()
+
+	cells, err := obs.ReadDir(*dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(cells) == 0 {
+		log.Fatalf("no cell telemetry (*.metrics.json) found in %s", *dir)
+	}
+	sum := obs.Summarize(cells)
+
+	fmt.Printf("%d cells loaded from %s\n", len(cells), *dir)
+
+	fmt.Printf("\n==== per-policy remap activity ====\n\n")
+	fmt.Printf("%-10s %5s %6s %7s %6s %9s %9s %10s %9s\n",
+		"policy", "cells", "epochs", "senders", "swaps", "unmatched", "protected", "swaps/ep", "mean-acc")
+	for _, ps := range sum.Policies {
+		fmt.Printf("%-10s %5d %6d %7d %6d %9d %9d %10.2f %9.3f\n",
+			ps.Policy, ps.Cells, ps.Epochs, ps.Senders, ps.Swaps,
+			ps.Unmatched, ps.Protected, ps.SwapsPerEpoch, ps.MeanFinalAcc)
+	}
+
+	fmt.Printf("\n==== remap hop distance (all policies) ====\n\n")
+	printHops(sum)
+
+	if len(sum.Drift) > 0 {
+		fmt.Printf("\n==== BIST density drift (estimate vs truth) ====\n\n")
+		fmt.Printf("%5s %8s %10s %10s %10s\n", "epoch", "samples", "mean-est", "mean-true", "mean|err|")
+		for _, d := range sum.Drift {
+			fmt.Printf("%5d %8d %9.4f%% %9.4f%% %9.4f%%\n",
+				d.Epoch, d.Samples, 100*d.MeanEstimate, 100*d.MeanTrue, 100*d.MeanAbsErr)
+		}
+	}
+
+	prof, err := obs.ReadProfile(*dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if prof != nil {
+		printProfile(prof, *top)
+	}
+}
+
+// printHops merges every policy's hop histogram and renders the combined
+// distribution; policies without swaps contribute nothing.
+func printHops(sum *obs.Summary) {
+	var merged *obs.Histogram
+	for _, ps := range sum.Policies {
+		if ps.Hops == nil || ps.Hops.Count == 0 {
+			continue
+		}
+		if merged == nil {
+			merged = obs.NewHistogram(ps.Hops.Buckets)
+		}
+		if err := merged.Merge(ps.Hops); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if merged == nil {
+		fmt.Println("no swaps recorded")
+		return
+	}
+	fmt.Printf("%9s %6s\n", "hops", "swaps")
+	prev := ""
+	for i, b := range merged.Buckets {
+		if merged.Counts[i] > 0 {
+			fmt.Printf("%4s<=%3g %6d\n", prev, b, merged.Counts[i])
+		}
+		prev = fmt.Sprintf("%g", b)
+	}
+	if over := merged.Counts[len(merged.Buckets)]; over > 0 {
+		fmt.Printf("%5s>%3s %6d\n", "", prev, over)
+	}
+	fmt.Printf("total %d swaps, mean %.2f hops\n", merged.Count, merged.Sum/float64(merged.Count))
+}
+
+// printProfile renders the harness profile: costliest phases in recorded
+// order, then the slowest cells (Data() pre-sorts them slowest-first).
+func printProfile(prof *obs.ProfileData, top int) {
+	if len(prof.Phases) > 0 {
+		fmt.Printf("\n==== harness phases (wall time, allocations) ====\n\n")
+		fmt.Printf("%-55s %9s %10s\n", "phase", "seconds", "alloc-mb")
+		n := len(prof.Phases)
+		if n > top {
+			n = top
+		}
+		for _, ph := range prof.Phases[:n] {
+			fmt.Printf("%-55s %9.2f %10.1f\n", ph.Name, ph.Seconds, float64(ph.AllocBytes)/(1<<20))
+		}
+	}
+	if len(prof.Cells) > 0 {
+		fmt.Printf("\n==== slowest cells ====\n\n")
+		fmt.Printf("%-55s %9s\n", "cell", "seconds")
+		n := len(prof.Cells)
+		if n > top {
+			n = top
+		}
+		for _, c := range prof.Cells[:n] {
+			fmt.Printf("%-55s %9.2f\n", c.Cell, c.Seconds)
+		}
+	}
+}

@@ -19,19 +19,29 @@ import (
 
 	"remapd/internal/checkpoint"
 	"remapd/internal/experiments"
+	"remapd/internal/obs"
 )
 
 func main() {
 	log.SetFlags(0)
 	var (
-		scale     = flag.String("scale", "quick", "quick or standard")
-		ablations = flag.Bool("ablations", true, "include the design-choice ablations")
-		csvDir    = flag.String("csv", "", "also write each figure's rows as CSV into this directory")
-		workers   = flag.Int("j", 0, "experiment cells to run in parallel (0 = all cores)")
-		progress  = flag.Bool("progress", false, "log one line per completed experiment cell")
-		ckptDir   = flag.String("checkpoint-dir", "", "persist per-epoch cell checkpoints here; an interrupted report resumes bit-identically")
+		scale      = flag.String("scale", "quick", "quick or standard")
+		ablations  = flag.Bool("ablations", true, "include the design-choice ablations")
+		csvDir     = flag.String("csv", "", "also write each figure's rows as CSV into this directory")
+		workers    = flag.Int("j", 0, "experiment cells to run in parallel (0 = all cores)")
+		progress   = flag.Bool("progress", false, "log one line per completed experiment cell")
+		ckptDir    = flag.String("checkpoint-dir", "", "persist per-epoch cell checkpoints here; an interrupted report resumes bit-identically")
+		metricsDir = flag.String("metrics-dir", "", "record per-cell simulation telemetry and a harness profile into this directory")
+		debugAddr  = flag.String("debug-addr", "", "serve pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+	if *debugAddr != "" {
+		addr, err := obs.StartDebugServer(*debugAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("debug server on http://%s/debug/pprof/ and /debug/vars\n", addr)
+	}
 
 	// Ctrl-C cancels in-flight training cells at their next batch boundary.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -71,10 +81,31 @@ func main() {
 		}
 		s.Checkpoints = store
 	}
+	var prof *obs.Profile
+	if *metricsDir != "" {
+		sink, err := obs.NewSink(*metricsDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s.Metrics = sink
+		prof = obs.NewProfile()
+		s.Prof = prof
+	}
 	reg := experiments.DefaultRegime()
 	//lint:allow no-wall-clock operator-facing report timing; results are computed from seeds only
 	start := time.Now()
+	// section prints a header and, when profiling, closes the previous
+	// section's harness phase and opens the new one — every section body
+	// between two headers is one profiled phase.
+	var stopPhase func()
 	section := func(title string) {
+		if stopPhase != nil {
+			stopPhase()
+			stopPhase = nil
+		}
+		if prof != nil {
+			stopPhase = prof.StartPhase(title)
+		}
 		fmt.Printf("\n==== %s ====\n\n", title)
 	}
 
@@ -166,6 +197,15 @@ func main() {
 		fmt.Print(experiments.FormatBISTvsTruth(rb))
 	}
 
+	if stopPhase != nil {
+		stopPhase()
+	}
+	if prof != nil {
+		if err := prof.WriteJSON(*metricsDir); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ntelemetry and harness profile written to %s\n", *metricsDir)
+	}
 	//lint:allow no-wall-clock operator-facing report timing; results are computed from seeds only
 	fmt.Printf("\nreport complete in %s (scale=%s)\n", time.Since(start).Round(time.Second), s.Name)
 }

@@ -28,30 +28,41 @@ import (
 	"remapd/internal/experiments"
 	"remapd/internal/fault"
 	"remapd/internal/models"
+	"remapd/internal/obs"
 	"remapd/internal/trainer"
 )
 
 func main() {
 	log.SetFlags(0)
 	var (
-		model     = flag.String("model", "vgg11", "model: "+strings.Join(models.Names(), ", "))
-		policy    = flag.String("policy", "remap-d", "policy: "+strings.Join(experiments.PolicyNames(), ", "))
-		dsName    = flag.String("dataset", "cifar10", "dataset: cifar10, cifar100, svhn")
-		phase     = flag.String("phase", "", "Fig. 5 targeted injection: forward or backward (overrides -policy)")
-		epochs    = flag.Int("epochs", 6, "training epochs")
-		trainN    = flag.Int("train", 512, "training samples")
-		testN     = flag.Int("test", 512, "test samples")
-		width     = flag.Float64("width", 0.125, "model width scale")
-		seed      = flag.Uint64("seed", 1, "seed")
-		simNoC    = flag.Bool("noc", false, "simulate the remap handshake on the flit-level NoC")
-		usePaper  = flag.Bool("paper-regime", false, "use the paper's literal fault densities instead of the compressed schedule")
-		endurance = flag.Bool("endurance", false, "derive wear-out physically from write counts (Weibull) instead of the phenomenological post model")
-		workers   = flag.Int("j", 0, "cap on compute parallelism (GOMAXPROCS; 0 = all cores)")
-		ckptDir   = flag.String("checkpoint-dir", "", "persist a per-epoch checkpoint here; an interrupted run resumes bit-identically")
+		model      = flag.String("model", "vgg11", "model: "+strings.Join(models.Names(), ", "))
+		policy     = flag.String("policy", "remap-d", "policy: "+strings.Join(experiments.PolicyNames(), ", "))
+		dsName     = flag.String("dataset", "cifar10", "dataset: cifar10, cifar100, svhn")
+		phase      = flag.String("phase", "", "Fig. 5 targeted injection: forward or backward (overrides -policy)")
+		epochs     = flag.Int("epochs", 6, "training epochs")
+		trainN     = flag.Int("train", 512, "training samples")
+		testN      = flag.Int("test", 512, "test samples")
+		width      = flag.Float64("width", 0.125, "model width scale")
+		seed       = flag.Uint64("seed", 1, "seed")
+		simNoC     = flag.Bool("noc", false, "simulate the remap handshake on the flit-level NoC")
+		usePaper   = flag.Bool("paper-regime", false, "use the paper's literal fault densities instead of the compressed schedule")
+		endurance  = flag.Bool("endurance", false, "derive wear-out physically from write counts (Weibull) instead of the phenomenological post model")
+		workers    = flag.Int("j", 0, "cap on compute parallelism (GOMAXPROCS; 0 = all cores)")
+		ckptDir    = flag.String("checkpoint-dir", "", "persist a per-epoch checkpoint here; an interrupted run resumes bit-identically")
+		quiet      = flag.Bool("quiet", false, "suppress per-epoch progress lines (the final summary still prints)")
+		metricsDir = flag.String("metrics-dir", "", "record simulation telemetry (metrics.json + events.jsonl) into this directory")
+		debugAddr  = flag.String("debug-addr", "", "serve pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 	if *workers > 0 {
 		runtime.GOMAXPROCS(*workers)
+	}
+	if *debugAddr != "" {
+		addr, err := obs.StartDebugServer(*debugAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("debug server on http://%s/debug/pprof/ and /debug/vars\n", addr)
 	}
 
 	// Ctrl-C stops training at the next batch boundary.
@@ -101,7 +112,11 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Ctx = ctx
 	cfg.SimulateNoC = *simNoC
-	cfg.Logf = func(f string, a ...interface{}) { fmt.Printf(f+"\n", a...) }
+	// The final summary below prints regardless of Logf, so -quiet can
+	// null the progress sink without losing the run's result lines.
+	if !*quiet {
+		cfg.Logf = func(f string, a ...interface{}) { fmt.Printf(f+"\n", a...) }
+	}
 
 	switch {
 	case *phase != "":
@@ -134,21 +149,44 @@ func main() {
 		cfg.TrackGradAbs = trackGrads
 	}
 
+	// The key names the run for both the checkpoint store and the
+	// telemetry sink, so a cell's metrics files sit next to its snapshot.
+	key := fmt.Sprintf("%s/%s/seed%d/%s", *model, *policy, *seed, *dsName)
 	if *ckptDir != "" {
 		store, err := checkpoint.NewStore(*ckptDir, cfg.Logf)
 		if err != nil {
 			log.Fatal(err)
 		}
-		// The key names the run; the fingerprint binds the snapshot to
-		// every flag that shapes its results, so changing a flag quietly
-		// invalidates the old snapshot instead of misapplying it.
-		key := fmt.Sprintf("%s/%s/seed%d/%s", *model, *policy, *seed, *dsName)
+		// The fingerprint binds the snapshot to every flag that shapes its
+		// results, so changing a flag quietly invalidates the old snapshot
+		// instead of misapplying it.
 		fingerprint := fmt.Sprintf("train1|m=%s p=%s ph=%s ds=%s e=%d tr=%d te=%d w=%g s=%d noc=%v paper=%v end=%v",
 			*model, *policy, *phase, *dsName, *epochs, *trainN, *testN, *width, *seed, *simNoC, *usePaper, *endurance)
 		cfg.Checkpoint = store.Cell(key, fingerprint)
 	}
 
+	var sink *obs.Sink
+	var trace *obs.Trace
+	if *metricsDir != "" {
+		var err error
+		sink, err = obs.NewSink(*metricsDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		trace = obs.NewTrace(key)
+		cfg.Obs = trace
+	}
+
 	res, err := trainer.Train(net, ds, cfg)
+	if sink != nil {
+		// Flush before handling the training error: a failed run's
+		// partial trace is evidence, not garbage.
+		if werr := sink.Write(checkpoint.CellFileBase(key), trace); werr != nil {
+			log.Print(werr)
+		} else {
+			fmt.Printf("telemetry written to %s\n", sink.Dir())
+		}
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

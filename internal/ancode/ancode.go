@@ -122,6 +122,27 @@ func (c *Corrector) RefreshTable(xbars []*reram.Crossbar) {
 	}
 }
 
+// CorrectableCount reports how many cells in the current correction table
+// the code can actually repair: known faulty cells whose column's known
+// fault count is within the correction capability. The complement —
+// table entries in over-subscribed columns — is exactly the residue the
+// paper's Fig. 6 blames for the AN-code accuracy gap.
+func (c *Corrector) CorrectableCount() int {
+	n := 0
+	for id, cells := range c.knownCells {
+		cols := c.knownCols[id]
+		if len(cols) == 0 {
+			continue
+		}
+		for cell := range cells {
+			if cols[cell%len(cols)] <= c.Code.CorrectablePerColumn {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // CellCorrector returns the hook arch.Chip consults during effective-weight
 // materialisation: a faulty cell is corrected iff it is in the known table
 // and its column's known fault count is within the correction capability.

@@ -18,6 +18,7 @@ import (
 
 	"remapd/internal/det"
 	"remapd/internal/nn"
+	"remapd/internal/obs"
 	"remapd/internal/reram"
 	"remapd/internal/tensor"
 )
@@ -115,6 +116,11 @@ type Chip struct {
 	// codeword reads only: dW = δᵀ·a involves no encoded operand, so its
 	// faults are uncorrectable (false).
 	CorrectorProtectsGradients bool
+
+	// Obs, when non-nil, counts physical events (task swaps, weight-write
+	// steps). The nil check is the only cost on the per-step write path, so
+	// a chip without a recorder runs allocation-free and bit-identical.
+	Obs obs.Recorder
 }
 
 // SetCellCorrector installs a correction hook. protectsGradients selects
@@ -386,6 +392,9 @@ func (c *Chip) SwapTasks(xbarA, xbarB int) {
 	c.Xbars[xbarB].RecordWrite()
 	c.dirty[c.Tasks[ta].Layer] = true
 	c.dirty[c.Tasks[tb].Layer] = true
+	if c.Obs != nil {
+		c.Obs.Add("arch.task_swaps", 1)
+	}
 }
 
 // InvalidateAll drops all cached effective weights; fault injection calls
@@ -474,6 +483,9 @@ func (c *Chip) WeightsWritten(layer string) {
 	}
 	c.dirty[layer] = true
 	c.steps++
+	if c.Obs != nil {
+		c.Obs.Add("arch.weight_writes", 1)
+	}
 }
 
 // refresh recomputes the effective weight caches for a dirty layer.

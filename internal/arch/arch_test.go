@@ -390,3 +390,23 @@ func TestChipFabricEndToEndTraining(t *testing.T) {
 		t.Fatalf("backward faults barely changed fc1 gradient (rel=%v); fault path broken", rel)
 	}
 }
+
+// TestWeightsWrittenNilRecorderZeroAlloc pins the telemetry cost contract
+// on the training hot path: with no Recorder attached, the per-step
+// WeightsWritten notification must not allocate at all — the disabled
+// telemetry path is a single nil check.
+func TestWeightsWrittenNilRecorderZeroAlloc(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	net := buildNet(rng)
+	c := smallChip(32, Geometry{TilesX: 2, TilesY: 2, IMAsPerTile: 2, XbarsPerIMA: 2})
+	if err := c.MapNetwork(net); err != nil {
+		t.Fatal(err)
+	}
+	c.WeightsWritten("fc1") // warm the dirty-map entry
+	allocs := testing.AllocsPerRun(100, func() {
+		c.WeightsWritten("fc1")
+	})
+	if allocs != 0 {
+		t.Fatalf("WeightsWritten with nil Recorder allocates %.1f times per call, want 0", allocs)
+	}
+}

@@ -11,6 +11,7 @@ package bist
 import (
 	"fmt"
 
+	"remapd/internal/obs"
 	"remapd/internal/reram"
 	"remapd/internal/tensor"
 )
@@ -79,6 +80,12 @@ type Controller struct {
 	cycles  int
 	target  *reram.Crossbar
 	result  Result
+
+	// Obs, when non-nil, receives one BISTPassEvent per completed pass,
+	// stamped with SimEpoch (the simulated epoch the caller is testing
+	// at). Recording never feeds back into the FSM or its estimates.
+	Obs      obs.Recorder
+	SimEpoch int
 }
 
 // NewController returns an idle controller for the given device technology.
@@ -157,6 +164,17 @@ func (c *Controller) Step() bool {
 		c.result.Cycles = c.cycles
 		c.result.Finished = true
 		c.state = S0Idle
+		if c.Obs != nil {
+			c.Obs.Emit(&obs.BISTPassEvent{
+				Epoch:    c.SimEpoch,
+				Xbar:     c.target.ID,
+				SA1:      c.result.SA1Estimate,
+				SA0:      c.result.SA0Estimate,
+				Cycles:   c.result.Cycles,
+				Estimate: c.result.DensityEstimate,
+			})
+			c.Obs.Add("bist.passes", 1)
+		}
 	}
 	return c.state != S0Idle
 }

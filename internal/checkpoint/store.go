@@ -50,10 +50,12 @@ func (s *Store) Cell(key, fingerprint string) *CellCheckpointer {
 	}
 }
 
-// cellFileName derives a filesystem-safe, collision-resistant name: the
-// sanitized key keeps files human-navigable, the FNV hash of the exact key
-// keeps distinct keys distinct even when sanitization collides.
-func cellFileName(key string) string {
+// CellFileBase derives a filesystem-safe, collision-resistant file stem
+// for a cell key: the sanitized key keeps files human-navigable, the FNV
+// hash of the exact key keeps distinct keys distinct even when
+// sanitization collides. The telemetry sink uses the same stem, so a
+// cell's metrics files sit next to its checkpoint.
+func CellFileBase(key string) string {
 	var b strings.Builder
 	for _, r := range key {
 		switch {
@@ -66,8 +68,11 @@ func cellFileName(key string) string {
 	}
 	h := fnv.New64a()
 	h.Write([]byte(key))
-	return fmt.Sprintf("%s-%016x.ckpt", b.String(), h.Sum64())
+	return fmt.Sprintf("%s-%016x", b.String(), h.Sum64())
 }
+
+// cellFileName is the checkpoint file for a cell key.
+func cellFileName(key string) string { return CellFileBase(key) + ".ckpt" }
 
 // CellCheckpointer implements trainer.CheckpointHook for one cell.
 type CellCheckpointer struct {

@@ -48,7 +48,7 @@ func AblationThreshold(ctx context.Context, s Scale, reg FaultRegime, model stri
 					cfg.Policy = rd
 					cfg.Pre = &reg.Pre
 					cfg.Post = &reg.Post
-					return trainer.Train(net, ds, cfg)
+					return s.train(key, net, ds, cfg)
 				},
 			})
 		}
@@ -115,7 +115,7 @@ func AblationReceiverSelection(ctx context.Context, s Scale, reg FaultRegime, mo
 					cfg.Pre = &reg.Pre
 					cfg.Post = &reg.Post
 					cfg.SimulateNoC = true
-					return trainer.Train(net, ds, cfg)
+					return s.train(key, net, ds, cfg)
 				},
 			})
 		}
@@ -187,7 +187,7 @@ func AblationCoding(ctx context.Context, s Scale, reg FaultRegime, model string)
 							cfg.Pre = &reg.Pre
 							cfg.Post = &reg.Post
 						}
-						return trainer.Train(net, ds, cfg)
+						return s.train(key, net, ds, cfg)
 					},
 				})
 			}
@@ -261,7 +261,7 @@ func AblationBISTvsTruth(ctx context.Context, s Scale, reg FaultRegime, model st
 					cfg.Policy = rd
 					cfg.Pre = &reg.Pre
 					cfg.Post = &reg.Post
-					return trainer.Train(net, ds, cfg)
+					return s.train(key, net, ds, cfg)
 				},
 			})
 		}

@@ -22,6 +22,7 @@ import (
 	"remapd/internal/fault"
 	"remapd/internal/models"
 	"remapd/internal/nn"
+	"remapd/internal/obs"
 	"remapd/internal/remap"
 	"remapd/internal/reram"
 	"remapd/internal/trainer"
@@ -52,6 +53,16 @@ type Scale struct {
 	// snapshots the full run state after each epoch, completed cells are
 	// skipped on re-run, and interrupted cells resume bit-identically.
 	Checkpoints *checkpoint.Store
+	// Metrics, when non-nil, gives every cell its own telemetry trace and
+	// persists it (metrics.json + events.jsonl per cell) when the cell
+	// finishes. Like the other observation-only knobs it is excluded from
+	// cellFingerprint: recording cannot change results, so a checkpoint is
+	// equally valid with telemetry on or off. Note that a resumed cell's
+	// trace covers only the epochs it actually replayed.
+	Metrics *obs.Sink
+	// Prof, when non-nil, collects harness-domain wall-time statistics
+	// (per-cell durations, per-phase costs). Also fingerprint-excluded.
+	Prof *obs.Profile
 }
 
 // cellFingerprint renders every configuration knob a cell's result depends
@@ -222,6 +233,23 @@ func PolicyNames() []string {
 	return []string{"ideal", "none", "static", "an-code", "remap-ws", "remap-t-5", "remap-t-10", "remap-d"}
 }
 
+// train runs the trainer for one cell, attaching and flushing the cell's
+// telemetry trace when the scale has a metrics sink. The trace is written
+// even when training fails — a failed cell's partial trace is evidence —
+// but a flush error only surfaces when training itself succeeded.
+func (s Scale) train(key CellKey, net *nn.Network, ds *dataset.Dataset, cfg trainer.Config) (*trainer.Result, error) {
+	if s.Metrics == nil {
+		return trainer.Train(net, ds, cfg)
+	}
+	tr := obs.NewTrace(key.String())
+	cfg.Obs = tr
+	res, err := trainer.Train(net, ds, cfg)
+	if werr := s.Metrics.Write(checkpoint.CellFileBase(key.String()), tr); werr != nil && err == nil {
+		return nil, werr
+	}
+	return res, err
+}
+
 // runOne trains one (model, policy, seed) cell and returns final accuracy
 // and the result for overhead accounting. key carries the cell's grid
 // coordinates for checkpoint identity; logf receives the cell's progress.
@@ -245,5 +273,5 @@ func runOne(ctx context.Context, key CellKey, s Scale, reg FaultRegime, ds *data
 		cfg.Post = &reg.Post
 		cfg.TrackGradAbs = trackGrads
 	}
-	return trainer.Train(net, ds, cfg)
+	return s.train(key, net, ds, cfg)
 }

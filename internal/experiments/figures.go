@@ -103,7 +103,7 @@ func Fig5(ctx context.Context, s Scale, reg FaultRegime) ([]Fig5Row, error) {
 							cfg.Chip = NewChip(s)
 							cfg.PhaseInject = &trainer.PhaseInjection{Phase: v.phase, Density: reg.PhaseDensity}
 						}
-						return trainer.Train(net, ds, cfg)
+						return s.train(key, net, ds, cfg)
 					},
 				})
 			}

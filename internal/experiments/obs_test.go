@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"remapd/internal/dataset"
+	"remapd/internal/nn"
+	"remapd/internal/obs"
+	"remapd/internal/trainer"
+)
+
+// TestFig6TelemetryByteIdentical is the determinism proof for the telemetry
+// layer: running the same Fig. 6 grid with and without a metrics sink must
+// render byte-identical tables. Telemetry is pure observation — it draws no
+// randomness and reads no clocks — so any divergence here is a determinism
+// bug, not noise.
+func TestFig6TelemetryByteIdentical(t *testing.T) {
+	s := microScale()
+	reg := DefaultRegime()
+	policies := []string{"ideal", "none", "remap-d"}
+
+	plain, err := Fig6(context.Background(), s, reg, policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	sink, err := obs.NewSink(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced := s
+	traced.Metrics = sink
+	rows, err := Fig6(context.Background(), traced, reg, policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want, got := FormatFig6(plain), FormatFig6(rows)
+	if want != got {
+		t.Fatalf("telemetry changed results:\nwithout metrics:\n%s\nwith metrics:\n%s", want, got)
+	}
+
+	// Audit path: the figure's swap counts must be reproducible from the
+	// recorded events alone — if they aren't, the trace is incomplete.
+	cells, err := obs.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(s.Models)*len(policies)*len(s.Seeds) {
+		t.Fatalf("loaded %d cells, want %d", len(cells), len(s.Models)*len(policies)*len(s.Seeds))
+	}
+	swapsFromEvents := map[string]int{}
+	for _, cm := range cells {
+		swapsFromEvents[cm.Model+"/"+cm.Policy] += cm.SwapTotal()
+	}
+	for _, row := range rows {
+		if got := swapsFromEvents[row.Model+"/"+row.Policy]; got != row.Swaps {
+			t.Errorf("%s/%s: %d swaps from events, figure says %d",
+				row.Model, row.Policy, got, row.Swaps)
+		}
+	}
+
+	// The aggregated summary must see the same totals through its own path.
+	sum := obs.Summarize(cells)
+	byPolicy := map[string]int{}
+	for _, row := range rows {
+		byPolicy[row.Policy] += row.Swaps
+	}
+	for _, ps := range sum.Policies {
+		if ps.Swaps != byPolicy[ps.Policy] {
+			t.Errorf("summary policy %s: %d swaps, figure says %d", ps.Policy, ps.Swaps, byPolicy[ps.Policy])
+		}
+	}
+}
+
+// TestTrainTelemetryFlushedOnError checks the evidence-preservation
+// contract: when a cell fails mid-training, its partial trace is still
+// persisted.
+func TestTrainTelemetryFlushedOnError(t *testing.T) {
+	s := microScale()
+	reg := DefaultRegime()
+	dir := t.TempDir()
+	sink, err := obs.NewSink(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Metrics = sink
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the cell dies at its first cancellation check
+	key := CellKey{Model: "cnn-s", Policy: "remap-d", Seed: 1}
+	ds, net, cfg := microCell(t, s, reg, key)
+	cfg.Ctx = ctx
+	if _, err := s.train(key, net, ds, cfg); err == nil {
+		t.Fatal("cancelled training must fail")
+	}
+	cells, err := obs.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 || cells[0].Cell != key.String() {
+		t.Fatalf("failed cell's trace not persisted: %+v", cells)
+	}
+}
+
+// microCell builds the pieces of one training cell at micro scale.
+func microCell(t *testing.T, s Scale, reg FaultRegime, key CellKey) (*dataset.Dataset, *nn.Network, trainer.Config) {
+	t.Helper()
+	ds := dataset.CIFAR10Like(s.TrainN, s.TestN, s.ImgSize, 77)
+	net, err := buildModel(key.Model, s, key.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseTrainConfig(s, key.Seed)
+	pol, trackGrads, err := PolicyByName(key.Policy, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Chip = NewChip(s)
+	cfg.Policy = pol
+	cfg.Pre = &reg.Pre
+	cfg.Post = &reg.Post
+	cfg.TrackGradAbs = trackGrads
+	return ds, net, cfg
+}

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"remapd/internal/obs"
 )
 
 // This file is the parallel experiment runner. Every figure and ablation of
@@ -81,9 +83,17 @@ type Cell struct {
 type Runner struct {
 	// Workers bounds concurrent cells; <=0 means GOMAXPROCS.
 	Workers int
-	// Logf, when non-nil, receives one progress line per completed cell
-	// (cells done / total / elapsed).
+	// Logf, when non-nil, receives each cell's buffered transcript plus
+	// one status line when the cell completes. A cell's lines are held
+	// until it finishes (ok or error) and then flushed as one contiguous
+	// block under a mutex, so concurrent cells never interleave output.
 	Logf func(format string, args ...interface{})
+	// Prof, when non-nil, records each cell's wall-clock duration
+	// (harness domain; never feeds back into results).
+	Prof *obs.Profile
+
+	// outMu serialises transcript flushes across workers.
+	outMu sync.Mutex
 }
 
 // Run executes every cell and returns their results indexed by submission
@@ -121,7 +131,15 @@ func (r *Runner) Run(ctx context.Context, cells []Cell) ([]interface{}, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				res, err := runCell(runCtx, cells[i], r.cellLogf(cells[i].Key))
+				logf, transcript := r.cellLogf(cells[i].Key)
+				var stopCell func()
+				if r.Prof != nil {
+					stopCell = r.Prof.StartCell(cells[i].Key.String())
+				}
+				res, err := runCell(runCtx, cells[i], logf)
+				if stopCell != nil {
+					stopCell()
+				}
 				results[i], errs[i] = res, err
 				if err != nil {
 					cancel() // first failure stops the grid
@@ -132,10 +150,18 @@ func (r *Runner) Run(ctx context.Context, cells []Cell) ([]interface{}, error) {
 					if err != nil {
 						status = err.Error()
 					}
+					// Flush the cell's transcript and status as one block;
+					// an erroring cell's lines flush too — they are the
+					// context the error message needs.
+					r.outMu.Lock()
+					for _, line := range *transcript {
+						r.Logf("%s", line)
+					}
 					r.Logf("cell %d/%d %s: %s (elapsed %s)",
 						n, len(cells), cells[i].Key, status,
 						//lint:allow no-wall-clock operator-facing elapsed display only; never reaches cell results
 						time.Since(start).Round(time.Millisecond))
+					r.outMu.Unlock()
 				}
 			}
 		}()
@@ -181,18 +207,22 @@ feed:
 	return results, nil
 }
 
-// cellLogf returns the per-cell progress sink: every line a cell emits
-// (per-epoch training progress, checkpoint-resume notices) is prefixed
-// with its key and routed through the runner's Logf. With no sink
+// cellLogf returns the per-cell progress sink and the transcript buffer
+// it fills: every line a cell emits (per-epoch training progress,
+// checkpoint-resume notices) is rendered immediately — prefixed with its
+// key — but held in the buffer until the cell completes, when the worker
+// flushes it as one contiguous block. Only the cell's own goroutine
+// touches the buffer, so no lock is needed until the flush. With no sink
 // configured the cells log into a no-op.
-func (r *Runner) cellLogf(key CellKey) Logf {
+func (r *Runner) cellLogf(key CellKey) (Logf, *[]string) {
+	transcript := &[]string{}
 	if r.Logf == nil {
-		return func(string, ...interface{}) {}
+		return func(string, ...interface{}) {}, transcript
 	}
 	prefix := "[" + key.String() + "] "
 	return func(format string, args ...interface{}) {
-		r.Logf(prefix+format, args...)
-	}
+		*transcript = append(*transcript, fmt.Sprintf(prefix+format, args...))
+	}, transcript
 }
 
 // runCell executes one cell with panic recovery.
@@ -213,7 +243,7 @@ func runCell(ctx context.Context, c Cell, logf Logf) (res interface{}, err error
 }
 
 // newRunner builds the runner a figure function uses, honouring the
-// scale's worker bound and progress sink.
+// scale's worker bound, progress sink, and harness profile.
 func newRunner(s Scale) *Runner {
-	return &Runner{Workers: s.Workers, Logf: s.Progress}
+	return &Runner{Workers: s.Workers, Logf: s.Progress, Prof: s.Prof}
 }

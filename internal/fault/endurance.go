@@ -3,6 +3,7 @@ package fault
 import (
 	"math"
 
+	"remapd/internal/obs"
 	"remapd/internal/reram"
 	"remapd/internal/tensor"
 )
@@ -32,6 +33,13 @@ type EnduranceModel struct {
 	// applied tracks, per crossbar ID, the write count up to which
 	// failures have already been materialised.
 	applied map[int]uint64
+
+	// Obs, when non-nil, receives a WearEvent per crossbar that actually
+	// materialised new faults, stamped with SimEpoch (set by the trainer
+	// before each Apply). The write watermark in the event is the
+	// crossbar's cumulative write count — the endurance exposure metric.
+	Obs      obs.Recorder
+	SimEpoch int
 }
 
 // NewEnduranceModel returns the compressed-lifetime default.
@@ -86,7 +94,11 @@ func (m *EnduranceModel) Apply(xbars []*reram.Crossbar, rng *tensor.RNG) int {
 		if rng.Float64() < expect-float64(n) {
 			n++
 		}
-		total += InjectMixed(x, n, m.SA1Fraction, 0, 0, rng)
+		injected := InjectMixed(x, n, m.SA1Fraction, 0, 0, rng)
+		total += injected
+		if m.Obs != nil && injected > 0 {
+			m.Obs.Emit(&obs.WearEvent{Epoch: m.SimEpoch, Xbar: x.ID, Writes: now, NewFaults: injected})
+		}
 	}
 	return total
 }

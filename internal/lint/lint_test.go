@@ -25,6 +25,7 @@ var fixturePaths = map[string]string{
 	"nakedprint": "remapd/internal/lintfixture/nakedprint",
 	"goroutine":  "remapd/internal/experiments/lintfixture",
 	"allowok":    "remapd/internal/lintfixture/allowok",
+	"obsdomain":  "remapd/internal/obs/obsfixture",
 }
 
 var (
@@ -136,6 +137,7 @@ func checkFixture(t *testing.T, fixture string) []lint.Finding {
 func TestRuleFixtures(t *testing.T) {
 	for _, fixture := range []string{
 		"wallclock", "globalrand", "seededrng", "maporder", "floateq", "nakedprint", "goroutine",
+		"obsdomain",
 	} {
 		t.Run(fixture, func(t *testing.T) { checkFixture(t, fixture) })
 	}

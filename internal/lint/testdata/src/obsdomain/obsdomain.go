@@ -1,0 +1,38 @@
+// Package obsdomain mimics internal/obs, pinning the telemetry domain
+// split the analyzers enforce there: simulation-domain code must stay
+// clock-free and sink-routed, while harness-domain profiling may read the
+// clock only under an explicit, justified allow.
+package obsdomain
+
+import (
+	"fmt"
+	"time"
+)
+
+// SimStamp is simulation-domain telemetry: stamping an event with wall
+// clock would break replay determinism, so the bare read is a finding.
+func SimStamp() int64 {
+	return time.Now().UnixNano() // want "no-wall-clock"
+}
+
+// SimDump leaks telemetry to stdout from library code instead of a sink.
+func SimDump(name string, v float64) {
+	fmt.Printf("%s=%v\n", name, v) // want "no-naked-print"
+}
+
+// HarnessPhase is harness-domain profiling: the clock reads are the point,
+// and each carries the justification the analyzer demands.
+func HarnessPhase() func() float64 {
+	//lint:allow no-wall-clock harness-domain profiling measures the machine, never the simulation
+	start := time.Now()
+	return func() float64 {
+		//lint:allow no-wall-clock harness-domain profiling measures the machine, never the simulation
+		return time.Since(start).Seconds()
+	}
+}
+
+// SinkRouted is the sanctioned shape: telemetry flows through an explicit
+// recorder callback, not a global stream.
+func SinkRouted(record func(string, float64), v float64) {
+	record("train.loss", v)
+}

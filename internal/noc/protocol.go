@@ -3,6 +3,7 @@ package noc
 import (
 	"sort"
 
+	"remapd/internal/obs"
 	"remapd/internal/tensor"
 )
 
@@ -49,6 +50,27 @@ type ProtocolResult struct {
 	FlitHops int
 	// UnmatchedSenders counts senders that found no receiver.
 	UnmatchedSenders int
+}
+
+// Record emits the round's summary to a Recorder (nil-safe no-op): one
+// NoCRemapEvent plus the cycle/hop counters and the per-pair hop
+// histogram sample.
+func (r ProtocolResult) Record(rec obs.Recorder, epoch int) {
+	if rec == nil {
+		return
+	}
+	rec.Emit(&obs.NoCRemapEvent{
+		Epoch:       epoch,
+		Pairs:       len(r.Pairs),
+		TotalCycles: r.TotalCycles,
+		FlitHops:    r.FlitHops,
+		Unmatched:   r.UnmatchedSenders,
+	})
+	rec.Add("noc.remap_rounds", 1)
+	rec.Add("noc.flit_hops", int64(r.FlitHops))
+	for _, pr := range r.Pairs {
+		rec.Observe("noc.pair_hops", float64(pr.Hops))
+	}
 }
 
 // SimulateRemap runs the three-phase handshake on a fresh network.

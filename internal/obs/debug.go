@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// StartDebugServer is the harness domain's live-inspection endpoint: it
+// serves net/http/pprof (CPU/heap/goroutine profiles) and expvar
+// (cmdline + memstats) on addr and returns the bound address. It is
+// opt-in via the cmd tools' -debug-addr flag and runs for the process
+// lifetime; nothing it serves touches simulation state, so leaving it on
+// cannot perturb results.
+func StartDebugServer(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: debug server listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}

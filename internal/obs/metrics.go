@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Canonical bucket layouts for the simulation metrics. Buckets are
+// ascending upper bounds with Prometheus-style inclusive-≤ semantics:
+// observation v lands in the first bucket whose bound is ≥ v, and values
+// above the last bound land in the overflow bucket.
+var (
+	// HopBuckets covers Manhattan tile distances on the 8×8 grid.
+	HopBuckets = []float64{0, 1, 2, 3, 4, 6, 8, 12}
+	// DensityBuckets covers per-crossbar fault densities from the
+	// manufacturing cold band through heavily worn arrays.
+	DensityBuckets = []float64{0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1}
+	// DefaultBuckets is the fallback for histograms observed without a
+	// prior declaration.
+	DefaultBuckets = []float64{0.001, 0.01, 0.1, 1, 10, 100, 1000}
+)
+
+// Histogram is a fixed-bucket histogram. Buckets holds ascending upper
+// bounds; Counts has len(Buckets)+1 entries, the last being the overflow
+// bucket for observations above every bound.
+type Histogram struct {
+	Buckets []float64 `json:"buckets"`
+	Counts  []uint64  `json:"counts"`
+	Count   uint64    `json:"count"`
+	Sum     float64   `json:"sum"`
+}
+
+// NewHistogram returns an empty histogram over the given bounds. The
+// bounds slice is copied; it must be ascending.
+func NewHistogram(buckets []float64) *Histogram {
+	b := append([]float64(nil), buckets...)
+	if !sort.Float64sAreSorted(b) {
+		panic("obs: histogram buckets must be ascending")
+	}
+	return &Histogram{Buckets: b, Counts: make([]uint64, len(b)+1)}
+}
+
+// Observe records one value: the first bucket with bound ≥ v, or the
+// overflow bucket.
+func (h *Histogram) Observe(v float64) {
+	h.Counts[sort.SearchFloat64s(h.Buckets, v)]++
+	h.Count++
+	h.Sum += v
+}
+
+// Merge adds another histogram's counts into h. The bucket layouts must
+// match exactly.
+func (h *Histogram) Merge(o *Histogram) error {
+	if len(h.Buckets) != len(o.Buckets) {
+		return fmt.Errorf("obs: merging histograms with %d vs %d buckets", len(h.Buckets), len(o.Buckets))
+	}
+	for i, b := range h.Buckets {
+		if b != o.Buckets[i] { //lint:allow float-eq bucket bounds are declared constants, not computed values
+			return fmt.Errorf("obs: bucket %d bound mismatch (%g vs %g)", i, b, o.Buckets[i])
+		}
+	}
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+	return nil
+}
+
+// clone returns a deep copy (snapshot isolation).
+func (h *Histogram) clone() *Histogram {
+	return &Histogram{
+		Buckets: append([]float64(nil), h.Buckets...),
+		Counts:  append([]uint64(nil), h.Counts...),
+		Count:   h.Count,
+		Sum:     h.Sum,
+	}
+}
+
+// Registry is the simulation-domain metrics store: counters, gauges and
+// fixed-bucket histograms, all keyed by name. It is mutex-guarded so a
+// cell's trainer and policy code can share one instance; distinct cells
+// never share a Registry.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	gauges   map[string]float64
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]int64),
+		gauges:   make(map[string]float64),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// DeclareHistogram fixes the bucket layout of a named histogram before
+// the first observation. Re-declaring an existing histogram is a no-op.
+func (r *Registry) DeclareHistogram(name string, buckets []float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.hists[name]; !ok {
+		r.hists[name] = NewHistogram(buckets)
+	}
+}
+
+// Add increments a counter.
+func (r *Registry) Add(name string, delta int64) {
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// Set writes a gauge.
+func (r *Registry) Set(name string, v float64) {
+	r.mu.Lock()
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// Observe records a histogram sample, auto-declaring the histogram with
+// DefaultBuckets if it was never declared.
+func (r *Registry) Observe(name string, v float64) {
+	r.mu.Lock()
+	h := r.hists[name]
+	if h == nil {
+		h = NewHistogram(DefaultBuckets)
+		r.hists[name] = h
+	}
+	h.Observe(v)
+	r.mu.Unlock()
+}
+
+// MetricsSnapshot is the serialisable state of a Registry. Its JSON
+// encoding is deterministic: encoding/json emits map keys in sorted
+// order, and every value is either integral or a float that round-trips
+// exactly.
+type MetricsSnapshot struct {
+	Cell       string                `json:"cell,omitempty"`
+	Counters   map[string]int64      `json:"counters"`
+	Gauges     map[string]float64    `json:"gauges"`
+	Histograms map[string]*Histogram `json:"histograms"`
+}
+
+// Snapshot returns an isolated copy of the registry's current state.
+func (r *Registry) Snapshot() *MetricsSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &MetricsSnapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]*Histogram, len(r.hists)),
+	}
+	for k, v := range r.counters {
+		s.Counters[k] = v
+	}
+	for k, v := range r.gauges {
+		s.Gauges[k] = v
+	}
+	for k, h := range r.hists {
+		s.Histograms[k] = h.clone()
+	}
+	return s
+}
+
+// MarshalIndentJSON renders the snapshot as the metrics.json payload.
+func (s *MetricsSnapshot) MarshalIndentJSON() ([]byte, error) {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Sink persists per-cell traces into a metrics directory: one
+// <base>.metrics.json (the registry snapshot) and one <base>.events.jsonl
+// (the event log, headed by a cell-start line) per cell. base is the same
+// filesystem-safe name the checkpoint store derives for the cell, so a
+// cell's telemetry sits next to its checkpoint.
+type Sink struct {
+	dir string
+}
+
+// NewSink creates (if necessary) the metrics directory.
+func NewSink(dir string) (*Sink, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("obs: create metrics dir: %w", err)
+	}
+	return &Sink{dir: dir}, nil
+}
+
+// Dir returns the sink's directory.
+func (s *Sink) Dir() string { return s.dir }
+
+// metricsSuffix and eventsSuffix name the two per-cell files.
+const (
+	metricsSuffix = ".metrics.json"
+	eventsSuffix  = ".events.jsonl"
+)
+
+// Write persists one cell's trace. It is called after the cell finishes
+// (successfully or not — a failed cell's partial trace is still
+// evidence), overwriting any previous files for the base.
+func (s *Sink) Write(base string, t *Trace) error {
+	snap := t.Registry().Snapshot()
+	snap.Cell = t.Cell()
+	data, err := snap.MarshalIndentJSON()
+	if err != nil {
+		return fmt.Errorf("obs: marshal metrics for %s: %w", t.Cell(), err)
+	}
+	if err := os.WriteFile(filepath.Join(s.dir, base+metricsSuffix), data, 0o644); err != nil {
+		return fmt.Errorf("obs: write metrics for %s: %w", t.Cell(), err)
+	}
+	events := append([]Event{&CellStartEvent{Cell: t.Cell()}}, t.Events()...)
+	var buf bytes.Buffer
+	if err := EncodeEvents(&buf, events); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(s.dir, base+eventsSuffix), buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("obs: write events for %s: %w", t.Cell(), err)
+	}
+	return nil
+}

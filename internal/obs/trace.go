@@ -1,0 +1,55 @@
+package obs
+
+import "sync"
+
+// Trace is the per-cell Recorder: a metrics Registry plus an ordered
+// event log. The parallel runner gives every experiment cell its own
+// Trace, so traces never mix cells; the internal mutex only serialises
+// the (single) cell's own goroutines.
+type Trace struct {
+	cell string
+	reg  *Registry
+
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewTrace returns an empty trace for the named cell with the canonical
+// histogram layouts declared.
+func NewTrace(cell string) *Trace {
+	t := &Trace{cell: cell, reg: NewRegistry()}
+	t.reg.DeclareHistogram("remap.hops", HopBuckets)
+	t.reg.DeclareHistogram("bist.density", DensityBuckets)
+	return t
+}
+
+// Cell returns the cell key the trace records.
+func (t *Trace) Cell() string { return t.cell }
+
+// Registry exposes the trace's metrics store.
+func (t *Trace) Registry() *Registry { return t.reg }
+
+// Add implements Recorder.
+func (t *Trace) Add(name string, delta int64) { t.reg.Add(name, delta) }
+
+// Set implements Recorder.
+func (t *Trace) Set(name string, v float64) { t.reg.Set(name, v) }
+
+// Observe implements Recorder.
+func (t *Trace) Observe(name string, v float64) { t.reg.Observe(name, v) }
+
+// Emit implements Recorder.
+func (t *Trace) Emit(ev Event) {
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the event log in emission order.
+func (t *Trace) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+var _ Recorder = (*Trace)(nil)

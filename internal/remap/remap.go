@@ -18,6 +18,7 @@ import (
 	"remapd/internal/bist"
 	"remapd/internal/det"
 	"remapd/internal/noc"
+	"remapd/internal/obs"
 	"remapd/internal/reram"
 	"remapd/internal/tensor"
 )
@@ -39,15 +40,28 @@ type Context struct {
 	NoCCfg      noc.Config
 	Protocol    noc.ProtocolParams
 	SimulateNoC bool
+
+	// Obs receives the policy's telemetry (swap pairs, density fidelity)
+	// when non-nil. Recording is pure observation: no policy decision may
+	// read it, so a nil Obs is bit-identical to a recording run.
+	Obs obs.Recorder
 }
 
 // EpochReport summarises what a policy did at one epoch boundary.
 type EpochReport struct {
 	Senders    int // crossbars that requested remapping
-	Swaps      int // task exchanges performed
+	Swaps      int // task exchanges performed (Remap-T: weights newly relocated)
 	Unmatched  int // senders that found no receiver
 	BISTCycles int // ReRAM cycles spent on fault-density testing
 	NoCCycles  int // NoC cycles of the remap handshake (0 if not simulated)
+
+	// Protected counts elements currently shielded from faults: protected
+	// weights for Remap-T/Remap-WS, correctable faulty cells for AN-code,
+	// 0 for policies that move tasks instead of shielding elements.
+	Protected int
+	// MeanDensity is the mean fault density the policy observed across the
+	// crossbars it inspected this boundary (0 if it inspected none).
+	MeanDensity float64
 }
 
 // Policy is a fault-tolerance scheme.
@@ -186,6 +200,7 @@ func (r *RemapD) EpochEnd(ctx *Context) EpochReport {
 	density := make([]float64, len(chip.Xbars))
 	if r.UseBIST {
 		ctrl := bist.NewController(chip.Params)
+		ctrl.Obs, ctrl.SimEpoch = ctx.Obs, ctx.Epoch
 		for _, xi := range used {
 			res := ctrl.Run(chip.Xbars[xi])
 			density[xi] = res.DensityEstimate
@@ -196,6 +211,19 @@ func (r *RemapD) EpochEnd(ctx *Context) EpochReport {
 	} else {
 		for _, xi := range used {
 			density[xi] = chip.TrueDensity(xi)
+		}
+	}
+	if len(used) > 0 {
+		total := 0.0
+		for _, xi := range used {
+			total += density[xi]
+		}
+		rep.MeanDensity = total / float64(len(used))
+	}
+	if ctx.Obs != nil {
+		for _, xi := range used {
+			ctx.Obs.Emit(&obs.DensityEvent{Epoch: ctx.Epoch, Xbar: xi, Estimate: density[xi], True: chip.TrueDensity(xi)})
+			ctx.Obs.Observe("bist.density", density[xi])
 		}
 	}
 
@@ -225,7 +253,8 @@ func (r *RemapD) EpochEnd(ctx *Context) EpochReport {
 	// be within the acceptable-density threshold — otherwise the swap just
 	// moves the fault-critical task onto another bad crossbar.
 	taken := make([]bool, len(chip.Xbars))
-	var pairs [][2]int
+	type swapPair struct{ s, r, hops int }
+	var pairs []swapPair
 	for _, s := range senders {
 		var eligible []int
 		for _, rx := range receivers {
@@ -251,10 +280,21 @@ func (r *RemapD) EpochEnd(ctx *Context) EpochReport {
 			}
 		}
 		taken[best] = true
-		pairs = append(pairs, [2]int{s, best})
+		pairs = append(pairs, swapPair{s: s, r: best, hops: chip.HopCount(s, best)})
 	}
 	for _, pr := range pairs {
-		chip.SwapTasks(pr[0], pr[1])
+		chip.SwapTasks(pr.s, pr.r)
+		if ctx.Obs != nil {
+			ctx.Obs.Emit(&obs.SwapEvent{
+				Epoch:           ctx.Epoch,
+				Sender:          pr.s,
+				Receiver:        pr.r,
+				Hops:            pr.hops,
+				SenderDensity:   density[pr.s],
+				ReceiverDensity: density[pr.r],
+			})
+			ctx.Obs.Observe("remap.hops", float64(pr.hops))
+		}
 	}
 	rep.Swaps = len(pairs)
 
@@ -265,6 +305,7 @@ func (r *RemapD) EpochEnd(ctx *Context) EpochReport {
 		recvTiles := dedupTiles(chip, receivers)
 		res := noc.SimulateRemap(ctx.NoCCfg, ctx.Protocol, senderTiles, recvTiles)
 		rep.NoCCycles = res.TotalCycles
+		res.Record(ctx.Obs, ctx.Epoch)
 	}
 	return rep
 }
@@ -332,13 +373,19 @@ func (r *RemapT) Deploy(ctx *Context) {
 }
 
 // EpochEnd re-ranks by the epoch's accumulated |grad| and rebuilds the
-// protection set.
+// protection set. The report counts the re-rank's churn: Swaps is the
+// number of weights newly relocated onto spares this boundary (the
+// scheme's per-epoch remapping work), Protected the resulting set size.
 func (r *RemapT) EpochEnd(ctx *Context) EpochReport {
+	rep := EpochReport{MeanDensity: meanMappedDensity(ctx.Chip)}
 	if len(ctx.GradAbs) > 0 {
+		prev := r.protected
 		r.rebuild(ctx, ctx.GradAbs)
 		ctx.Chip.InvalidateAll()
+		rep.Swaps = relocations(r.protected, prev)
 	}
-	return EpochReport{}
+	rep.Protected = protectedCount(r.protected)
+	return rep
 }
 
 // rebuild selects the global top-Fraction elements by importance.
@@ -435,8 +482,15 @@ func (r *RemapWS) Deploy(ctx *Context) {
 	}, true)
 }
 
-// EpochEnd does nothing: the significance snapshot is never updated.
-func (r *RemapWS) EpochEnd(*Context) EpochReport { return EpochReport{} }
+// EpochEnd changes nothing — the significance snapshot is never updated —
+// but still reports the (static) protection footprint and the chip's
+// current density so traces show what the scheme is failing to track.
+func (r *RemapWS) EpochEnd(ctx *Context) EpochReport {
+	return EpochReport{
+		Protected:   protectedCount(r.protected),
+		MeanDensity: meanMappedDensity(ctx.Chip),
+	}
+}
 
 // -------------------------------------------------------------- ANCode --
 
@@ -463,9 +517,53 @@ func (a *ANCode) Deploy(ctx *Context) {
 	ctx.Chip.SetCellCorrector(a.corrector.CellCorrector(), false)
 }
 
-// EpochEnd re-profiles the correction table.
+// EpochEnd re-profiles the correction table. Protected reports how many
+// of the profiled faulty cells the refreshed code can actually correct.
 func (a *ANCode) EpochEnd(ctx *Context) EpochReport {
 	a.corrector.RefreshTable(ctx.Chip.Xbars)
 	ctx.Chip.InvalidateAll()
-	return EpochReport{}
+	return EpochReport{
+		Protected:   a.corrector.CorrectableCount(),
+		MeanDensity: meanMappedDensity(ctx.Chip),
+	}
+}
+
+// ------------------------------------------------------------- helpers --
+
+// protectedCount sizes a layer→elements protection set.
+func protectedCount(prot map[string]map[int]bool) int {
+	n := 0
+	for _, m := range prot {
+		n += len(m)
+	}
+	return n
+}
+
+// relocations counts elements protected now but not previously — the
+// weights a re-rank physically moves onto spares.
+func relocations(now, prev map[string]map[int]bool) int {
+	n := 0
+	for layer, m := range now {
+		pm := prev[layer]
+		for idx := range m {
+			if !pm[idx] {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// meanMappedDensity is the mean true fault density over the crossbars
+// currently hosting tasks (0 when nothing is mapped).
+func meanMappedDensity(chip *arch.Chip) float64 {
+	used := chip.MappedXbars()
+	if len(used) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, xi := range used {
+		total += chip.TrueDensity(xi)
+	}
+	return total / float64(len(used))
 }

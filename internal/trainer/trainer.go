@@ -14,6 +14,7 @@ import (
 	"remapd/internal/fault"
 	"remapd/internal/nn"
 	"remapd/internal/noc"
+	"remapd/internal/obs"
 	"remapd/internal/remap"
 	"remapd/internal/tensor"
 )
@@ -56,6 +57,11 @@ type Config struct {
 	TrackGradAbs bool
 	// SimulateNoC runs the flit-level handshake for every remap round.
 	SimulateNoC bool
+	// Obs, when non-nil, records the run's simulation telemetry: epoch
+	// norms, policy reports, swap/density/wear events. Recording is pure
+	// observation keyed by simulated coordinates; a nil Obs produces
+	// bit-identical results with zero overhead beyond nil checks.
+	Obs obs.Recorder
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...interface{})
 	// Checkpoint, when non-nil, persists the run state after every epoch
@@ -139,8 +145,14 @@ func Train(net *nn.Network, ds *dataset.Dataset, cfg Config) (*Result, error) {
 			NoCCfg:      nocCfg,
 			Protocol:    noc.DefaultProtocolParams(),
 			SimulateNoC: cfg.SimulateNoC,
+			Obs:         cfg.Obs,
+		}
+		cfg.Chip.Obs = cfg.Obs
+		if cfg.Endurance != nil {
+			cfg.Endurance.Obs = cfg.Obs
 		}
 	}
+	observer := newEpochObserver(cfg.Obs, net)
 
 	opt := nn.NewSGD(net, cfg.LR, cfg.Momentum, cfg.WeightDecay)
 
@@ -191,6 +203,9 @@ func Train(net *nn.Network, ds *dataset.Dataset, cfg Config) (*Result, error) {
 		if cfg.PhaseInject != nil {
 			res.FaultsInjected += injectPhase(cfg.Chip, cfg.PhaseInject, faultRNG)
 		}
+		// Deploy-time telemetry is stamped epoch −1, separating the t=0
+		// placement's events from those of the first epoch boundary.
+		ctx.Epoch = -1
 		pol.Deploy(ctx)
 	}
 	// Step decay: halve the learning rate at 60% and 85% of the schedule
@@ -216,6 +231,11 @@ func Train(net *nn.Network, ds *dataset.Dataset, cfg Config) (*Result, error) {
 				resetGradAbs(ctx, net, mvmSet)
 			}
 		}
+		if cfg.Endurance != nil {
+			cfg.Endurance.SimEpoch = epoch
+		}
+		observer.beginEpoch()
+		faultsBefore := res.FaultsInjected
 		var lossSum float64
 		batches := ds.TrainBatches(cfg.BatchSize, trainRNG)
 		for _, b := range batches {
@@ -232,6 +252,7 @@ func Train(net *nn.Network, ds *dataset.Dataset, cfg Config) (*Result, error) {
 				accumulateGradAbs(ctx, net, mvmSet)
 			}
 			opt.Step()
+			observer.afterBatch()
 		}
 		// The up-front dataset check guarantees at least one batch.
 		avgLoss := lossSum / float64(len(batches))
@@ -258,7 +279,9 @@ func Train(net *nn.Network, ds *dataset.Dataset, cfg Config) (*Result, error) {
 			res.Unmatched += rep.Unmatched
 			res.BISTCyclesTotal += int64(rep.BISTCycles)
 			res.NoCCyclesTotal += int64(rep.NoCCycles)
+			observer.recordReport(epoch, pol.Name(), rep)
 		}
+		observer.endEpoch(epoch, avgLoss, acc, cfg.Chip, res.FaultsInjected-faultsBefore)
 		res.EpochTestAcc = append(res.EpochTestAcc, acc)
 		if acc > res.BestTestAcc {
 			res.BestTestAcc = acc
