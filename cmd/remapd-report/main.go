@@ -2,8 +2,14 @@
 // evaluation at the chosen scale and prints them in EXPERIMENTS.md order.
 // This is the one-command reproduction entry point:
 //
-//	remapd-report -scale quick      # minutes
-//	remapd-report -scale standard   # the full six-model matrix (slow)
+//	remapd-report -scale quick              # minutes
+//	remapd-report -scale standard           # the full six-model matrix (slow)
+//	remapd-report -scale quick -dist 4      # same bytes, four worker processes
+//
+// With -dist N the experiment cells fan out to N exec'd copies of this
+// binary in -worker mode; the report is byte-identical to the in-process
+// run. -only restricts the report to named sections (comma-separated
+// keys: fig4 fig5 fig6 fig7 fig8 bist noc area ablations).
 package main
 
 import (
@@ -14,38 +20,59 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
-	"remapd/internal/checkpoint"
+	"remapd/internal/cli"
 	"remapd/internal/experiments"
-	"remapd/internal/obs"
 )
 
 func main() {
 	log.SetFlags(0)
+	var opts cli.Options
 	var (
-		scale      = flag.String("scale", "quick", "quick or standard")
-		ablations  = flag.Bool("ablations", true, "include the design-choice ablations")
-		csvDir     = flag.String("csv", "", "also write each figure's rows as CSV into this directory")
-		workers    = flag.Int("j", 0, "experiment cells to run in parallel (0 = all cores)")
-		progress   = flag.Bool("progress", false, "log one line per completed experiment cell")
-		ckptDir    = flag.String("checkpoint-dir", "", "persist per-epoch cell checkpoints here; an interrupted report resumes bit-identically")
-		metricsDir = flag.String("metrics-dir", "", "record per-cell simulation telemetry and a harness profile into this directory")
-		debugAddr  = flag.String("debug-addr", "", "serve pprof and expvar on this address (e.g. localhost:6060)")
+		scale     = flag.String("scale", "quick", "quick or standard")
+		ablations = flag.Bool("ablations", true, "include the design-choice ablations")
+		csvDir    = flag.String("csv", "", "also write each figure's rows as CSV into this directory")
+		only      = flag.String("only", "", "run only these comma-separated sections (fig4 fig5 fig6 fig7 fig8 bist noc area ablations); empty = all")
 	)
+	opts.Bind(flag.CommandLine)
+	opts.BindGrid(flag.CommandLine)
+	opts.BindDist(flag.CommandLine)
+	opts.BindWorker(flag.CommandLine)
 	flag.Parse()
-	if *debugAddr != "" {
-		addr, err := obs.StartDebugServer(*debugAddr)
-		if err != nil {
+	if err := opts.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Ctrl-C cancels in-flight training cells at their next batch boundary
+	// (worker processes drain their in-flight cell the same way).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if opts.Worker {
+		// Worker mode: same binary, protocol loop instead of a report.
+		if err := opts.ServeWorker(ctx, log.Printf); err != nil && ctx.Err() == nil {
 			log.Fatal(err)
 		}
+		return
+	}
+
+	if addr, err := opts.StartDebug(); err != nil {
+		log.Fatal(err)
+	} else if addr != "" {
 		fmt.Printf("debug server on http://%s/debug/pprof/ and /debug/vars\n", addr)
 	}
 
-	// Ctrl-C cancels in-flight training cells at their next batch boundary.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	wantAll := *only == ""
+	want := map[string]bool{}
+	for _, k := range strings.Split(*only, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			want[k] = true
+		}
+	}
+	sectionWanted := func(key string) bool { return wantAll || want[key] }
 
 	writeCSV := func(name string, rows interface{}) {
 		if *csvDir == "" {
@@ -70,27 +97,11 @@ func main() {
 	default:
 		log.Fatalf("unknown scale %q", *scale)
 	}
-	s.Workers = *workers
-	if *progress {
-		s.Progress = log.Printf
+	prof, cleanup, err := opts.Apply(&s, log.Printf)
+	if err != nil {
+		log.Fatal(err)
 	}
-	if *ckptDir != "" {
-		store, err := checkpoint.NewStore(*ckptDir, log.Printf)
-		if err != nil {
-			log.Fatal(err)
-		}
-		s.Checkpoints = store
-	}
-	var prof *obs.Profile
-	if *metricsDir != "" {
-		sink, err := obs.NewSink(*metricsDir)
-		if err != nil {
-			log.Fatal(err)
-		}
-		s.Metrics = sink
-		prof = obs.NewProfile()
-		s.Prof = prof
-	}
+	defer cleanup()
 	reg := experiments.DefaultRegime()
 	//lint:allow no-wall-clock operator-facing report timing; results are computed from seeds only
 	start := time.Now()
@@ -109,64 +120,80 @@ func main() {
 		fmt.Printf("\n==== %s ====\n\n", title)
 	}
 
-	section("Fig. 4 — BIST current vs fault count")
-	rows4 := experiments.Fig4(4, 4, 50, 1)
-	fmt.Print(experiments.FormatFig4(rows4))
-	writeCSV("fig4", rows4)
-
-	section("Fig. 5 — forward vs backward phase fault tolerance")
-	f5 := s
-	if *scale == "quick" {
-		f5.Models = []string{"vgg11"}
+	if sectionWanted("fig4") {
+		section("Fig. 4 — BIST current vs fault count")
+		rows4 := experiments.Fig4(4, 4, 50, 1)
+		fmt.Print(experiments.FormatFig4(rows4))
+		writeCSV("fig4", rows4)
 	}
-	rows5, err := experiments.Fig5(ctx, f5, reg)
-	if err != nil {
-		log.Fatal(err)
+
+	if sectionWanted("fig5") {
+		section("Fig. 5 — forward vs backward phase fault tolerance")
+		f5 := s
+		if *scale == "quick" {
+			f5.Models = []string{"vgg11"}
+		}
+		rows5, err := experiments.Fig5(ctx, f5, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.FormatFig5(rows5))
+		writeCSV("fig5", rows5)
 	}
-	fmt.Print(experiments.FormatFig5(rows5))
-	writeCSV("fig5", rows5)
 
-	section("Fig. 6 — policy comparison under pre+post faults")
-	rows6, err := experiments.Fig6(ctx, s, reg, nil)
-	if err != nil {
-		log.Fatal(err)
+	if sectionWanted("fig6") {
+		section("Fig. 6 — policy comparison under pre+post faults")
+		rows6, err := experiments.Fig6(ctx, s, reg, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.FormatFig6(rows6))
+		writeCSV("fig6", rows6)
 	}
-	fmt.Print(experiments.FormatFig6(rows6))
-	writeCSV("fig6", rows6)
 
-	section("Fig. 7 — Remap-D post-deployment sweep")
-	sweepModels := []string{"vgg19", "resnet12"}
-	if *scale == "quick" {
-		sweepModels = []string{"vgg11"}
+	if sectionWanted("fig7") {
+		section("Fig. 7 — Remap-D post-deployment sweep")
+		sweepModels := []string{"vgg19", "resnet12"}
+		if *scale == "quick" {
+			sweepModels = []string{"vgg11"}
+		}
+		rows7, err := experiments.Fig7(ctx, s, reg, sweepModels,
+			[]float64{0.005, 0.03, 0.06}, []float64{0.01, 0.02, 0.04})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.FormatFig7(rows7))
+		writeCSV("fig7", rows7)
 	}
-	rows7, err := experiments.Fig7(ctx, s, reg, sweepModels,
-		[]float64{0.005, 0.03, 0.06}, []float64{0.01, 0.02, 0.04})
-	if err != nil {
-		log.Fatal(err)
+
+	if sectionWanted("fig8") {
+		section("Fig. 8 — scalability (CIFAR-100-like, SVHN-like)")
+		rows8, err := experiments.Fig8(ctx, s, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.FormatFig8(rows8))
+		writeCSV("fig8", rows8)
 	}
-	fmt.Print(experiments.FormatFig7(rows7))
-	writeCSV("fig7", rows7)
 
-	section("Fig. 8 — scalability (CIFAR-100-like, SVHN-like)")
-	rows8, err := experiments.Fig8(ctx, s, reg)
-	if err != nil {
-		log.Fatal(err)
+	if sectionWanted("bist") {
+		section("BIST timing overhead (paper: 0.13%)")
+		fmt.Print(experiments.FormatBISTOverhead(experiments.BISTTimingOverhead(50000, 19, 8)))
 	}
-	fmt.Print(experiments.FormatFig8(rows8))
-	writeCSV("fig8", rows8)
 
-	section("BIST timing overhead (paper: 0.13%)")
-	fmt.Print(experiments.FormatBISTOverhead(experiments.BISTTimingOverhead(50000, 19, 8)))
+	if sectionWanted("noc") {
+		section("NoC remap overhead, 50-round Monte Carlo (paper: 0.22% / 0.36%)")
+		fmt.Print(experiments.FormatNoCOverhead(experiments.NoCRemapOverhead(50, 2, 10, 42)))
+	}
 
-	section("NoC remap overhead, 50-round Monte Carlo (paper: 0.22% / 0.36%)")
-	fmt.Print(experiments.FormatNoCOverhead(experiments.NoCRemapOverhead(50, 2, 10, 42)))
+	if sectionWanted("area") {
+		section("Area overheads (paper: BIST 0.61%, AN 6.3%, Remap-T-10% 10%)")
+		rowsArea := experiments.AreaOverheads()
+		fmt.Print(experiments.FormatArea(rowsArea))
+		writeCSV("area", rowsArea)
+	}
 
-	section("Area overheads (paper: BIST 0.61%, AN 6.3%, Remap-T-10% 10%)")
-	rowsArea := experiments.AreaOverheads()
-	fmt.Print(experiments.FormatArea(rowsArea))
-	writeCSV("area", rowsArea)
-
-	if *ablations {
+	if *ablations && sectionWanted("ablations") {
 		model := s.Models[len(s.Models)-1]
 		section("Ablation — Remap-D trigger threshold (" + model + ")")
 		rt, err := experiments.AblationThreshold(ctx, s, reg, model, []float64{0.004, 0.01, 0.02, 0.05})
@@ -201,10 +228,10 @@ func main() {
 		stopPhase()
 	}
 	if prof != nil {
-		if err := prof.WriteJSON(*metricsDir); err != nil {
+		if err := prof.WriteJSON(opts.MetricsDir); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("\ntelemetry and harness profile written to %s\n", *metricsDir)
+		fmt.Printf("\ntelemetry and harness profile written to %s\n", opts.MetricsDir)
 	}
 	//lint:allow no-wall-clock operator-facing report timing; results are computed from seeds only
 	fmt.Printf("\nreport complete in %s (scale=%s)\n", time.Since(start).Round(time.Second), s.Name)

@@ -13,11 +13,13 @@ import (
 	"strings"
 	"syscall"
 
+	"remapd/internal/cli"
 	"remapd/internal/experiments"
 )
 
 func main() {
 	log.SetFlags(0)
+	var opts cli.Options
 	var (
 		modelsFlag = flag.String("models", "vgg19,resnet12", "comma-separated sweep models")
 		epochs     = flag.Int("epochs", 6, "training epochs")
@@ -25,13 +27,22 @@ func main() {
 		seeds      = flag.Int("seeds", 1, "seeds to average")
 		msFlag     = flag.String("m", "0.005,0.03,0.06", "cell fractions (compressed-schedule equivalents of the paper's 0.1–1%)")
 		nsFlag     = flag.String("n", "0.01,0.02,0.04", "crossbar fractions (equivalents of the paper's 0.1–2%)")
-		workers    = flag.Int("j", 0, "sweep cells to run in parallel (0 = all cores)")
-		progress   = flag.Bool("progress", false, "log one line per completed sweep cell")
 	)
+	opts.Bind(flag.CommandLine)
+	opts.BindGrid(flag.CommandLine)
 	flag.Parse()
+	if err := opts.Validate(); err != nil {
+		log.Fatal(err)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if addr, err := opts.StartDebug(); err != nil {
+		log.Fatal(err)
+	} else if addr != "" {
+		fmt.Printf("debug server on http://%s/debug/pprof/ and /debug/vars\n", addr)
+	}
 
 	s := experiments.StandardScale()
 	s.Epochs = *epochs
@@ -40,10 +51,11 @@ func main() {
 	for i := 0; i < *seeds; i++ {
 		s.Seeds = append(s.Seeds, uint64(i+1))
 	}
-	s.Workers = *workers
-	if *progress {
-		s.Progress = log.Printf
+	prof, cleanup, err := opts.Apply(&s, log.Printf)
+	if err != nil {
+		log.Fatal(err)
 	}
+	defer cleanup()
 	reg := experiments.DefaultRegime()
 
 	parse := func(csv string) []float64 {
@@ -65,4 +77,10 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Print(experiments.FormatFig7(rows))
+	if prof != nil {
+		if err := prof.WriteJSON(opts.MetricsDir); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ntelemetry and harness profile written to %s\n", opts.MetricsDir)
+	}
 }

@@ -9,6 +9,11 @@
 //	remapd-train -model resnet12 -policy none -dataset cifar100
 //	remapd-train -model vgg19 -phase backward        # Fig. 5-style injection
 //	remapd-train -model vgg11 -policy remap-d -noc   # with flit-level NoC
+//	remapd-train -worker -checkpoint-dir ckpt        # dist worker loop
+//
+// With -worker the tool runs the dist protocol instead: it reads
+// serialized experiment-cell specs from stdin (sent by a -dist
+// coordinator such as remapd-report) and writes results to stdout.
 package main
 
 import (
@@ -18,12 +23,12 @@ import (
 	"log"
 	"os"
 	"os/signal"
-	"runtime"
 	"strings"
 	"syscall"
 
 	"remapd/internal/arch"
 	"remapd/internal/checkpoint"
+	"remapd/internal/cli"
 	"remapd/internal/dataset"
 	"remapd/internal/experiments"
 	"remapd/internal/fault"
@@ -34,46 +39,51 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	var opts cli.Options
 	var (
-		model      = flag.String("model", "vgg11", "model: "+strings.Join(models.Names(), ", "))
-		policy     = flag.String("policy", "remap-d", "policy: "+strings.Join(experiments.PolicyNames(), ", "))
-		dsName     = flag.String("dataset", "cifar10", "dataset: cifar10, cifar100, svhn")
-		phase      = flag.String("phase", "", "Fig. 5 targeted injection: forward or backward (overrides -policy)")
-		epochs     = flag.Int("epochs", 6, "training epochs")
-		trainN     = flag.Int("train", 512, "training samples")
-		testN      = flag.Int("test", 512, "test samples")
-		width      = flag.Float64("width", 0.125, "model width scale")
-		seed       = flag.Uint64("seed", 1, "seed")
-		simNoC     = flag.Bool("noc", false, "simulate the remap handshake on the flit-level NoC")
-		usePaper   = flag.Bool("paper-regime", false, "use the paper's literal fault densities instead of the compressed schedule")
-		endurance  = flag.Bool("endurance", false, "derive wear-out physically from write counts (Weibull) instead of the phenomenological post model")
-		workers    = flag.Int("j", 0, "cap on compute parallelism (GOMAXPROCS; 0 = all cores)")
-		ckptDir    = flag.String("checkpoint-dir", "", "persist a per-epoch checkpoint here; an interrupted run resumes bit-identically")
-		quiet      = flag.Bool("quiet", false, "suppress per-epoch progress lines (the final summary still prints)")
-		metricsDir = flag.String("metrics-dir", "", "record simulation telemetry (metrics.json + events.jsonl) into this directory")
-		debugAddr  = flag.String("debug-addr", "", "serve pprof and expvar on this address (e.g. localhost:6060)")
+		model     = flag.String("model", "vgg11", "model: "+strings.Join(models.Names(), ", "))
+		policy    = flag.String("policy", "remap-d", "policy: "+strings.Join(experiments.PolicyNames(), ", "))
+		dsName    = flag.String("dataset", "cifar10", "dataset: cifar10, cifar100, svhn")
+		phase     = flag.String("phase", "", "Fig. 5 targeted injection: forward or backward (overrides -policy)")
+		epochs    = flag.Int("epochs", 6, "training epochs")
+		trainN    = flag.Int("train", 512, "training samples")
+		testN     = flag.Int("test", 512, "test samples")
+		width     = flag.Float64("width", 0.125, "model width scale")
+		simNoC    = flag.Bool("noc", false, "simulate the remap handshake on the flit-level NoC")
+		usePaper  = flag.Bool("paper-regime", false, "use the paper's literal fault densities instead of the compressed schedule")
+		endurance = flag.Bool("endurance", false, "derive wear-out physically from write counts (Weibull) instead of the phenomenological post model")
 	)
+	opts.Bind(flag.CommandLine)
+	opts.BindRun(flag.CommandLine)
+	opts.BindWorker(flag.CommandLine)
 	flag.Parse()
-	if *workers > 0 {
-		runtime.GOMAXPROCS(*workers)
-	}
-	if *debugAddr != "" {
-		addr, err := obs.StartDebugServer(*debugAddr)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("debug server on http://%s/debug/pprof/ and /debug/vars\n", addr)
+	if err := opts.Validate(); err != nil {
+		log.Fatal(err)
 	}
 
 	// Ctrl-C stops training at the next batch boundary.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if opts.Worker {
+		if err := opts.ServeWorker(ctx, log.Printf); err != nil && ctx.Err() == nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	cli.SetGOMAXPROCS(opts.Workers)
+	if addr, err := opts.StartDebug(); err != nil {
+		log.Fatal(err)
+	} else if addr != "" {
+		fmt.Printf("debug server on http://%s/debug/pprof/ and /debug/vars\n", addr)
+	}
+
 	s := experiments.StandardScale()
 	s.Epochs = *epochs
 	s.TrainN, s.TestN = *trainN, *testN
 	s.WidthScale = *width
-	s.Seeds = []uint64{*seed}
+	s.Seeds = []uint64{opts.Seed}
 
 	reg := experiments.DefaultRegime()
 	if *usePaper {
@@ -97,7 +107,7 @@ func main() {
 
 	net, err := models.Build(*model, models.Config{
 		InC: 3, InH: s.ImgSize, InW: s.ImgSize, Classes: classes,
-		WidthScale: s.WidthScale, BatchNorm: true, Seed: *seed,
+		WidthScale: s.WidthScale, BatchNorm: true, Seed: opts.Seed,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -109,12 +119,12 @@ func main() {
 	cfg.Epochs = s.Epochs
 	cfg.BatchSize = s.BatchSize
 	cfg.LR = s.LR
-	cfg.Seed = *seed
+	cfg.Seed = opts.Seed
 	cfg.Ctx = ctx
 	cfg.SimulateNoC = *simNoC
 	// The final summary below prints regardless of Logf, so -quiet can
 	// null the progress sink without losing the run's result lines.
-	if !*quiet {
+	if !opts.Quiet {
 		cfg.Logf = func(f string, a ...interface{}) { fmt.Printf(f+"\n", a...) }
 	}
 
@@ -151,9 +161,9 @@ func main() {
 
 	// The key names the run for both the checkpoint store and the
 	// telemetry sink, so a cell's metrics files sit next to its snapshot.
-	key := fmt.Sprintf("%s/%s/seed%d/%s", *model, *policy, *seed, *dsName)
-	if *ckptDir != "" {
-		store, err := checkpoint.NewStore(*ckptDir, cfg.Logf)
+	key := fmt.Sprintf("%s/%s/seed%d/%s", *model, *policy, opts.Seed, *dsName)
+	if opts.CheckpointDir != "" {
+		store, err := checkpoint.NewStore(opts.CheckpointDir, cfg.Logf)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -161,27 +171,32 @@ func main() {
 		// results, so changing a flag quietly invalidates the old snapshot
 		// instead of misapplying it.
 		fingerprint := fmt.Sprintf("train1|m=%s p=%s ph=%s ds=%s e=%d tr=%d te=%d w=%g s=%d noc=%v paper=%v end=%v",
-			*model, *policy, *phase, *dsName, *epochs, *trainN, *testN, *width, *seed, *simNoC, *usePaper, *endurance)
+			*model, *policy, *phase, *dsName, *epochs, *trainN, *testN, *width, opts.Seed, *simNoC, *usePaper, *endurance)
 		cfg.Checkpoint = store.Cell(key, fingerprint)
 	}
 
 	var sink *obs.Sink
-	var trace *obs.Trace
-	if *metricsDir != "" {
+	var stream *obs.StreamTrace
+	if opts.MetricsDir != "" {
 		var err error
-		sink, err = obs.NewSink(*metricsDir)
+		sink, err = obs.NewSink(opts.MetricsDir)
 		if err != nil {
 			log.Fatal(err)
 		}
-		trace = obs.NewTrace(key)
-		cfg.Obs = trace
+		// Streaming trace: events flush to disk at every epoch boundary,
+		// so even a killed run leaves a truncated (not empty) event log.
+		stream, err = sink.Stream(checkpoint.CellFileBase(key), key)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Obs = stream
 	}
 
 	res, err := trainer.Train(net, ds, cfg)
-	if sink != nil {
+	if stream != nil {
 		// Flush before handling the training error: a failed run's
 		// partial trace is evidence, not garbage.
-		if werr := sink.Write(checkpoint.CellFileBase(key), trace); werr != nil {
+		if werr := stream.Close(); werr != nil {
 			log.Print(werr)
 		} else {
 			fmt.Printf("telemetry written to %s\n", sink.Dir())

@@ -1,0 +1,210 @@
+// Package cli factors out the flag surface the remapd command-line tools
+// share. Before it existed, remapd-train, remapd-report and remapd-sweep
+// each declared their own copies of the scheduling/observation flags
+// (workers, checkpoint-dir, metrics-dir, debug-addr, …) with drifting
+// help strings; the dist worker mode would have been a fourth copy. The
+// Options struct binds each flag group once and knows how to apply
+// itself to an experiments.Scale, start the debug server, build a dist
+// executor, and serve the worker loop.
+package cli
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+
+	"remapd/internal/checkpoint"
+	"remapd/internal/dist"
+	"remapd/internal/experiments"
+	"remapd/internal/obs"
+)
+
+// Options is the shared command-line surface. Zero value = all features
+// off; each Bind* method registers one coherent flag group, so a tool
+// picks exactly the groups it supports.
+type Options struct {
+	// Workers caps parallelism: runner cells for grid tools, GOMAXPROCS
+	// for single-run tools and workers (-j).
+	Workers int
+	// CheckpointDir enables crash-safe per-epoch checkpoints (-checkpoint-dir).
+	CheckpointDir string
+	// MetricsDir enables per-cell simulation telemetry (-metrics-dir).
+	MetricsDir string
+	// DebugAddr serves pprof/expvar when non-empty (-debug-addr).
+	DebugAddr string
+	// Seed is the single-run training seed (-seed).
+	Seed uint64
+	// Quiet suppresses per-epoch progress lines (-quiet).
+	Quiet bool
+	// Progress logs one line per completed grid cell (-progress).
+	Progress bool
+	// Dist fans cells out to this many worker processes (-dist).
+	Dist int
+	// Worker switches the tool into dist worker mode (-worker).
+	Worker bool
+}
+
+// Bind registers the base observation/scheduling group every tool
+// shares: -j, -checkpoint-dir, -metrics-dir, -debug-addr.
+func (o *Options) Bind(fs *flag.FlagSet) {
+	fs.IntVar(&o.Workers, "j", 0, "parallelism cap: experiment cells for grid tools, GOMAXPROCS for single runs and workers (0 = all cores)")
+	fs.StringVar(&o.CheckpointDir, "checkpoint-dir", "", "persist per-epoch checkpoints here; an interrupted run resumes bit-identically")
+	fs.StringVar(&o.MetricsDir, "metrics-dir", "", "record simulation telemetry (metrics.json + events.jsonl) into this directory")
+	fs.StringVar(&o.DebugAddr, "debug-addr", "", "serve pprof and expvar on this address (e.g. localhost:6060)")
+}
+
+// BindRun registers the single-run group: -seed, -quiet.
+func (o *Options) BindRun(fs *flag.FlagSet) {
+	fs.Uint64Var(&o.Seed, "seed", 1, "seed")
+	fs.BoolVar(&o.Quiet, "quiet", false, "suppress per-epoch progress lines (the final summary still prints)")
+}
+
+// BindGrid registers the grid group: -progress.
+func (o *Options) BindGrid(fs *flag.FlagSet) {
+	fs.BoolVar(&o.Progress, "progress", false, "log one line per completed experiment cell")
+}
+
+// BindDist registers the coordinator side of distribution: -dist.
+func (o *Options) BindDist(fs *flag.FlagSet) {
+	fs.IntVar(&o.Dist, "dist", 0, "fan experiment cells out to this many worker processes (0 = run in-process); results are byte-identical either way")
+}
+
+// BindWorker registers the worker side of distribution: -worker.
+func (o *Options) BindWorker(fs *flag.FlagSet) {
+	fs.BoolVar(&o.Worker, "worker", false, "run as a dist worker: read cell specs from stdin, write results to stdout (used by -dist coordinators)")
+}
+
+// Validate rejects incoherent combinations.
+func (o *Options) Validate() error {
+	if o.Workers < 0 {
+		return fmt.Errorf("cli: -j must be >= 0, got %d", o.Workers)
+	}
+	if o.Dist < 0 {
+		return fmt.Errorf("cli: -dist must be >= 0, got %d", o.Dist)
+	}
+	if o.Dist > 0 && o.Worker {
+		return errors.New("cli: -dist and -worker are mutually exclusive (a worker never coordinates)")
+	}
+	return nil
+}
+
+// StartDebug starts the pprof/expvar server when -debug-addr is set,
+// returning the bound address ("" when disabled) for the tool to print.
+func (o *Options) StartDebug() (string, error) {
+	if o.DebugAddr == "" {
+		return "", nil
+	}
+	return obs.StartDebugServer(o.DebugAddr)
+}
+
+// Apply wires the options into a grid Scale: worker bound, progress
+// sink, checkpoint store, metrics sink + harness profile, and (with
+// -dist) the process fan-out executor. It returns the profile (nil
+// without -metrics-dir) and a cleanup that must run before exit — it
+// shuts worker processes down gracefully. logf receives store warnings
+// and progress lines.
+func (o *Options) Apply(s *experiments.Scale, logf experiments.Logf) (*obs.Profile, func(), error) {
+	cleanup := func() {}
+	s.Workers = o.Workers
+	if o.Progress {
+		s.Progress = logf
+	}
+	if o.CheckpointDir != "" {
+		store, err := checkpoint.NewStore(o.CheckpointDir, logf)
+		if err != nil {
+			return nil, cleanup, err
+		}
+		s.Checkpoints = store
+	}
+	var prof *obs.Profile
+	if o.MetricsDir != "" {
+		sink, err := obs.NewSink(o.MetricsDir)
+		if err != nil {
+			return nil, cleanup, err
+		}
+		s.Metrics = sink
+		prof = obs.NewProfile()
+		s.Prof = prof
+	}
+	if o.Dist > 0 {
+		exec, err := o.NewExecutor(logf)
+		if err != nil {
+			return nil, cleanup, err
+		}
+		// Runner slots = worker processes; each process parallelises
+		// internally via its -j share of the cores.
+		s.Workers = o.Dist
+		s.Exec = exec
+		cleanup = exec.Close
+	}
+	return prof, cleanup, nil
+}
+
+// NewExecutor builds the dist executor for -dist N: N re-invocations of
+// this binary in -worker mode, sharing the coordinator's checkpoint and
+// metrics directories, each capped to a fair share of the cores.
+func (o *Options) NewExecutor(logf experiments.Logf) (*dist.Executor, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("cli: locate own binary for -dist workers: %w", err)
+	}
+	cmd := []string{exe, "-worker", "-j", strconv.Itoa(workerProcs(o.Dist))}
+	if o.CheckpointDir != "" {
+		cmd = append(cmd, "-checkpoint-dir", o.CheckpointDir)
+	}
+	if o.MetricsDir != "" {
+		cmd = append(cmd, "-metrics-dir", o.MetricsDir)
+	}
+	return &dist.Executor{Command: cmd, Logf: logf}, nil
+}
+
+// SetGOMAXPROCS applies a -j cap to the Go scheduler for single-run
+// tools (grid tools cap runner slots instead). n <= 0 leaves the
+// default (all cores) alone.
+func SetGOMAXPROCS(n int) {
+	if n > 0 {
+		runtime.GOMAXPROCS(n)
+	}
+}
+
+// workerProcs splits the machine's cores evenly across n workers.
+func workerProcs(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	per := runtime.NumCPU() / n
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+// ServeWorker runs the dist worker loop on stdin/stdout with the
+// options' checkpoint/metrics directories and -j GOMAXPROCS cap. logf
+// receives checkpoint-store warnings (they go to the coordinator's
+// stderr, since the worker inherits it).
+func (o *Options) ServeWorker(ctx context.Context, logf experiments.Logf) error {
+	if o.Workers > 0 {
+		runtime.GOMAXPROCS(o.Workers)
+	}
+	var opts dist.WorkerOptions
+	if o.CheckpointDir != "" {
+		store, err := checkpoint.NewStore(o.CheckpointDir, logf)
+		if err != nil {
+			return err
+		}
+		opts.Checkpoints = store
+	}
+	if o.MetricsDir != "" {
+		sink, err := obs.NewSink(o.MetricsDir)
+		if err != nil {
+			return err
+		}
+		opts.Metrics = sink
+	}
+	return dist.Serve(ctx, os.Stdin, os.Stdout, opts)
+}

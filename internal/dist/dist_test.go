@@ -1,0 +1,309 @@
+package dist_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"remapd/internal/checkpoint"
+	"remapd/internal/dist"
+	"remapd/internal/experiments"
+)
+
+// The tests exec this test binary itself as the worker process (the same
+// pattern the real tools use: one binary, a -worker switch). TestMain
+// dispatches on an environment variable: unset runs the tests, "worker"
+// runs the real dist.Serve loop, "worker-kill" runs it with a saboteur
+// that SIGKILL-equivalents the process as soon as the cell persists its
+// first checkpoint, and "garbage" speaks a valid hello and then breaks
+// the protocol on every request.
+const (
+	modeEnv   = "REMAPD_DIST_TEST_MODE"
+	ckptEnv   = "REMAPD_DIST_TEST_CKPT"
+	markerEnv = "REMAPD_DIST_TEST_MARKER"
+)
+
+func TestMain(m *testing.M) {
+	switch os.Getenv(modeEnv) {
+	case "":
+		os.Exit(m.Run())
+	case "worker", "worker-kill":
+		runTestWorker()
+	case "garbage":
+		runGarbageWorker()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown %s=%q\n", modeEnv, os.Getenv(modeEnv))
+		os.Exit(2)
+	}
+}
+
+func runTestWorker() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	var opts dist.WorkerOptions
+	if dir := os.Getenv(ckptEnv); dir != "" {
+		store, err := checkpoint.NewStore(dir, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		opts.Checkpoints = store
+		if os.Getenv(modeEnv) == "worker-kill" {
+			marker := os.Getenv(markerEnv)
+			if _, err := os.Stat(marker); err != nil {
+				// First incarnation: die abruptly (no reply, no cleanup —
+				// indistinguishable from SIGKILL to the coordinator) as soon
+				// as the in-flight cell has persisted at least one epoch.
+				// The marker makes the relaunched worker behave, so the
+				// retry exercises resume, not an immortal crash loop.
+				go func() {
+					for {
+						if m, _ := filepath.Glob(filepath.Join(dir, "*.ckpt")); len(m) > 0 {
+							_ = os.WriteFile(marker, []byte("died once\n"), 0o644)
+							os.Exit(137)
+						}
+						time.Sleep(time.Millisecond)
+					}
+				}()
+			}
+		}
+	}
+	if err := dist.Serve(ctx, os.Stdin, os.Stdout, opts); err != nil && ctx.Err() == nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+func runGarbageWorker() {
+	enc := json.NewEncoder(os.Stdout)
+	_ = enc.Encode(dist.Reply{Type: "hello", Proto: dist.ProtoVersion, PID: os.Getpid()})
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	for sc.Scan() {
+		fmt.Println("xyzzy: this is not a protocol reply")
+	}
+	os.Exit(0)
+}
+
+// workerExecutor builds an Executor whose workers are re-execs of this
+// test binary in the given mode.
+func workerExecutor(t *testing.T, mode string, env ...string) *dist.Executor {
+	t.Helper()
+	return &dist.Executor{
+		Command: []string{os.Args[0]},
+		Env:     append([]string{modeEnv + "=" + mode}, env...),
+		Logf:    t.Logf,
+	}
+}
+
+// microScale is a grid small enough for unit-test budget but wide enough
+// (2 seeds × 3 policies) that reassembly order and cross-process float
+// round-trips both matter.
+func microScale() experiments.Scale {
+	s := experiments.QuickScale()
+	s.Name = "dist-micro"
+	s.TrainN, s.TestN = 128, 64
+	s.Epochs = 2
+	s.Models = []string{"cnn-s"}
+	s.Seeds = []uint64{1, 2}
+	s.Workers = 2
+	return s
+}
+
+var microPolicies = []string{"ideal", "none", "remap-d"}
+
+// TestDistByteIdenticalToInProcess is the acceptance criterion: the same
+// Fig. 6 grid through two exec'd worker processes must render the exact
+// table the in-process runner renders.
+func TestDistByteIdenticalToInProcess(t *testing.T) {
+	reg := experiments.DefaultRegime()
+
+	local := microScale()
+	baseline, err := experiments.Fig6(context.Background(), local, reg, microPolicies)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	exec := workerExecutor(t, "worker")
+	defer exec.Close()
+	remote := microScale()
+	remote.Exec = exec
+	rows, err := experiments.Fig6(context.Background(), remote, reg, microPolicies)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := experiments.FormatFig6(rows), experiments.FormatFig6(baseline); got != want {
+		t.Fatalf("distributed Fig. 6 differs from in-process:\n--- in-process\n%s\n--- dist\n%s", want, got)
+	}
+}
+
+// TestWorkerKilledMidCellRetriesAndResumes: a worker that dies abruptly
+// mid-cell (after persisting an epoch) must cost one retry, not the grid —
+// and the retry must resume from the shared checkpoint instead of
+// recomputing, still producing the byte-identical table.
+func TestWorkerKilledMidCellRetriesAndResumes(t *testing.T) {
+	reg := experiments.DefaultRegime()
+	scale := func() experiments.Scale {
+		s := microScale()
+		s.Seeds = []uint64{1}
+		s.Epochs = 4 // several epochs after the first checkpoint, so the kill lands mid-cell
+		s.Workers = 1
+		return s
+	}
+	policies := []string{"remap-d"}
+
+	local := scale()
+	baseline, err := experiments.Fig6(context.Background(), local, reg, policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ckptDir := t.TempDir()
+	marker := filepath.Join(t.TempDir(), "died-once")
+	exec := workerExecutor(t, "worker-kill", ckptEnv+"="+ckptDir, markerEnv+"="+marker)
+	defer exec.Close()
+
+	var mu sync.Mutex
+	var lines []string
+	capture := func(format string, args ...interface{}) {
+		mu.Lock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	exec.Logf = capture
+
+	remote := scale()
+	remote.Exec = exec
+	remote.Progress = capture
+	rows, err := experiments.Fig6(context.Background(), remote, reg, policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := os.Stat(marker); err != nil {
+		t.Fatal("the saboteur worker never died; the test exercised nothing")
+	}
+	if got, want := experiments.FormatFig6(rows), experiments.FormatFig6(baseline); got != want {
+		t.Fatalf("post-crash Fig. 6 differs from in-process:\n--- in-process\n%s\n--- dist\n%s", want, got)
+	}
+	mu.Lock()
+	transcript := strings.Join(lines, "\n")
+	mu.Unlock()
+	if !strings.Contains(transcript, "requeueing") {
+		t.Fatalf("transcript records no requeue:\n%s", transcript)
+	}
+	if !strings.Contains(transcript, "attempt 2") {
+		t.Fatalf("status line does not record the second attempt:\n%s", transcript)
+	}
+	if !strings.Contains(transcript, "resumed from checkpoint") {
+		t.Fatalf("retried cell recomputed instead of resuming:\n%s", transcript)
+	}
+}
+
+// specCell builds a minimal but valid spec-carrying cell for executor
+// unit tests (the grid tests above get theirs from the figure builders).
+func specCell(policy string) experiments.Cell {
+	s := microScale()
+	sp := &experiments.CellSpec{
+		Kind:   "policy",
+		Key:    experiments.CellKey{Model: "cnn-s", Policy: policy, Seed: 1},
+		Scale:  s.Spec(),
+		Regime: experiments.DefaultRegime(),
+		Dataset: experiments.DatasetSpec{
+			Name: "cifar10-like", Train: s.TrainN, Test: s.TestN, Img: s.ImgSize, Seed: 77,
+		},
+		Classes: 10,
+	}
+	return sp.Cell(s)
+}
+
+// TestGarbageWorkerExhaustsRetries: a worker that answers with
+// non-protocol output must be discarded and the cell retried on fresh
+// processes; when every attempt hits the same breakage, the error names
+// the cell and the attempt count.
+func TestGarbageWorkerExhaustsRetries(t *testing.T) {
+	exec := workerExecutor(t, "garbage")
+	exec.Retries = 2
+	defer exec.Close()
+	cell := specCell("ideal")
+	res, err := exec.Execute(context.Background(), 0, cell, nil)
+	if err == nil {
+		t.Fatal("garbage replies must fail the cell")
+	}
+	if !strings.Contains(err.Error(), cell.Key.String()) {
+		t.Fatalf("error %q does not name the cell", err)
+	}
+	if !strings.Contains(err.Error(), "after 2 attempts") {
+		t.Fatalf("error %q does not record exhausted retries", err)
+	}
+	if res.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", res.Attempts)
+	}
+}
+
+// TestDeterministicCellErrorNotRetried: a worker-reported cell error
+// (here: an unknown policy, which every worker would reject identically)
+// must fail immediately — retrying determinism is pure waste.
+func TestDeterministicCellErrorNotRetried(t *testing.T) {
+	exec := workerExecutor(t, "worker")
+	defer exec.Close()
+	cell := specCell("no-such-policy")
+	res, err := exec.Execute(context.Background(), 0, cell, nil)
+	if err == nil {
+		t.Fatal("unknown policy must fail the cell")
+	}
+	if !strings.Contains(err.Error(), "no-such-policy") {
+		t.Fatalf("error %q does not surface the worker's message", err)
+	}
+	if res.Attempts != 1 {
+		t.Fatalf("deterministic failure took %d attempts, want 1 (no retry)", res.Attempts)
+	}
+}
+
+// TestCellWithoutSpecFailsImmediately: closures cannot travel; the
+// executor must say so instead of hanging or crashing.
+func TestCellWithoutSpecFailsImmediately(t *testing.T) {
+	exec := workerExecutor(t, "worker")
+	defer exec.Close()
+	cell := experiments.Cell{Key: experiments.CellKey{Model: "closure-only", Seed: 1}}
+	_, err := exec.Execute(context.Background(), 0, cell, nil)
+	if err == nil || !strings.Contains(err.Error(), "no serializable spec") {
+		t.Fatalf("err = %v, want a no-spec refusal", err)
+	}
+}
+
+// TestWorkerServeShutdown pins the protocol basics without processes:
+// hello first, shutdown honoured, EOF clean.
+func TestWorkerServeShutdown(t *testing.T) {
+	var out strings.Builder
+	in := strings.NewReader(`{"type":"shutdown"}` + "\n")
+	if err := dist.Serve(context.Background(), in, &out, dist.WorkerOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(out.String(), "\n", 2)[0]
+	var hello dist.Reply
+	if err := json.Unmarshal([]byte(first), &hello); err != nil {
+		t.Fatalf("first line %q is not a reply: %v", first, err)
+	}
+	if hello.Type != "hello" || hello.Proto != dist.ProtoVersion {
+		t.Fatalf("hello = %+v", hello)
+	}
+
+	out.Reset()
+	if err := dist.Serve(context.Background(), strings.NewReader(""), &out, dist.WorkerOptions{}); err != nil {
+		t.Fatal("EOF must be a clean shutdown, got:", err)
+	}
+	if err := dist.Serve(context.Background(), strings.NewReader("not json\n"), &out, dist.WorkerOptions{}); err == nil {
+		t.Fatal("malformed request must error")
+	}
+}

@@ -1,0 +1,355 @@
+package dist
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"remapd/internal/det"
+	"remapd/internal/experiments"
+)
+
+// DefaultRetries bounds how many workers a cell is offered before its
+// failure is final. Three attempts tolerates two crashes/timeouts per
+// cell without letting a poisoned cell spin forever.
+const DefaultRetries = 3
+
+// helloTimeout bounds how long a freshly exec'd worker may take to
+// announce itself; a worker that says nothing (or something else) within
+// it is not speaking the protocol.
+const helloTimeout = 30 * time.Second
+
+// killDelay is the grace period between asking a worker to exit
+// (SIGINT + stdin close) and killing it.
+const killDelay = 10 * time.Second
+
+// Executor fans cells out to exec'd worker processes, one per runner
+// slot. It implements experiments.CellExecutor: the runner calls Execute
+// from its worker goroutines and the executor lazily launches (and on
+// failure relaunches) the slot's process.
+//
+// Failure split: a reply carrying an Error is a deterministic property
+// of the cell — every worker would fail identically — and is returned
+// as the cell's error immediately. Everything else (worker crash, EOF,
+// garbage output, reply timeout, launch failure) is a property of the
+// worker; the cell is requeued on a fresh process up to Retries times,
+// resuming from shared checkpoints rather than recomputing finished
+// epochs.
+type Executor struct {
+	// Command is the worker argv, e.g. [self, "-worker", "-checkpoint-dir", dir].
+	Command []string
+	// Env is appended to the inherited environment of each worker.
+	Env []string
+	// Retries is the per-cell attempt bound (<=0 means DefaultRetries).
+	Retries int
+	// Timeout, when >0, bounds the silence between a cell assignment and
+	// its result reply; log replies reset nothing — the bound is on the
+	// whole cell. 0 disables the timeout (crash detection still works:
+	// a dead worker's pipe EOFs).
+	Timeout time.Duration
+	// Logf, when non-nil, receives requeue/retry notices (harness
+	// domain; results never depend on it).
+	Logf experiments.Logf
+
+	mu     sync.Mutex
+	slots  map[int]*workerProc
+	nextID atomic.Int64
+}
+
+// workerProc is one live worker process plus its reply stream.
+type workerProc struct {
+	name    string
+	cmd     *exec.Cmd
+	stdin   io.WriteCloser
+	enc     *json.Encoder
+	replies chan Reply
+	done    chan struct{}
+}
+
+// cellError marks a worker-reported deterministic cell failure (retrying
+// cannot help).
+type cellError struct{ msg string }
+
+func (e *cellError) Error() string { return e.msg }
+
+func (e *Executor) logf(format string, args ...interface{}) {
+	if e.Logf != nil {
+		e.Logf(format, args...)
+	}
+}
+
+// Execute implements experiments.CellExecutor.
+func (e *Executor) Execute(ctx context.Context, slot int, cell experiments.Cell, logf experiments.Logf) (experiments.CellResult, error) {
+	res := experiments.CellResult{Key: cell.Key}
+	if cell.Spec == nil {
+		return res, fmt.Errorf("cell %s: no serializable spec; cannot execute remotely", cell.Key)
+	}
+	spec, err := experiments.EncodeSpec(cell.Spec)
+	if err != nil {
+		return res, err
+	}
+	retries := e.Retries
+	if retries <= 0 {
+		retries = DefaultRetries
+	}
+	var lastErr error
+	for attempt := 1; attempt <= retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		res.Attempts = attempt
+		value, worker, err := e.tryOnce(ctx, slot, spec, logf)
+		if worker != "" {
+			res.Worker = worker
+		}
+		if err == nil {
+			res.Value = value
+			return res, nil
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return res, cerr
+		}
+		var fatal *cellError
+		if errors.As(err, &fatal) {
+			// Deterministic cell failure: wrap with the key exactly as the
+			// in-process runner does, and do not retry.
+			return res, fmt.Errorf("cell %s: %s", cell.Key, fatal.msg)
+		}
+		lastErr = err
+		e.logf("dist: cell %s attempt %d/%d failed: %v; requeueing on a fresh worker", cell.Key, attempt, retries, err)
+	}
+	return res, fmt.Errorf("dist: cell %s failed after %d attempts: %w", cell.Key, retries, lastErr)
+}
+
+// tryOnce offers the cell to the slot's worker (launching one if needed)
+// and waits for its result. Any protocol failure discards the worker so
+// the next attempt gets a fresh process.
+func (e *Executor) tryOnce(ctx context.Context, slot int, spec []byte, logf experiments.Logf) (interface{}, string, error) {
+	w, err := e.worker(slot)
+	if err != nil {
+		return nil, "", err
+	}
+	id := e.nextID.Add(1)
+	if err := w.enc.Encode(Request{Type: "run", ID: id, Spec: spec}); err != nil {
+		e.discard(slot, w)
+		return nil, w.name, fmt.Errorf("dist: send cell to %s: %w", w.name, err)
+	}
+	var timeout <-chan time.Time
+	if e.Timeout > 0 {
+		timer := time.NewTimer(e.Timeout)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			// Grid cancelled (first error elsewhere, or SIGINT): stop the
+			// worker's in-flight training and reap it.
+			e.discard(slot, w)
+			return nil, w.name, ctx.Err()
+		case <-timeout:
+			e.discard(slot, w)
+			return nil, w.name, fmt.Errorf("dist: %s: no result within %s", w.name, e.Timeout)
+		case rep, ok := <-w.replies:
+			if !ok {
+				e.discard(slot, w)
+				return nil, w.name, fmt.Errorf("dist: %s exited or broke protocol mid-cell", w.name)
+			}
+			switch rep.Type {
+			case "log":
+				if rep.ID == id && logf != nil {
+					logf("%s", rep.Line)
+				}
+			case "result":
+				if rep.ID != id {
+					e.discard(slot, w)
+					return nil, w.name, fmt.Errorf("dist: %s answered request %d, want %d", w.name, rep.ID, id)
+				}
+				if rep.Error != "" {
+					if rep.Error == context.Canceled.Error() {
+						// The worker was cancelled out from under its cell
+						// (e.g. a stray SIGINT to just that process) while
+						// this grid is still live: a worker property, so
+						// requeue rather than fail the cell.
+						e.discard(slot, w)
+						return nil, w.name, fmt.Errorf("dist: %s: cell cancelled worker-side", w.name)
+					}
+					return nil, w.name, &cellError{msg: rep.Error}
+				}
+				value, err := decodeResult(rep)
+				if err != nil {
+					e.discard(slot, w)
+					return nil, w.name, err
+				}
+				return value, w.name, nil
+			default:
+				e.discard(slot, w)
+				return nil, w.name, fmt.Errorf("dist: %s: unexpected reply type %q", w.name, rep.Type)
+			}
+		}
+	}
+}
+
+// decodeResult rebuilds the typed result value from a result reply.
+func decodeResult(rep Reply) (interface{}, error) {
+	value, err := experiments.NewResultFor(rep.Kind)
+	if err != nil {
+		return nil, fmt.Errorf("dist: result reply: %w", err)
+	}
+	if err := json.Unmarshal(rep.Value, value); err != nil {
+		return nil, fmt.Errorf("dist: decode %s result: %w", rep.Kind, err)
+	}
+	return value, nil
+}
+
+// worker returns the slot's live process, launching one if the slot is
+// empty. Slots are exclusive to one runner goroutine, so only the map
+// needs locking.
+func (e *Executor) worker(slot int) (*workerProc, error) {
+	e.mu.Lock()
+	if e.slots == nil {
+		e.slots = map[int]*workerProc{}
+	}
+	w := e.slots[slot]
+	e.mu.Unlock()
+	if w != nil {
+		return w, nil
+	}
+	w, err := e.launch(slot)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.slots[slot] = w
+	e.mu.Unlock()
+	return w, nil
+}
+
+// launch execs one worker for the slot and waits for its hello.
+func (e *Executor) launch(slot int) (*workerProc, error) {
+	if len(e.Command) == 0 {
+		return nil, errors.New("dist: executor has no worker command")
+	}
+	cmd := exec.Command(e.Command[0], e.Command[1:]...)
+	cmd.Env = append(os.Environ(), e.Env...)
+	cmd.Stderr = os.Stderr // worker warnings surface on the coordinator's stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, fmt.Errorf("dist: worker stdin: %w", err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, fmt.Errorf("dist: worker stdout: %w", err)
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("dist: start worker: %w", err)
+	}
+	w := &workerProc{
+		name:    fmt.Sprintf("w%d/pid%d", slot, cmd.Process.Pid),
+		cmd:     cmd,
+		stdin:   stdin,
+		enc:     json.NewEncoder(stdin),
+		replies: make(chan Reply, 256),
+		done:    make(chan struct{}),
+	}
+	go w.read(stdout)
+	if err := w.awaitHello(); err != nil {
+		w.stop()
+		return nil, err
+	}
+	e.logf("dist: launched %s", w.name)
+	return w, nil
+}
+
+// read pumps the worker's reply stream. A line that is not a Reply ends
+// the stream early — the consumer sees a closed channel, which is the
+// protocol-failure signal.
+func (w *workerProc) read(stdout io.Reader) {
+	defer close(w.done)
+	defer close(w.replies)
+	sc := bufio.NewScanner(stdout)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rep Reply
+		if err := json.Unmarshal(line, &rep); err != nil {
+			return
+		}
+		w.replies <- rep
+	}
+}
+
+// awaitHello validates the worker's first line.
+func (w *workerProc) awaitHello() error {
+	timer := time.NewTimer(helloTimeout)
+	defer timer.Stop()
+	select {
+	case rep, ok := <-w.replies:
+		if !ok {
+			return fmt.Errorf("dist: %s exited before hello", w.name)
+		}
+		if rep.Type != "hello" {
+			return fmt.Errorf("dist: %s: first reply %q, want hello", w.name, rep.Type)
+		}
+		if rep.Proto != ProtoVersion {
+			return fmt.Errorf("dist: %s speaks protocol %d, want %d", w.name, rep.Proto, ProtoVersion)
+		}
+		return nil
+	case <-timer.C:
+		return fmt.Errorf("dist: %s: no hello within %s", w.name, helloTimeout)
+	}
+}
+
+// stop tears one worker down: ask politely (SIGINT + stdin EOF), drain
+// its reply stream until the process exits (a kill watchdog bounds the
+// wait), then reap it. Safe to call once per proc.
+func (w *workerProc) stop() {
+	_ = w.cmd.Process.Signal(os.Interrupt)
+	_ = w.stdin.Close()
+	kill := time.AfterFunc(killDelay, func() { _ = w.cmd.Process.Kill() })
+	for range w.replies {
+		// Drain so the reader goroutine can reach EOF.
+	}
+	<-w.done
+	_ = w.cmd.Wait()
+	kill.Stop()
+}
+
+// discard removes a misbehaving worker from its slot and tears it down;
+// the slot's next attempt launches a fresh process.
+func (e *Executor) discard(slot int, w *workerProc) {
+	e.mu.Lock()
+	if e.slots[slot] == w {
+		delete(e.slots, slot)
+	}
+	e.mu.Unlock()
+	w.stop()
+}
+
+// Close shuts every worker down gracefully (shutdown request, SIGINT,
+// bounded kill). Call after the grid finishes — including on SIGINT, so
+// no orphan processes outlive the coordinator.
+func (e *Executor) Close() {
+	e.mu.Lock()
+	slots := e.slots
+	e.slots = map[int]*workerProc{}
+	e.mu.Unlock()
+	for _, slot := range det.SortedKeys(slots) {
+		w := slots[slot]
+		_ = w.enc.Encode(Request{Type: "shutdown"})
+		w.stop()
+	}
+}
+
+var _ experiments.CellExecutor = (*Executor)(nil)

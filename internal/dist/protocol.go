@@ -1,0 +1,70 @@
+// Package dist fans experiment cells out to worker processes. The
+// coordinator side (Executor) plugs into the experiment runner as its
+// CellExecutor: the runner keeps its scheduling discipline — bounded
+// in-flight set, first-error cancellation, deterministic result
+// reassembly by submission index — and dist only changes where each
+// cell's work happens. The worker side (Serve) is the same binary run
+// with a -worker flag: it reads serialized cell specs from stdin,
+// executes them through the same registered run functions the in-process
+// path uses, and writes results to stdout.
+//
+// The protocol is line-delimited JSON over any byte stream (locally, an
+// exec'd worker's stdin/stdout pipes). One request or reply per line;
+// requests flow coordinator→worker, replies worker→coordinator. A worker
+// handles one cell at a time — parallelism comes from the runner driving
+// one worker process per scheduling slot.
+//
+// Determinism: a spec is pure coordinates, the registered run functions
+// are deterministic in those coordinates, and results are scalar structs
+// that survive a JSON round-trip exactly (encoding/json renders float64
+// shortest-round-trip), so a cell computes identical bytes no matter
+// which process runs it — the dist Fig. 6 byte-identity test pins this.
+//
+// Fault tolerance: a worker crash, malformed reply, or reply timeout
+// requeues the cell on a fresh worker (bounded retries, per-cell attempt
+// logging). Cells checkpoint into a shared -checkpoint-dir, so a retried
+// cell resumes from its last completed epoch instead of restarting —
+// checkpoints, not protocol replies, are the durable record.
+package dist
+
+import "encoding/json"
+
+// ProtoVersion is the wire protocol version. The worker's hello carries
+// it; the coordinator refuses a mismatched worker rather than guessing.
+const ProtoVersion = 1
+
+// Request is one coordinator→worker line.
+type Request struct {
+	// Type is "run" (execute Spec, reply with a result) or "shutdown"
+	// (finish nothing — the worker exits; draining happens naturally
+	// because a worker only reads the next request after replying).
+	Type string `json:"type"`
+	// ID correlates the run's replies; the worker echoes it on every log
+	// and result line. Monotonic per coordinator, never reused.
+	ID int64 `json:"id,omitempty"`
+	// Spec is the serialized experiments.CellSpec for a run request.
+	Spec json.RawMessage `json:"spec,omitempty"`
+}
+
+// Reply is one worker→coordinator line.
+type Reply struct {
+	// Type is "hello" (first line after startup), "log" (one progress
+	// line from the in-flight cell), or "result" (the cell finished).
+	Type string `json:"type"`
+	// Proto and PID describe the worker on hello.
+	Proto int `json:"proto,omitempty"`
+	PID   int `json:"pid,omitempty"`
+	// ID echoes the request being answered (log and result).
+	ID int64 `json:"id,omitempty"`
+	// Line is one progress line (log).
+	Line string `json:"line,omitempty"`
+	// Kind and Value carry a successful result: Kind names the cell kind
+	// (so the coordinator decodes Value into the right type) and Value is
+	// the run function's return, JSON-encoded.
+	Kind  string          `json:"kind,omitempty"`
+	Value json.RawMessage `json:"value,omitempty"`
+	// Error carries a failed result: the cell ran to a deterministic
+	// error. Protocol failures have no reply at all — they surface as a
+	// dead or silent worker.
+	Error string `json:"error,omitempty"`
+}

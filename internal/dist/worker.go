@@ -1,0 +1,114 @@
+package dist
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime/debug"
+
+	"remapd/internal/checkpoint"
+	"remapd/internal/experiments"
+	"remapd/internal/obs"
+)
+
+// WorkerOptions carries the worker process's local runtime facilities.
+// Pointing Checkpoints at the coordinator's -checkpoint-dir is what makes
+// retries cheap: a cell re-assigned after a crash resumes from the epochs
+// its previous worker already persisted.
+type WorkerOptions struct {
+	Checkpoints *checkpoint.Store
+	Metrics     *obs.Sink
+}
+
+// Serve runs the worker loop: announce hello, then execute one request
+// at a time from in, replying on out, until shutdown, EOF, or a protocol
+// error. Cancelling ctx stops the in-flight cell at its next batch
+// boundary and drains gracefully — the cell's (failed) result reply is
+// still written before Serve returns, so the coordinator never blocks on
+// a vanished worker during its own SIGINT handling.
+//
+// Serve is synchronous and single-cell: the coordinator achieves
+// parallelism by running one worker process per runner slot.
+func Serve(ctx context.Context, in io.Reader, out io.Writer, opts WorkerOptions) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	enc := json.NewEncoder(out)
+	if err := enc.Encode(Reply{Type: "hello", Proto: ProtoVersion, PID: os.Getpid()}); err != nil {
+		return fmt.Errorf("dist: worker hello: %w", err)
+	}
+	rt := experiments.Runtime{Checkpoints: opts.Checkpoints, Metrics: opts.Metrics}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		if err := json.Unmarshal(line, &req); err != nil {
+			return fmt.Errorf("dist: worker: malformed request: %w", err)
+		}
+		switch req.Type {
+		case "shutdown":
+			return nil
+		case "run":
+			rep := runRequest(ctx, req, rt, enc)
+			if err := enc.Encode(rep); err != nil {
+				return fmt.Errorf("dist: worker: write result: %w", err)
+			}
+			if ctx.Err() != nil {
+				return ctx.Err() // drained: the cancelled cell's reply is out
+			}
+		default:
+			return fmt.Errorf("dist: worker: unknown request type %q", req.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("dist: worker: read request: %w", err)
+	}
+	return nil // EOF: the coordinator closed our stdin — clean shutdown
+}
+
+// runRequest executes one run request and builds its result reply. Every
+// failure mode that is a property of the spec (unknown kind, bad
+// coordinates, a deterministic training error, a panic) becomes an error
+// reply — the coordinator must not retry those, because every worker
+// would fail identically.
+func runRequest(ctx context.Context, req Request, rt experiments.Runtime, enc *json.Encoder) Reply {
+	sp, err := experiments.DecodeSpec(req.Spec)
+	if err != nil {
+		return Reply{Type: "result", ID: req.ID, Error: err.Error()}
+	}
+	logf := func(format string, args ...interface{}) {
+		// Progress lines stream back live so the coordinator's runner can
+		// multiplex them under the cell's key prefix exactly as it does
+		// for in-process cells. A lost log line is cosmetic, never load
+		// bearing, so the write error is ignored — a truly dead pipe
+		// surfaces at the result write.
+		_ = enc.Encode(Reply{Type: "log", ID: req.ID, Line: fmt.Sprintf(format, args...)})
+	}
+	value, err := executeSpec(ctx, sp, rt, logf)
+	if err != nil {
+		return Reply{Type: "result", ID: req.ID, Error: err.Error()}
+	}
+	data, err := json.Marshal(value)
+	if err != nil {
+		return Reply{Type: "result", ID: req.ID, Error: fmt.Sprintf("dist: encode result for %s: %v", sp.Key, err)}
+	}
+	return Reply{Type: "result", ID: req.ID, Kind: sp.Kind, Value: data}
+}
+
+// executeSpec runs the spec with panic recovery, mirroring the in-process
+// runner's guarantee that a panicking cell kills the cell, not the fleet.
+func executeSpec(ctx context.Context, sp *experiments.CellSpec, rt experiments.Runtime, logf experiments.Logf) (value interface{}, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("cell %s panicked: %v\n%s", sp.Key, p, debug.Stack())
+		}
+	}()
+	return sp.Execute(ctx, rt, logf)
+}

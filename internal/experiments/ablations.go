@@ -5,8 +5,6 @@ import (
 	"fmt"
 
 	"remapd/internal/arch"
-	"remapd/internal/dataset"
-	"remapd/internal/remap"
 	"remapd/internal/reram"
 	"remapd/internal/trainer"
 )
@@ -25,35 +23,7 @@ type ThresholdRow struct {
 // too low churns tasks between marginally different crossbars, too high
 // leaves hot crossbars untreated.
 func AblationThreshold(ctx context.Context, s Scale, reg FaultRegime, model string, thresholds []float64) ([]ThresholdRow, error) {
-	ds := dataset.CIFAR10Like(s.TrainN, s.TestN, s.ImgSize, 77)
-	var cells []Cell
-	for _, th := range thresholds {
-		for _, seed := range s.Seeds {
-			key := CellKey{Model: model, Policy: "remap-d", Seed: seed,
-				Extra: fmt.Sprintf("th%g", th)}
-			cells = append(cells, Cell{
-				Key: key,
-				Run: func(ctx context.Context, logf Logf) (interface{}, error) {
-					net, err := buildModel(model, s, seed)
-					if err != nil {
-						return nil, err
-					}
-					rd := remap.NewRemapD()
-					rd.Threshold = th
-					cfg := baseTrainConfig(s, seed)
-					cfg.Ctx = ctx
-					cfg.Logf = logf
-					cfg.Checkpoint = s.cellCheckpoint(reg, key, 10)
-					cfg.Chip = NewChip(s)
-					cfg.Policy = rd
-					cfg.Pre = &reg.Pre
-					cfg.Post = &reg.Post
-					return s.train(key, net, ds, cfg)
-				},
-			})
-		}
-	}
-	out, err := newRunner(s).Run(ctx, cells)
+	out, err := newRunner(s).Run(ctx, specCells(ablationThresholdSpecs(s, reg, model, thresholds), s))
 	if err != nil {
 		return nil, err
 	}
@@ -63,7 +33,7 @@ func AblationThreshold(ctx context.Context, s Scale, reg FaultRegime, model stri
 		var accs []float64
 		swaps, unmatched := 0, 0
 		for range s.Seeds {
-			res := out[i].(*trainer.Result)
+			res := out[i].Value.(*trainer.Result)
 			i++
 			accs = append(accs, res.FinalTestAcc)
 			swaps += res.Swaps
@@ -87,40 +57,8 @@ type ReceiverRow struct {
 // AblationReceiverSelection runs the receiver-choice ablation with the
 // flit-level NoC enabled.
 func AblationReceiverSelection(ctx context.Context, s Scale, reg FaultRegime, model string) ([]ReceiverRow, error) {
-	ds := dataset.CIFAR10Like(s.TrainN, s.TestN, s.ImgSize, 77)
-	selections := []struct {
-		name   string
-		random bool
-	}{{"nearest", false}, {"random", true}}
-	var cells []Cell
-	for _, sel := range selections {
-		for _, seed := range s.Seeds {
-			key := CellKey{Model: model, Policy: "remap-d", Seed: seed, Extra: sel.name}
-			cells = append(cells, Cell{
-				Key: key,
-				Run: func(ctx context.Context, logf Logf) (interface{}, error) {
-					net, err := buildModel(model, s, seed)
-					if err != nil {
-						return nil, err
-					}
-					rd := remap.NewRemapD()
-					rd.Threshold = reg.RemapThreshold
-					rd.RandomReceiver = sel.random
-					cfg := baseTrainConfig(s, seed)
-					cfg.Ctx = ctx
-					cfg.Logf = logf
-					cfg.Checkpoint = s.cellCheckpoint(reg, key, 10)
-					cfg.Chip = NewChip(s)
-					cfg.Policy = rd
-					cfg.Pre = &reg.Pre
-					cfg.Post = &reg.Post
-					cfg.SimulateNoC = true
-					return s.train(key, net, ds, cfg)
-				},
-			})
-		}
-	}
-	out, err := newRunner(s).Run(ctx, cells)
+	selections := []string{"nearest", "random"}
+	out, err := newRunner(s).Run(ctx, specCells(ablationReceiverSpecs(s, reg, model), s))
 	if err != nil {
 		return nil, err
 	}
@@ -131,13 +69,13 @@ func AblationReceiverSelection(ctx context.Context, s Scale, reg FaultRegime, mo
 		var cycles int64
 		swaps := 0
 		for range s.Seeds {
-			res := out[i].(*trainer.Result)
+			res := out[i].Value.(*trainer.Result)
 			i++
 			accs = append(accs, res.FinalTestAcc)
 			cycles += res.NoCCyclesTotal
 			swaps += res.Swaps
 		}
-		rows = append(rows, ReceiverRow{Policy: sel.name, Accuracy: mean(accs), NoCCycles: cycles, Swaps: swaps})
+		rows = append(rows, ReceiverRow{Policy: sel, Accuracy: mean(accs), NoCCycles: cycles, Swaps: swaps})
 	}
 	return rows, nil
 }
@@ -155,45 +93,9 @@ type CodingRow struct {
 
 // AblationCoding runs the Fig. 6 headline cells under both coding schemes.
 func AblationCoding(ctx context.Context, s Scale, reg FaultRegime, model string) ([]CodingRow, error) {
-	ds := dataset.CIFAR10Like(s.TrainN, s.TestN, s.ImgSize, 77)
 	codings := []reram.CodingScheme{reram.OffsetCoding, reram.DifferentialCoding}
 	policies := []string{"ideal", "none", "remap-d"}
-	var cells []Cell
-	for _, coding := range codings {
-		for _, policy := range policies {
-			for _, seed := range s.Seeds {
-				key := CellKey{Model: model, Policy: policy, Seed: seed, Extra: coding.String()}
-				cells = append(cells, Cell{
-					Key: key,
-					Run: func(ctx context.Context, logf Logf) (interface{}, error) {
-						net, err := buildModel(model, s, seed)
-						if err != nil {
-							return nil, err
-						}
-						cfg := baseTrainConfig(s, seed)
-						cfg.Ctx = ctx
-						cfg.Logf = logf
-						cfg.Checkpoint = s.cellCheckpoint(reg, key, 10)
-						if policy != "ideal" {
-							pol, _, err := PolicyByName(policy, reg)
-							if err != nil {
-								return nil, err
-							}
-							p := reram.DefaultDeviceParams()
-							p.CrossbarSize = s.CrossbarSize
-							p.Coding = coding
-							cfg.Chip = newChipWithParams(p, s)
-							cfg.Policy = pol
-							cfg.Pre = &reg.Pre
-							cfg.Post = &reg.Post
-						}
-						return s.train(key, net, ds, cfg)
-					},
-				})
-			}
-		}
-	}
-	out, err := newRunner(s).Run(ctx, cells)
+	out, err := newRunner(s).Run(ctx, specCells(ablationCodingSpecs(s, reg, model), s))
 	if err != nil {
 		return nil, err
 	}
@@ -206,7 +108,7 @@ func AblationCoding(ctx context.Context, s Scale, reg FaultRegime, model string)
 		accs := make([][]float64, len(policies))
 		for pi := range policies {
 			for range s.Seeds {
-				accs[pi] = append(accs[pi], out[i].(*trainer.Result).FinalTestAcc)
+				accs[pi] = append(accs[pi], out[i].Value.(*trainer.Result).FinalTestAcc)
 				i++
 			}
 		}
@@ -234,39 +136,8 @@ type BISTvsTruthRow struct {
 // AblationBISTvsTruth checks that the low-cost density estimate is good
 // enough to drive remapping.
 func AblationBISTvsTruth(ctx context.Context, s Scale, reg FaultRegime, model string) ([]BISTvsTruthRow, error) {
-	ds := dataset.CIFAR10Like(s.TrainN, s.TestN, s.ImgSize, 77)
-	sources := []struct {
-		name    string
-		useBIST bool
-	}{{"bist", true}, {"truth", false}}
-	var cells []Cell
-	for _, src := range sources {
-		for _, seed := range s.Seeds {
-			key := CellKey{Model: model, Policy: "remap-d", Seed: seed, Extra: src.name}
-			cells = append(cells, Cell{
-				Key: key,
-				Run: func(ctx context.Context, logf Logf) (interface{}, error) {
-					net, err := buildModel(model, s, seed)
-					if err != nil {
-						return nil, err
-					}
-					rd := remap.NewRemapD()
-					rd.Threshold = reg.RemapThreshold
-					rd.UseBIST = src.useBIST
-					cfg := baseTrainConfig(s, seed)
-					cfg.Ctx = ctx
-					cfg.Logf = logf
-					cfg.Checkpoint = s.cellCheckpoint(reg, key, 10)
-					cfg.Chip = NewChip(s)
-					cfg.Policy = rd
-					cfg.Pre = &reg.Pre
-					cfg.Post = &reg.Post
-					return s.train(key, net, ds, cfg)
-				},
-			})
-		}
-	}
-	out, err := newRunner(s).Run(ctx, cells)
+	sources := []string{"bist", "truth"}
+	out, err := newRunner(s).Run(ctx, specCells(ablationBISTSpecs(s, reg, model), s))
 	if err != nil {
 		return nil, err
 	}
@@ -276,12 +147,12 @@ func AblationBISTvsTruth(ctx context.Context, s Scale, reg FaultRegime, model st
 		var accs []float64
 		swaps := 0
 		for range s.Seeds {
-			res := out[i].(*trainer.Result)
+			res := out[i].Value.(*trainer.Result)
 			i++
 			accs = append(accs, res.FinalTestAcc)
 			swaps += res.Swaps
 		}
-		rows = append(rows, BISTvsTruthRow{Source: src.name, Accuracy: mean(accs), Swaps: swaps})
+		rows = append(rows, BISTvsTruthRow{Source: src, Accuracy: mean(accs), Swaps: swaps})
 	}
 	return rows, nil
 }

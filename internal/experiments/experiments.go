@@ -63,6 +63,11 @@ type Scale struct {
 	// Prof, when non-nil, collects harness-domain wall-time statistics
 	// (per-cell durations, per-phase costs). Also fingerprint-excluded.
 	Prof *obs.Profile
+	// Exec, when non-nil, runs cells through an alternative executor
+	// (e.g. dist.Executor ships them to worker processes). Scheduling
+	// only and fingerprint-excluded: results must be byte-identical to
+	// in-process execution.
+	Exec CellExecutor
 }
 
 // cellFingerprint renders every configuration knob a cell's result depends
@@ -233,19 +238,24 @@ func PolicyNames() []string {
 	return []string{"ideal", "none", "static", "an-code", "remap-ws", "remap-t-5", "remap-t-10", "remap-d"}
 }
 
-// train runs the trainer for one cell, attaching and flushing the cell's
-// telemetry trace when the scale has a metrics sink. The trace is written
-// even when training fails — a failed cell's partial trace is evidence —
-// but a flush error only surfaces when training itself succeeded.
+// train runs the trainer for one cell, attaching a streaming telemetry
+// trace when the scale has a metrics sink: events flush to disk at every
+// epoch boundary (bounded memory, crash-truncated rather than lost logs)
+// and the remainder flushes on Close. The trace is persisted even when
+// training fails — a failed cell's partial trace is evidence — but a
+// flush error only surfaces when training itself succeeded.
 func (s Scale) train(key CellKey, net *nn.Network, ds *dataset.Dataset, cfg trainer.Config) (*trainer.Result, error) {
 	if s.Metrics == nil {
 		return trainer.Train(net, ds, cfg)
 	}
-	tr := obs.NewTrace(key.String())
-	cfg.Obs = tr
+	st, err := s.Metrics.Stream(checkpoint.CellFileBase(key.String()), key.String())
+	if err != nil {
+		return nil, err
+	}
+	cfg.Obs = st
 	res, err := trainer.Train(net, ds, cfg)
-	if werr := s.Metrics.Write(checkpoint.CellFileBase(key.String()), tr); werr != nil && err == nil {
-		return nil, werr
+	if cerr := st.Close(); cerr != nil && err == nil {
+		return nil, cerr
 	}
 	return res, err
 }

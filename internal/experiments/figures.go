@@ -4,9 +4,7 @@ import (
 	"context"
 	"fmt"
 
-	"remapd/internal/arch"
 	"remapd/internal/bist"
-	"remapd/internal/dataset"
 	"remapd/internal/reram"
 	"remapd/internal/tensor"
 	"remapd/internal/trainer"
@@ -73,43 +71,7 @@ type Fig5Row struct {
 // faults on backward crossbars only) at the regime's phase density. The
 // 3 × models × seeds grid runs on the parallel cell runner.
 func Fig5(ctx context.Context, s Scale, reg FaultRegime) ([]Fig5Row, error) {
-	ds := dataset.CIFAR10Like(s.TrainN, s.TestN, s.ImgSize, 77)
-	variants := []struct {
-		name   string
-		inject bool
-		phase  arch.Phase
-	}{
-		{"ideal", false, arch.Forward},
-		{"inject-forward", true, arch.Forward},
-		{"inject-backward", true, arch.Backward},
-	}
-	var cells []Cell
-	for _, model := range s.Models {
-		for _, seed := range s.Seeds {
-			for _, v := range variants {
-				key := CellKey{Model: model, Policy: v.name, Seed: seed}
-				cells = append(cells, Cell{
-					Key: key,
-					Run: func(ctx context.Context, logf Logf) (interface{}, error) {
-						net, err := buildModel(model, s, seed)
-						if err != nil {
-							return nil, err
-						}
-						cfg := baseTrainConfig(s, seed)
-						cfg.Ctx = ctx
-						cfg.Logf = logf
-						cfg.Checkpoint = s.cellCheckpoint(reg, key, 10)
-						if v.inject {
-							cfg.Chip = NewChip(s)
-							cfg.PhaseInject = &trainer.PhaseInjection{Phase: v.phase, Density: reg.PhaseDensity}
-						}
-						return s.train(key, net, ds, cfg)
-					},
-				})
-			}
-		}
-	}
-	out, err := newRunner(s).Run(ctx, cells)
+	out, err := newRunner(s).Run(ctx, specCells(fig5Specs(s, reg), s))
 	if err != nil {
 		return nil, err
 	}
@@ -118,9 +80,9 @@ func Fig5(ctx context.Context, s Scale, reg FaultRegime) ([]Fig5Row, error) {
 	for _, model := range s.Models {
 		var ideal, fwd, bwd []float64
 		for range s.Seeds {
-			ideal = append(ideal, out[i].(*trainer.Result).FinalTestAcc)
-			fwd = append(fwd, out[i+1].(*trainer.Result).FinalTestAcc)
-			bwd = append(bwd, out[i+2].(*trainer.Result).FinalTestAcc)
+			ideal = append(ideal, out[i].Value.(*trainer.Result).FinalTestAcc)
+			fwd = append(fwd, out[i+1].Value.(*trainer.Result).FinalTestAcc)
+			bwd = append(bwd, out[i+2].Value.(*trainer.Result).FinalTestAcc)
 			i += 3
 		}
 		row := Fig5Row{
@@ -153,22 +115,7 @@ func Fig6(ctx context.Context, s Scale, reg FaultRegime, policies []string) ([]F
 	if len(policies) == 0 {
 		policies = PolicyNames()
 	}
-	ds := dataset.CIFAR10Like(s.TrainN, s.TestN, s.ImgSize, 77)
-	var cells []Cell
-	for _, model := range s.Models {
-		for _, policy := range policies {
-			for _, seed := range s.Seeds {
-				key := CellKey{Model: model, Policy: policy, Seed: seed}
-				cells = append(cells, Cell{
-					Key: key,
-					Run: func(ctx context.Context, logf Logf) (interface{}, error) {
-						return runOne(ctx, key, s, reg, ds, 10, logf)
-					},
-				})
-			}
-		}
-	}
-	out, err := newRunner(s).Run(ctx, cells)
+	out, err := newRunner(s).Run(ctx, specCells(fig6Specs(s, reg, policies), s))
 	if err != nil {
 		return nil, err
 	}
@@ -180,7 +127,7 @@ func Fig6(ctx context.Context, s Scale, reg FaultRegime, policies []string) ([]F
 			var accs []float64
 			swaps, unmatched := 0, 0
 			for range s.Seeds {
-				res := out[i].(*trainer.Result)
+				res := out[i].Value.(*trainer.Result)
 				i++
 				accs = append(accs, res.FinalTestAcc)
 				swaps += res.Swaps
@@ -217,37 +164,7 @@ type Fig7Row struct {
 // schedule means the paper's (0.1–1%, 0.1–2%) axes map to roughly 6× these
 // values here.
 func Fig7(ctx context.Context, s Scale, reg FaultRegime, sweepModels []string, ms, ns []float64) ([]Fig7Row, error) {
-	ds := dataset.CIFAR10Like(s.TrainN, s.TestN, s.ImgSize, 77)
-	var cells []Cell
-	for _, model := range sweepModels {
-		for _, seed := range s.Seeds {
-			key := CellKey{Model: model, Policy: "ideal", Seed: seed}
-			cells = append(cells, Cell{
-				Key: key,
-				Run: func(ctx context.Context, logf Logf) (interface{}, error) {
-					return runOne(ctx, key, s, reg, ds, 10, logf)
-				},
-			})
-		}
-		for _, m := range ms {
-			for _, n := range ns {
-				r := reg
-				r.Post.CellFraction = m
-				r.Post.CrossbarFraction = n
-				for _, seed := range s.Seeds {
-					key := CellKey{Model: model, Policy: "remap-d", Seed: seed,
-						Extra: fmt.Sprintf("m%g-n%g", m, n)}
-					cells = append(cells, Cell{
-						Key: key,
-						Run: func(ctx context.Context, logf Logf) (interface{}, error) {
-							return runOne(ctx, key, s, r, ds, 10, logf)
-						},
-					})
-				}
-			}
-		}
-	}
-	out, err := newRunner(s).Run(ctx, cells)
+	out, err := newRunner(s).Run(ctx, specCells(fig7Specs(s, reg, sweepModels, ms, ns), s))
 	if err != nil {
 		return nil, err
 	}
@@ -256,7 +173,7 @@ func Fig7(ctx context.Context, s Scale, reg FaultRegime, sweepModels []string, m
 	for _, model := range sweepModels {
 		var idealAccs []float64
 		for range s.Seeds {
-			idealAccs = append(idealAccs, out[i].(*trainer.Result).FinalTestAcc)
+			idealAccs = append(idealAccs, out[i].Value.(*trainer.Result).FinalTestAcc)
 			i++
 		}
 		idealAcc := mean(idealAccs)
@@ -264,7 +181,7 @@ func Fig7(ctx context.Context, s Scale, reg FaultRegime, sweepModels []string, m
 			for _, n := range ns {
 				var accs []float64
 				for range s.Seeds {
-					accs = append(accs, out[i].(*trainer.Result).FinalTestAcc)
+					accs = append(accs, out[i].Value.(*trainer.Result).FinalTestAcc)
 					i++
 				}
 				acc := mean(accs)
@@ -295,38 +212,9 @@ type Fig8Row struct {
 // Fig8 reproduces the scalability study on the CIFAR-100-like and
 // SVHN-like datasets with the same fault regime as Fig. 6.
 func Fig8(ctx context.Context, s Scale, reg FaultRegime) ([]Fig8Row, error) {
-	sets := []struct {
-		name    string
-		classes int
-		build   func() *dataset.Dataset
-	}{
-		{"cifar100-like", 100, func() *dataset.Dataset {
-			return dataset.CIFAR100Like(s.TrainN*2, s.TestN, s.ImgSize, 88)
-		}},
-		{"svhn-like", 10, func() *dataset.Dataset {
-			return dataset.SVHNLike(s.TrainN, s.TestN, s.ImgSize, 99)
-		}},
-	}
+	sets := []string{"cifar100-like", "svhn-like"}
 	policies := []string{"ideal", "none", "remap-d"}
-	var cells []Cell
-	for _, set := range sets {
-		ds := set.build()
-		classes := set.classes
-		for _, model := range s.Models {
-			for _, policy := range policies {
-				for _, seed := range s.Seeds {
-					key := CellKey{Model: model, Policy: policy, Seed: seed, Extra: set.name}
-					cells = append(cells, Cell{
-						Key: key,
-						Run: func(ctx context.Context, logf Logf) (interface{}, error) {
-							return runOne(ctx, key, s, reg, ds, classes, logf)
-						},
-					})
-				}
-			}
-		}
-	}
-	out, err := newRunner(s).Run(ctx, cells)
+	out, err := newRunner(s).Run(ctx, specCells(fig8Specs(s, reg), s))
 	if err != nil {
 		return nil, err
 	}
@@ -340,12 +228,12 @@ func Fig8(ctx context.Context, s Scale, reg FaultRegime) ([]Fig8Row, error) {
 			accs := make([][]float64, len(policies))
 			for pi := range policies {
 				for range s.Seeds {
-					accs[pi] = append(accs[pi], out[i].(*trainer.Result).FinalTestAcc)
+					accs[pi] = append(accs[pi], out[i].Value.(*trainer.Result).FinalTestAcc)
 					i++
 				}
 			}
 			row := Fig8Row{
-				Dataset: set.name, Model: model,
+				Dataset: set, Model: model,
 				IdealAcc:  mean(accs[0]),
 				NoProtAcc: mean(accs[1]),
 				RemapDAcc: mean(accs[2]),

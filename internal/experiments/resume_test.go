@@ -133,6 +133,7 @@ func TestCellFingerprintDistinguishesConfigs(t *testing.T) {
 	s3 := s
 	s3.Workers = 7
 	s3.Progress = func(string, ...interface{}) {}
+	s3.Exec = localExecutor{}
 	if cellFingerprint(s3, reg, key, 10) != base {
 		t.Fatal("scheduling knobs leaked into the fingerprint")
 	}

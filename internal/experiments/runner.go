@@ -32,10 +32,10 @@ import (
 // coordinates. Extra distinguishes cells that vary something beyond the
 // (model, policy, seed) axes — a regime point, a dataset, a phase.
 type CellKey struct {
-	Model  string
-	Policy string
-	Seed   uint64
-	Extra  string
+	Model  string `json:"model"`
+	Policy string `json:"policy"`
+	Seed   uint64 `json:"seed"`
+	Extra  string `json:"extra,omitempty"`
 }
 
 // String renders the key for progress lines and error messages.
@@ -77,6 +77,44 @@ type Logf = func(format string, args ...interface{})
 type Cell struct {
 	Key CellKey
 	Run func(ctx context.Context, logf Logf) (interface{}, error)
+	// Spec, when non-nil, is the cell's serializable description — the
+	// same work as Run, expressed as coordinates instead of a closure, so
+	// a dist executor can ship the cell to another process. Cells built by
+	// the figure constructors always carry one; Run stays the in-process
+	// fast path and the two must compute the identical result.
+	Spec *CellSpec
+}
+
+// CellResult is one cell's outcome envelope: the figure-specific value
+// plus execution provenance (how many attempts the cell took and which
+// worker finished it — both empty for in-process execution beyond the
+// first attempt).
+type CellResult struct {
+	Key      CellKey
+	Value    interface{}
+	Attempts int
+	// Worker identifies the executor slot/process that produced the value
+	// ("" for in-process execution). Provenance only — never feeds back
+	// into results.
+	Worker string
+}
+
+// CellExecutor abstracts where a cell's work happens. The runner calls
+// Execute from its worker goroutines: slot is the stable goroutine index
+// (0..Workers-1), which lets a dist executor pin one OS process per slot.
+// Execute must honour ctx cancellation and must be safe for concurrent
+// calls on distinct slots.
+type CellExecutor interface {
+	Execute(ctx context.Context, slot int, cell Cell, logf Logf) (CellResult, error)
+}
+
+// localExecutor runs cells in-process — the default when Runner.Exec is
+// nil and the behaviour all dist executors must reproduce byte-for-byte.
+type localExecutor struct{}
+
+func (localExecutor) Execute(ctx context.Context, slot int, cell Cell, logf Logf) (CellResult, error) {
+	v, err := runCell(ctx, cell, logf)
+	return CellResult{Key: cell.Key, Value: v, Attempts: 1}, err
 }
 
 // Runner executes cells on a bounded worker pool.
@@ -91,6 +129,10 @@ type Runner struct {
 	// Prof, when non-nil, records each cell's wall-clock duration
 	// (harness domain; never feeds back into results).
 	Prof *obs.Profile
+	// Exec, when non-nil, runs cells somewhere other than in-process
+	// (e.g. dist.Executor fans them out to worker processes). Scheduling
+	// only: results must be identical to the nil (in-process) executor.
+	Exec CellExecutor
 
 	// outMu serialises transcript flushes across workers.
 	outMu sync.Mutex
@@ -100,8 +142,8 @@ type Runner struct {
 // order. On the first cell error it cancels the remaining cells (in-flight
 // cells stop at their next cancellation check) and returns that error; a
 // panicking cell is converted into an error instead of killing the
-// process. The results of cells that did not complete are nil.
-func (r *Runner) Run(ctx context.Context, cells []Cell) ([]interface{}, error) {
+// process. The results of cells that did not complete are zero-valued.
+func (r *Runner) Run(ctx context.Context, cells []Cell) ([]CellResult, error) {
 	if len(cells) == 0 {
 		return nil, nil
 	}
@@ -115,11 +157,15 @@ func (r *Runner) Run(ctx context.Context, cells []Cell) ([]interface{}, error) {
 	if workers > len(cells) {
 		workers = len(cells)
 	}
+	exec := r.Exec
+	if exec == nil {
+		exec = localExecutor{}
+	}
 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	results := make([]interface{}, len(cells))
+	results := make([]CellResult, len(cells))
 	errs := make([]error, len(cells))
 	jobs := make(chan int)
 	//lint:allow no-wall-clock operator-facing elapsed display only; never reaches cell results
@@ -128,7 +174,7 @@ func (r *Runner) Run(ctx context.Context, cells []Cell) ([]interface{}, error) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(slot int) {
 			defer wg.Done()
 			for i := range jobs {
 				logf, transcript := r.cellLogf(cells[i].Key)
@@ -136,10 +182,11 @@ func (r *Runner) Run(ctx context.Context, cells []Cell) ([]interface{}, error) {
 				if r.Prof != nil {
 					stopCell = r.Prof.StartCell(cells[i].Key.String())
 				}
-				res, err := runCell(runCtx, cells[i], logf)
+				res, err := exec.Execute(runCtx, slot, cells[i], logf)
 				if stopCell != nil {
 					stopCell()
 				}
+				res.Key = cells[i].Key
 				results[i], errs[i] = res, err
 				if err != nil {
 					cancel() // first failure stops the grid
@@ -149,6 +196,9 @@ func (r *Runner) Run(ctx context.Context, cells []Cell) ([]interface{}, error) {
 					status := "ok"
 					if err != nil {
 						status = err.Error()
+					}
+					if res.Worker != "" {
+						status += fmt.Sprintf(" [%s, attempt %d]", res.Worker, res.Attempts)
 					}
 					// Flush the cell's transcript and status as one block;
 					// an erroring cell's lines flush too — they are the
@@ -164,7 +214,7 @@ func (r *Runner) Run(ctx context.Context, cells []Cell) ([]interface{}, error) {
 					r.outMu.Unlock()
 				}
 			}
-		}()
+		}(w)
 	}
 
 feed:
@@ -243,7 +293,7 @@ func runCell(ctx context.Context, c Cell, logf Logf) (res interface{}, err error
 }
 
 // newRunner builds the runner a figure function uses, honouring the
-// scale's worker bound, progress sink, and harness profile.
+// scale's worker bound, progress sink, harness profile, and executor.
 func newRunner(s Scale) *Runner {
-	return &Runner{Workers: s.Workers, Logf: s.Progress, Prof: s.Prof}
+	return &Runner{Workers: s.Workers, Logf: s.Progress, Prof: s.Prof, Exec: s.Exec}
 }

@@ -43,8 +43,14 @@ func TestRunnerResultsInSubmissionOrder(t *testing.T) {
 			t.Fatalf("workers=%d: %d results", workers, len(out))
 		}
 		for i, v := range out {
-			if v.(int) != i*i {
-				t.Fatalf("workers=%d: result[%d] = %v, want %d", workers, i, v, i*i)
+			if v.Value.(int) != i*i {
+				t.Fatalf("workers=%d: result[%d] = %v, want %d", workers, i, v.Value, i*i)
+			}
+			if v.Key.Seed != uint64(i) {
+				t.Fatalf("workers=%d: result[%d] carries key %s, want seed %d", workers, i, v.Key, i)
+			}
+			if v.Attempts != 1 {
+				t.Fatalf("workers=%d: local execution took %d attempts, want 1", workers, v.Attempts)
 			}
 		}
 	}
@@ -87,7 +93,7 @@ func TestRunnerErrorCancelsInFlightCells(t *testing.T) {
 		cells[i] = Cell{Key: key, Run: run}
 	}
 	done := make(chan struct{})
-	var out []interface{}
+	var out []CellResult
 	var err error
 	go func() {
 		defer close(done)
@@ -147,6 +153,59 @@ func TestRunnerParentCancellation(t *testing.T) {
 	}
 	if ran.Load() == int64(len(cells)) {
 		t.Fatal("cancellation should have prevented some queued cells from starting")
+	}
+}
+
+// stubExecutor routes every cell through a recorded executor instead of
+// the in-process default, tagging results with a fake worker identity.
+type stubExecutor struct {
+	calls atomic.Int64
+}
+
+func (s *stubExecutor) Execute(ctx context.Context, slot int, cell Cell, logf Logf) (CellResult, error) {
+	s.calls.Add(1)
+	v, err := cell.Run(ctx, logf)
+	return CellResult{Key: cell.Key, Value: v, Attempts: 2, Worker: fmt.Sprintf("stub%d", slot)}, err
+}
+
+func TestRunnerUsesConfiguredExecutor(t *testing.T) {
+	const workers = 3
+	stub := &stubExecutor{}
+	var lines []string
+	r := &Runner{Workers: workers, Exec: stub, Logf: func(format string, args ...interface{}) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}}
+	out, err := r.Run(context.Background(), arithCells(9, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stub.calls.Load() != 9 {
+		t.Fatalf("executor ran %d cells, want 9", stub.calls.Load())
+	}
+	for i, res := range out {
+		if res.Value.(int) != i*i {
+			t.Fatalf("result[%d] = %v, want %d", i, res.Value, i*i)
+		}
+		if !strings.HasPrefix(res.Worker, "stub") {
+			t.Fatalf("result[%d] worker %q did not come from the stub executor", i, res.Worker)
+		}
+		if res.Attempts != 2 {
+			t.Fatalf("result[%d] attempts %d, want the executor's 2", i, res.Attempts)
+		}
+		slot := 0
+		if _, err := fmt.Sscanf(res.Worker, "stub%d", &slot); err != nil || slot < 0 || slot >= workers {
+			t.Fatalf("result[%d] ran on slot %q, want stub0..stub%d", i, res.Worker, workers-1)
+		}
+	}
+	// Progress lines must surface the worker identity and attempt count so
+	// distributed runs are debuggable from the transcript alone.
+	if len(lines) != 9 {
+		t.Fatalf("%d progress lines, want 9", len(lines))
+	}
+	for _, l := range lines {
+		if !strings.Contains(l, "stub") || !strings.Contains(l, "attempt 2") {
+			t.Fatalf("progress line %q lacks worker identity / attempts", l)
+		}
 	}
 }
 

@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"remapd/internal/arch"
+	"remapd/internal/checkpoint"
+	"remapd/internal/dataset"
+	"remapd/internal/det"
+	"remapd/internal/obs"
+)
+
+// This file is the serializable half of the cell API. A Cell's closure can
+// only run in the process that built it; a CellSpec is the same work
+// expressed as pure coordinates — scalar parameters that JSON-round-trip
+// byte-identically — plus a registry that maps each spec kind back to the
+// run function the closures used to capture. The dist coordinator ships
+// specs to worker processes; the in-process path executes the identical
+// spec through Cell's thin adapter, so the two are byte-identical by
+// construction (both call the same registered function on the same
+// reconstructed inputs).
+
+// ScaleSpec is the serializable subset of Scale: every knob a cell's
+// result depends on, none of the scheduling/observation machinery
+// (Workers, Progress, Checkpoints, Metrics, Prof, Exec stay behind on the
+// coordinator or are re-bound worker-side via Runtime). The field set
+// deliberately mirrors cellFingerprint: a Scale reconstructed from a spec
+// fingerprints identically to the original, so worker-written checkpoints
+// resume under the coordinator and vice versa.
+type ScaleSpec struct {
+	Name         string        `json:"name"`
+	ImgSize      int           `json:"img_size"`
+	TrainN       int           `json:"train_n"`
+	TestN        int           `json:"test_n"`
+	WidthScale   float64       `json:"width_scale"`
+	Epochs       int           `json:"epochs"`
+	BatchSize    int           `json:"batch_size"`
+	LR           float64       `json:"lr"`
+	CrossbarSize int           `json:"crossbar_size"`
+	Geom         arch.Geometry `json:"geom"`
+}
+
+// Spec extracts the serializable coordinates of a Scale.
+func (s Scale) Spec() ScaleSpec {
+	return ScaleSpec{
+		Name: s.Name, ImgSize: s.ImgSize, TrainN: s.TrainN, TestN: s.TestN,
+		WidthScale: s.WidthScale, Epochs: s.Epochs, BatchSize: s.BatchSize,
+		LR: s.LR, CrossbarSize: s.CrossbarSize, Geom: s.Geom,
+	}
+}
+
+// Runtime carries the process-local facilities a cell needs at execution
+// time but that cannot travel in a spec: the checkpoint store and the
+// telemetry sink. The coordinator and its workers point these at shared
+// directories, which is how results survive worker crashes.
+type Runtime struct {
+	Checkpoints *checkpoint.Store
+	Metrics     *obs.Sink
+}
+
+// Runtime extracts the process-local facilities of a Scale.
+func (s Scale) Runtime() Runtime {
+	return Runtime{Checkpoints: s.Checkpoints, Metrics: s.Metrics}
+}
+
+// Scale reconstructs an executable Scale from spec coordinates plus the
+// executing process's runtime facilities.
+func (ss ScaleSpec) Scale(rt Runtime) Scale {
+	return Scale{
+		Name: ss.Name, ImgSize: ss.ImgSize, TrainN: ss.TrainN, TestN: ss.TestN,
+		WidthScale: ss.WidthScale, Epochs: ss.Epochs, BatchSize: ss.BatchSize,
+		LR: ss.LR, CrossbarSize: ss.CrossbarSize, Geom: ss.Geom,
+		Checkpoints: rt.Checkpoints, Metrics: rt.Metrics,
+	}
+}
+
+// DatasetSpec names a deterministic in-process dataset generator plus its
+// parameters. Workers rebuild datasets from the spec; generation is a pure
+// function of (name, sizes, seed), so every process derives identical
+// tensors.
+type DatasetSpec struct {
+	Name  string `json:"name"` // cifar10-like, cifar100-like, svhn-like
+	Train int    `json:"train"`
+	Test  int    `json:"test"`
+	Img   int    `json:"img"`
+	Seed  uint64 `json:"seed"`
+}
+
+// Build generates the dataset (uncached).
+func (d DatasetSpec) Build() (*dataset.Dataset, error) {
+	switch d.Name {
+	case "cifar10-like":
+		return dataset.CIFAR10Like(d.Train, d.Test, d.Img, d.Seed), nil
+	case "cifar100-like":
+		return dataset.CIFAR100Like(d.Train, d.Test, d.Img, d.Seed), nil
+	case "svhn-like":
+		return dataset.SVHNLike(d.Train, d.Test, d.Img, d.Seed), nil
+	}
+	return nil, fmt.Errorf("experiments: unknown dataset spec %q", d.Name)
+}
+
+// datasetCache memoizes generated datasets per process, so a grid of cells
+// sharing one dataset builds it once (matching the figure constructors,
+// which built one dataset for all their closures). Datasets are read-only
+// after construction, so sharing across concurrent cells is safe.
+var datasetCache = struct {
+	sync.Mutex
+	m map[DatasetSpec]*dataset.Dataset
+}{m: map[DatasetSpec]*dataset.Dataset{}}
+
+// dataset returns the (possibly cached) dataset for the spec.
+func (d DatasetSpec) dataset() (*dataset.Dataset, error) {
+	datasetCache.Lock()
+	defer datasetCache.Unlock()
+	if ds, ok := datasetCache.m[d]; ok {
+		return ds, nil
+	}
+	ds, err := d.Build()
+	if err != nil {
+		return nil, err
+	}
+	datasetCache.m[d] = ds
+	return ds, nil
+}
+
+// CellSpec is the serializable description of one experiment cell: which
+// registered run function to invoke (Kind) and every coordinate it needs.
+// The zero values of the kind-specific fields (Phase…UseBIST) are valid —
+// each kind reads only its own — and omitempty keeps the JSON minimal and
+// exactly re-encodable.
+type CellSpec struct {
+	Kind    string      `json:"kind"`
+	Key     CellKey     `json:"key"`
+	Scale   ScaleSpec   `json:"scale"`
+	Regime  FaultRegime `json:"regime"`
+	Dataset DatasetSpec `json:"dataset"`
+	Classes int         `json:"classes"`
+
+	// Kind-specific coordinates.
+	Phase          string  `json:"phase,omitempty"`           // phase: "", forward, backward
+	Threshold      float64 `json:"threshold,omitempty"`       // threshold: Remap-D trigger
+	RandomReceiver bool    `json:"random_receiver,omitempty"` // receiver
+	SimulateNoC    bool    `json:"simulate_noc,omitempty"`    // receiver
+	Coding         string  `json:"coding,omitempty"`          // coding: offset, differential
+	UseBIST        bool    `json:"use_bist,omitempty"`        // bist-sense
+}
+
+// RunFunc executes one cell kind from its spec. s is the reconstructed
+// Scale (spec coordinates + the executing process's Runtime); the returned
+// value must depend only on the spec, never on which process runs it.
+type RunFunc func(ctx context.Context, sp *CellSpec, s Scale, logf Logf) (interface{}, error)
+
+// kindEntry pairs a kind's run function with its result prototype
+// constructor (what the dist layer decodes a worker's result into).
+type kindEntry struct {
+	newResult func() interface{}
+	run       RunFunc
+}
+
+var (
+	kindMu    sync.RWMutex
+	kindTable = map[string]kindEntry{}
+)
+
+// RegisterKind installs a cell kind. newResult returns a fresh zero value
+// of the kind's result type (a pointer, for JSON decoding); run executes
+// the cell. Registering a duplicate kind panics — kinds are package-level
+// constants wired at init time, so a collision is a programming error.
+func RegisterKind(kind string, newResult func() interface{}, run RunFunc) {
+	kindMu.Lock()
+	defer kindMu.Unlock()
+	if _, dup := kindTable[kind]; dup {
+		panic(fmt.Sprintf("experiments: duplicate cell kind %q", kind))
+	}
+	kindTable[kind] = kindEntry{newResult: newResult, run: run}
+}
+
+// KindNames lists the registered cell kinds in sorted order.
+func KindNames() []string {
+	kindMu.RLock()
+	defer kindMu.RUnlock()
+	return det.SortedKeys(kindTable)
+}
+
+// NewResultFor returns a fresh result value for the kind, ready for JSON
+// decoding.
+func NewResultFor(kind string) (interface{}, error) {
+	kindMu.RLock()
+	e, ok := kindTable[kind]
+	kindMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown cell kind %q", kind)
+	}
+	return e.newResult(), nil
+}
+
+// Execute runs the spec in this process using the given runtime
+// facilities. This is the single execution path for both the in-process
+// adapter and the dist worker, which is what makes the two byte-identical.
+func (sp *CellSpec) Execute(ctx context.Context, rt Runtime, logf Logf) (interface{}, error) {
+	kindMu.RLock()
+	e, ok := kindTable[sp.Kind]
+	kindMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown cell kind %q", sp.Kind)
+	}
+	if logf == nil {
+		logf = func(string, ...interface{}) {}
+	}
+	return e.run(ctx, sp, sp.Scale.Scale(rt), logf)
+}
+
+// Cell adapts the spec for in-process execution under the given Scale:
+// the figure constructors build specs and wrap them so existing runner
+// plumbing (and the tests over it) keep working unchanged.
+func (sp *CellSpec) Cell(s Scale) Cell {
+	rt := s.Runtime()
+	return Cell{
+		Key:  sp.Key,
+		Spec: sp,
+		Run: func(ctx context.Context, logf Logf) (interface{}, error) {
+			return sp.Execute(ctx, rt, logf)
+		},
+	}
+}
+
+// MarshalJSON round-trips are part of the spec contract; EncodeSpec and
+// DecodeSpec pin the canonical single-line form the dist protocol embeds.
+func EncodeSpec(sp *CellSpec) ([]byte, error) {
+	data, err := json.Marshal(sp)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: encode cell spec %s: %w", sp.Key, err)
+	}
+	return data, nil
+}
+
+// DecodeSpec parses a spec encoded by EncodeSpec.
+func DecodeSpec(data []byte) (*CellSpec, error) {
+	sp := &CellSpec{}
+	if err := json.Unmarshal(data, sp); err != nil {
+		return nil, fmt.Errorf("experiments: decode cell spec: %w", err)
+	}
+	return sp, nil
+}
+
+// specCells wraps each spec in its in-process adapter, preserving order.
+func specCells(specs []*CellSpec, s Scale) []Cell {
+	cells := make([]Cell, len(specs))
+	for i, sp := range specs {
+		cells[i] = sp.Cell(s)
+	}
+	return cells
+}

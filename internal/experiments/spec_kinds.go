@@ -1,0 +1,420 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"remapd/internal/arch"
+	"remapd/internal/dataset"
+	"remapd/internal/remap"
+	"remapd/internal/reram"
+	"remapd/internal/trainer"
+)
+
+// This file registers the cell kinds behind every figure and ablation and
+// provides the spec builders the constructors enumerate cells with. Each
+// run function is the former closure body verbatim — the refactor moved
+// captured variables into spec fields, nothing else — so spec execution
+// reproduces the closures bit-for-bit.
+
+func init() {
+	result := func() interface{} { return &trainer.Result{} }
+	RegisterKind("policy", result, runPolicySpec)
+	RegisterKind("phase", result, runPhaseSpec)
+	RegisterKind("threshold", result, runThresholdSpec)
+	RegisterKind("receiver", result, runReceiverSpec)
+	RegisterKind("coding", result, runCodingSpec)
+	RegisterKind("bist-sense", result, runBISTSenseSpec)
+}
+
+// specDataset resolves the spec's dataset through the per-process cache.
+func specDataset(sp *CellSpec) (*dataset.Dataset, error) {
+	return sp.Dataset.dataset()
+}
+
+// runPolicySpec is the Fig. 6/7/8 cell: one (model, policy, seed) training
+// run under the spec's regime via runOne.
+func runPolicySpec(ctx context.Context, sp *CellSpec, s Scale, logf Logf) (interface{}, error) {
+	ds, err := specDataset(sp)
+	if err != nil {
+		return nil, err
+	}
+	reg := sp.Regime
+	return runOne(ctx, sp.Key, s, reg, ds, sp.Classes, logf)
+}
+
+// runPhaseSpec is the Fig. 5 cell: ideal, forward-injected, or
+// backward-injected training at the regime's phase density.
+func runPhaseSpec(ctx context.Context, sp *CellSpec, s Scale, logf Logf) (interface{}, error) {
+	ds, err := specDataset(sp)
+	if err != nil {
+		return nil, err
+	}
+	reg := sp.Regime
+	net, err := buildModel(sp.Key.Model, s, sp.Key.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg := baseTrainConfig(s, sp.Key.Seed)
+	cfg.Ctx = ctx
+	cfg.Logf = logf
+	cfg.Checkpoint = s.cellCheckpoint(reg, sp.Key, sp.Classes)
+	switch sp.Phase {
+	case "":
+		// ideal: no chip, no injection
+	case "forward", "backward":
+		ph := arch.Forward
+		if sp.Phase == "backward" {
+			ph = arch.Backward
+		}
+		cfg.Chip = NewChip(s)
+		cfg.PhaseInject = &trainer.PhaseInjection{Phase: ph, Density: reg.PhaseDensity}
+	default:
+		return nil, fmt.Errorf("experiments: bad phase %q in cell spec", sp.Phase)
+	}
+	return s.train(sp.Key, net, ds, cfg)
+}
+
+// runThresholdSpec is the Remap-D trigger-threshold ablation cell.
+func runThresholdSpec(ctx context.Context, sp *CellSpec, s Scale, logf Logf) (interface{}, error) {
+	ds, err := specDataset(sp)
+	if err != nil {
+		return nil, err
+	}
+	reg := sp.Regime
+	net, err := buildModel(sp.Key.Model, s, sp.Key.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rd := remap.NewRemapD()
+	rd.Threshold = sp.Threshold
+	cfg := baseTrainConfig(s, sp.Key.Seed)
+	cfg.Ctx = ctx
+	cfg.Logf = logf
+	cfg.Checkpoint = s.cellCheckpoint(reg, sp.Key, sp.Classes)
+	cfg.Chip = NewChip(s)
+	cfg.Policy = rd
+	cfg.Pre = &reg.Pre
+	cfg.Post = &reg.Post
+	return s.train(sp.Key, net, ds, cfg)
+}
+
+// runReceiverSpec is the receiver-selection ablation cell (flit-level NoC
+// enabled).
+func runReceiverSpec(ctx context.Context, sp *CellSpec, s Scale, logf Logf) (interface{}, error) {
+	ds, err := specDataset(sp)
+	if err != nil {
+		return nil, err
+	}
+	reg := sp.Regime
+	net, err := buildModel(sp.Key.Model, s, sp.Key.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rd := remap.NewRemapD()
+	rd.Threshold = reg.RemapThreshold
+	rd.RandomReceiver = sp.RandomReceiver
+	cfg := baseTrainConfig(s, sp.Key.Seed)
+	cfg.Ctx = ctx
+	cfg.Logf = logf
+	cfg.Checkpoint = s.cellCheckpoint(reg, sp.Key, sp.Classes)
+	cfg.Chip = NewChip(s)
+	cfg.Policy = rd
+	cfg.Pre = &reg.Pre
+	cfg.Post = &reg.Post
+	cfg.SimulateNoC = sp.SimulateNoC
+	return s.train(sp.Key, net, ds, cfg)
+}
+
+// parseCoding maps the spec's coding name back to the scheme constant
+// (the inverse of CodingScheme.String).
+func parseCoding(name string) (reram.CodingScheme, error) {
+	switch name {
+	case "offset":
+		return reram.OffsetCoding, nil
+	case "differential":
+		return reram.DifferentialCoding, nil
+	}
+	return 0, fmt.Errorf("experiments: unknown coding scheme %q in cell spec", name)
+}
+
+// runCodingSpec is the conductance-coding ablation cell.
+func runCodingSpec(ctx context.Context, sp *CellSpec, s Scale, logf Logf) (interface{}, error) {
+	ds, err := specDataset(sp)
+	if err != nil {
+		return nil, err
+	}
+	coding, err := parseCoding(sp.Coding)
+	if err != nil {
+		return nil, err
+	}
+	reg := sp.Regime
+	net, err := buildModel(sp.Key.Model, s, sp.Key.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg := baseTrainConfig(s, sp.Key.Seed)
+	cfg.Ctx = ctx
+	cfg.Logf = logf
+	cfg.Checkpoint = s.cellCheckpoint(reg, sp.Key, sp.Classes)
+	if sp.Key.Policy != "ideal" {
+		pol, _, err := PolicyByName(sp.Key.Policy, reg)
+		if err != nil {
+			return nil, err
+		}
+		p := reram.DefaultDeviceParams()
+		p.CrossbarSize = s.CrossbarSize
+		p.Coding = coding
+		cfg.Chip = newChipWithParams(p, s)
+		cfg.Policy = pol
+		cfg.Pre = &reg.Pre
+		cfg.Post = &reg.Post
+	}
+	return s.train(sp.Key, net, ds, cfg)
+}
+
+// runBISTSenseSpec is the BIST-estimate-vs-ground-truth ablation cell.
+func runBISTSenseSpec(ctx context.Context, sp *CellSpec, s Scale, logf Logf) (interface{}, error) {
+	ds, err := specDataset(sp)
+	if err != nil {
+		return nil, err
+	}
+	reg := sp.Regime
+	net, err := buildModel(sp.Key.Model, s, sp.Key.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rd := remap.NewRemapD()
+	rd.Threshold = reg.RemapThreshold
+	rd.UseBIST = sp.UseBIST
+	cfg := baseTrainConfig(s, sp.Key.Seed)
+	cfg.Ctx = ctx
+	cfg.Logf = logf
+	cfg.Checkpoint = s.cellCheckpoint(reg, sp.Key, sp.Classes)
+	cfg.Chip = NewChip(s)
+	cfg.Policy = rd
+	cfg.Pre = &reg.Pre
+	cfg.Post = &reg.Post
+	return s.train(sp.Key, net, ds, cfg)
+}
+
+// ------------------------------------------------------------ spec builders
+//
+// Each builder enumerates one figure/ablation's cells in the exact order
+// the sequential loops (and hence the rows' aggregation indices) expect.
+// The figure functions wrap these in in-process adapters; the spec tests
+// round-trip them; a dist run ships them as-is.
+
+// cifar10Spec is the shared Fig. 5/6/7 and ablation dataset at the scale.
+func cifar10Spec(s Scale) DatasetSpec {
+	return DatasetSpec{Name: "cifar10-like", Train: s.TrainN, Test: s.TestN, Img: s.ImgSize, Seed: 77}
+}
+
+// fig5Specs enumerates the phase fault-tolerance grid.
+func fig5Specs(s Scale, reg FaultRegime) []*CellSpec {
+	variants := []struct {
+		name  string
+		phase string
+	}{
+		{"ideal", ""},
+		{"inject-forward", "forward"},
+		{"inject-backward", "backward"},
+	}
+	var specs []*CellSpec
+	for _, model := range s.Models {
+		for _, seed := range s.Seeds {
+			for _, v := range variants {
+				specs = append(specs, &CellSpec{
+					Kind:    "phase",
+					Key:     CellKey{Model: model, Policy: v.name, Seed: seed},
+					Scale:   s.Spec(),
+					Regime:  reg,
+					Dataset: cifar10Spec(s),
+					Classes: 10,
+					Phase:   v.phase,
+				})
+			}
+		}
+	}
+	return specs
+}
+
+// fig6Specs enumerates the policy-comparison grid.
+func fig6Specs(s Scale, reg FaultRegime, policies []string) []*CellSpec {
+	var specs []*CellSpec
+	for _, model := range s.Models {
+		for _, policy := range policies {
+			for _, seed := range s.Seeds {
+				specs = append(specs, &CellSpec{
+					Kind:    "policy",
+					Key:     CellKey{Model: model, Policy: policy, Seed: seed},
+					Scale:   s.Spec(),
+					Regime:  reg,
+					Dataset: cifar10Spec(s),
+					Classes: 10,
+				})
+			}
+		}
+	}
+	return specs
+}
+
+// fig7Specs enumerates the post-deployment (m, n) sweep: per model, the
+// ideal baseline cells followed by the Remap-D cells at each sweep point
+// (each carrying its modified regime, which also fingerprints its
+// checkpoints).
+func fig7Specs(s Scale, reg FaultRegime, sweepModels []string, ms, ns []float64) []*CellSpec {
+	var specs []*CellSpec
+	for _, model := range sweepModels {
+		for _, seed := range s.Seeds {
+			specs = append(specs, &CellSpec{
+				Kind:    "policy",
+				Key:     CellKey{Model: model, Policy: "ideal", Seed: seed},
+				Scale:   s.Spec(),
+				Regime:  reg,
+				Dataset: cifar10Spec(s),
+				Classes: 10,
+			})
+		}
+		for _, m := range ms {
+			for _, n := range ns {
+				r := reg
+				r.Post.CellFraction = m
+				r.Post.CrossbarFraction = n
+				for _, seed := range s.Seeds {
+					specs = append(specs, &CellSpec{
+						Kind: "policy",
+						Key: CellKey{Model: model, Policy: "remap-d", Seed: seed,
+							Extra: fmt.Sprintf("m%g-n%g", m, n)},
+						Scale:   s.Spec(),
+						Regime:  r,
+						Dataset: cifar10Spec(s),
+						Classes: 10,
+					})
+				}
+			}
+		}
+	}
+	return specs
+}
+
+// fig8Specs enumerates the scalability grid over the harder datasets.
+func fig8Specs(s Scale, reg FaultRegime) []*CellSpec {
+	sets := []struct {
+		name    string
+		classes int
+		ds      DatasetSpec
+	}{
+		{"cifar100-like", 100, DatasetSpec{Name: "cifar100-like", Train: s.TrainN * 2, Test: s.TestN, Img: s.ImgSize, Seed: 88}},
+		{"svhn-like", 10, DatasetSpec{Name: "svhn-like", Train: s.TrainN, Test: s.TestN, Img: s.ImgSize, Seed: 99}},
+	}
+	policies := []string{"ideal", "none", "remap-d"}
+	var specs []*CellSpec
+	for _, set := range sets {
+		for _, model := range s.Models {
+			for _, policy := range policies {
+				for _, seed := range s.Seeds {
+					specs = append(specs, &CellSpec{
+						Kind:    "policy",
+						Key:     CellKey{Model: model, Policy: policy, Seed: seed, Extra: set.name},
+						Scale:   s.Spec(),
+						Regime:  reg,
+						Dataset: set.ds,
+						Classes: set.classes,
+					})
+				}
+			}
+		}
+	}
+	return specs
+}
+
+// ablationThresholdSpecs enumerates the trigger-threshold sweep.
+func ablationThresholdSpecs(s Scale, reg FaultRegime, model string, thresholds []float64) []*CellSpec {
+	var specs []*CellSpec
+	for _, th := range thresholds {
+		for _, seed := range s.Seeds {
+			specs = append(specs, &CellSpec{
+				Kind: "threshold",
+				Key: CellKey{Model: model, Policy: "remap-d", Seed: seed,
+					Extra: fmt.Sprintf("th%g", th)},
+				Scale:     s.Spec(),
+				Regime:    reg,
+				Dataset:   cifar10Spec(s),
+				Classes:   10,
+				Threshold: th,
+			})
+		}
+	}
+	return specs
+}
+
+// ablationReceiverSpecs enumerates the receiver-selection comparison.
+func ablationReceiverSpecs(s Scale, reg FaultRegime, model string) []*CellSpec {
+	selections := []struct {
+		name   string
+		random bool
+	}{{"nearest", false}, {"random", true}}
+	var specs []*CellSpec
+	for _, sel := range selections {
+		for _, seed := range s.Seeds {
+			specs = append(specs, &CellSpec{
+				Kind:           "receiver",
+				Key:            CellKey{Model: model, Policy: "remap-d", Seed: seed, Extra: sel.name},
+				Scale:          s.Spec(),
+				Regime:         reg,
+				Dataset:        cifar10Spec(s),
+				Classes:        10,
+				RandomReceiver: sel.random,
+				SimulateNoC:    true,
+			})
+		}
+	}
+	return specs
+}
+
+// ablationCodingSpecs enumerates the coding-scheme comparison.
+func ablationCodingSpecs(s Scale, reg FaultRegime, model string) []*CellSpec {
+	codings := []reram.CodingScheme{reram.OffsetCoding, reram.DifferentialCoding}
+	policies := []string{"ideal", "none", "remap-d"}
+	var specs []*CellSpec
+	for _, coding := range codings {
+		for _, policy := range policies {
+			for _, seed := range s.Seeds {
+				specs = append(specs, &CellSpec{
+					Kind:    "coding",
+					Key:     CellKey{Model: model, Policy: policy, Seed: seed, Extra: coding.String()},
+					Scale:   s.Spec(),
+					Regime:  reg,
+					Dataset: cifar10Spec(s),
+					Classes: 10,
+					Coding:  coding.String(),
+				})
+			}
+		}
+	}
+	return specs
+}
+
+// ablationBISTSpecs enumerates the sensing-source comparison.
+func ablationBISTSpecs(s Scale, reg FaultRegime, model string) []*CellSpec {
+	sources := []struct {
+		name    string
+		useBIST bool
+	}{{"bist", true}, {"truth", false}}
+	var specs []*CellSpec
+	for _, src := range sources {
+		for _, seed := range s.Seeds {
+			specs = append(specs, &CellSpec{
+				Kind:    "bist-sense",
+				Key:     CellKey{Model: model, Policy: "remap-d", Seed: seed, Extra: src.name},
+				Scale:   s.Spec(),
+				Regime:  reg,
+				Dataset: cifar10Spec(s),
+				Classes: 10,
+				UseBIST: src.useBIST,
+			})
+		}
+	}
+	return specs
+}

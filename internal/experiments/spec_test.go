@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// allSpecs enumerates every spec the figure/ablation builders can emit, so
+// the round-trip and registry tests cover the full grid surface.
+func allSpecs(t *testing.T) []*CellSpec {
+	t.Helper()
+	s := determinismScale()
+	reg := DefaultRegime()
+	var specs []*CellSpec
+	specs = append(specs, fig5Specs(s, reg)...)
+	specs = append(specs, fig6Specs(s, reg, []string{"ideal", "none", "remap-d"})...)
+	specs = append(specs, fig7Specs(s, reg, []string{"cnn-s"}, []float64{0.005, 0.03}, []float64{0.01})...)
+	specs = append(specs, fig8Specs(s, reg)...)
+	specs = append(specs, ablationThresholdSpecs(s, reg, "cnn-s", []float64{0.004, 0.02})...)
+	specs = append(specs, ablationReceiverSpecs(s, reg, "cnn-s")...)
+	specs = append(specs, ablationCodingSpecs(s, reg, "cnn-s")...)
+	specs = append(specs, ablationBISTSpecs(s, reg, "cnn-s")...)
+	if len(specs) == 0 {
+		t.Fatal("no specs built")
+	}
+	return specs
+}
+
+// TestCellSpecRoundTripsByteIdentically is the wire contract: encode →
+// decode → re-encode must reproduce the exact bytes, and the decoded spec
+// must equal the original structurally. If this breaks, dist results stop
+// being byte-identical to in-process ones.
+func TestCellSpecRoundTripsByteIdentically(t *testing.T) {
+	for _, sp := range allSpecs(t) {
+		data, err := EncodeSpec(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := DecodeSpec(data)
+		if err != nil {
+			t.Fatalf("decode %s: %v", sp.Key, err)
+		}
+		if !reflect.DeepEqual(sp, back) {
+			t.Fatalf("spec %s changed across the wire:\n  sent %+v\n  got  %+v", sp.Key, sp, back)
+		}
+		again, err := EncodeSpec(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, again) {
+			t.Fatalf("spec %s re-encodes differently:\n  %s\n  %s", sp.Key, data, again)
+		}
+	}
+}
+
+// TestSpecKindsRegistered pins the registry: every builder-emitted kind is
+// registered, and every registered kind yields a fresh decodable result.
+func TestSpecKindsRegistered(t *testing.T) {
+	names := KindNames()
+	registered := map[string]bool{}
+	for _, k := range names {
+		registered[k] = true
+		v, err := NewResultFor(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v == nil {
+			t.Fatalf("kind %q has a nil result prototype", k)
+		}
+	}
+	for _, sp := range allSpecs(t) {
+		if !registered[sp.Kind] {
+			t.Fatalf("builder emitted unregistered kind %q (registered: %v)", sp.Kind, names)
+		}
+	}
+	if _, err := NewResultFor("no-such-kind"); err == nil {
+		t.Fatal("unknown kind must error")
+	}
+	sp := &CellSpec{Kind: "no-such-kind", Key: CellKey{Model: "x"}}
+	if _, err := sp.Execute(context.Background(), Runtime{}, nil); err == nil {
+		t.Fatal("executing an unknown kind must error")
+	}
+}
+
+// TestScaleSpecPreservesFingerprint: a Scale reconstructed worker-side from
+// a spec must produce the same checkpoint fingerprint as the coordinator's
+// original, or distributed retries would orphan every snapshot.
+func TestScaleSpecPreservesFingerprint(t *testing.T) {
+	s := determinismScale()
+	s.Workers = 5 // scheduling-only; must not survive the round trip into results
+	reg := DefaultRegime()
+	key := CellKey{Model: "cnn-s", Policy: "remap-d", Seed: 1}
+	rebuilt := s.Spec().Scale(Runtime{})
+	if got, want := cellFingerprint(rebuilt, reg, key, 10), cellFingerprint(s, reg, key, 10); got != want {
+		t.Fatalf("reconstructed scale fingerprints differently:\n  %s\n  %s", got, want)
+	}
+}
+
+// TestSpecCellAdapterExecutesKind: the in-process adapter and direct
+// Execute must agree — they are the same code path.
+func TestSpecCellAdapterExecutesKind(t *testing.T) {
+	s := determinismScale()
+	s.TrainN, s.TestN, s.Epochs = 64, 32, 1
+	reg := DefaultRegime()
+	specs := fig6Specs(s, reg, []string{"ideal"})
+	sp := specs[0]
+	cell := sp.Cell(s)
+	if cell.Spec != sp {
+		t.Fatal("adapter cell must carry its spec for the dist executor")
+	}
+	if cell.Key != sp.Key {
+		t.Fatal("adapter cell key must match the spec key")
+	}
+	direct, err := sp.Execute(context.Background(), s.Runtime(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaCell, err := cell.Run(context.Background(), func(string, ...interface{}) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", direct) != fmt.Sprintf("%+v", viaCell) {
+		t.Fatalf("adapter and direct execution disagree:\n  %+v\n  %+v", direct, viaCell)
+	}
+}
+
+func TestRegisterKindRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate RegisterKind must panic")
+		}
+	}()
+	RegisterKind("policy", func() interface{} { return nil }, nil)
+}

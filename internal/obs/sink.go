@@ -37,14 +37,8 @@ const (
 // (successfully or not — a failed cell's partial trace is still
 // evidence), overwriting any previous files for the base.
 func (s *Sink) Write(base string, t *Trace) error {
-	snap := t.Registry().Snapshot()
-	snap.Cell = t.Cell()
-	data, err := snap.MarshalIndentJSON()
-	if err != nil {
-		return fmt.Errorf("obs: marshal metrics for %s: %w", t.Cell(), err)
-	}
-	if err := os.WriteFile(filepath.Join(s.dir, base+metricsSuffix), data, 0o644); err != nil {
-		return fmt.Errorf("obs: write metrics for %s: %w", t.Cell(), err)
+	if err := s.writeMetrics(base, t); err != nil {
+		return err
 	}
 	events := append([]Event{&CellStartEvent{Cell: t.Cell()}}, t.Events()...)
 	var buf bytes.Buffer
@@ -56,3 +50,100 @@ func (s *Sink) Write(base string, t *Trace) error {
 	}
 	return nil
 }
+
+// writeMetrics snapshots the trace's registry into <base>.metrics.json.
+func (s *Sink) writeMetrics(base string, t *Trace) error {
+	snap := t.Registry().Snapshot()
+	snap.Cell = t.Cell()
+	data, err := snap.MarshalIndentJSON()
+	if err != nil {
+		return fmt.Errorf("obs: marshal metrics for %s: %w", t.Cell(), err)
+	}
+	if err := os.WriteFile(filepath.Join(s.dir, base+metricsSuffix), data, 0o644); err != nil {
+		return fmt.Errorf("obs: write metrics for %s: %w", t.Cell(), err)
+	}
+	return nil
+}
+
+// Flusher is implemented by recorders that can persist their
+// accumulated state mid-run. The trainer flushes after every epoch
+// boundary, so a crashed run's trace is truncated at the last epoch
+// rather than lost.
+type Flusher interface {
+	Flush() error
+}
+
+// StreamTrace is a Trace whose events stream to disk incrementally
+// instead of buffering for the cell's whole lifetime: each Flush appends
+// the events emitted since the previous flush to <base>.events.jsonl and
+// rewrites the <base>.metrics.json snapshot. The final on-disk bytes are
+// identical to a buffered Sink.Write of the same trace — streaming only
+// changes when they are written (and bounds the trace's memory, since
+// flushed events are released). Not safe for concurrent Flush/Close
+// calls; the trainer calls both from its single epoch loop.
+type StreamTrace struct {
+	*Trace
+	sink   *Sink
+	base   string
+	f      *os.File
+	closed bool
+}
+
+// Stream opens a streaming trace for the cell: the events file is created
+// (truncating any previous run's) and headed with the cell-start line
+// immediately, so even a cell that dies in epoch 0 leaves a valid,
+// attributable event log.
+func (s *Sink) Stream(base, cell string) (*StreamTrace, error) {
+	f, err := os.Create(filepath.Join(s.dir, base+eventsSuffix))
+	if err != nil {
+		return nil, fmt.Errorf("obs: create events stream for %s: %w", cell, err)
+	}
+	line, err := EncodeEvent(&CellStartEvent{Cell: cell})
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Write(line); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: write events for %s: %w", cell, err)
+	}
+	return &StreamTrace{Trace: NewTrace(cell), sink: s, base: base, f: f}, nil
+}
+
+// Flush implements Flusher: append the pending events and refresh the
+// metrics snapshot. Flushed events are dropped from memory — the file is
+// now the record — which is the bounded-memory point of streaming.
+func (st *StreamTrace) Flush() error {
+	for _, ev := range st.Trace.takeEvents() {
+		line, err := EncodeEvent(ev)
+		if err != nil {
+			return err
+		}
+		if _, err := st.f.Write(line); err != nil {
+			return fmt.Errorf("obs: write events for %s: %w", st.Cell(), err)
+		}
+	}
+	return st.sink.writeMetrics(st.base, st.Trace)
+}
+
+// Close flushes whatever remains and closes the events file. Idempotent;
+// callers must Close even when the cell failed — the partial trace is
+// evidence.
+func (st *StreamTrace) Close() error {
+	if st.closed {
+		return nil
+	}
+	st.closed = true
+	ferr := st.Flush()
+	cerr := st.f.Close()
+	if ferr != nil {
+		return ferr
+	}
+	if cerr != nil {
+		return fmt.Errorf("obs: close events for %s: %w", st.Cell(), cerr)
+	}
+	return nil
+}
+
+var _ Recorder = (*StreamTrace)(nil)
+var _ Flusher = (*StreamTrace)(nil)

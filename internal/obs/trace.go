@@ -52,4 +52,15 @@ func (t *Trace) Events() []Event {
 	return append([]Event(nil), t.events...)
 }
 
+// takeEvents drains the event log, returning the events emitted since the
+// last drain. StreamTrace uses this to flush incrementally while keeping
+// the trace's memory bounded.
+func (t *Trace) takeEvents() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	evs := t.events
+	t.events = nil
+	return evs
+}
+
 var _ Recorder = (*Trace)(nil)

@@ -294,6 +294,14 @@ func Train(net *nn.Network, ds *dataset.Dataset, cfg Config) (*Result, error) {
 				return nil, fmt.Errorf("trainer: checkpoint save after epoch %d: %w", epoch+1, err)
 			}
 		}
+		if f, ok := cfg.Obs.(obs.Flusher); ok {
+			// Stream the epoch's telemetry out with the checkpoint: a crash
+			// from here on loses at most the next epoch's events, and the
+			// recorder's buffer stays bounded at one epoch.
+			if err := f.Flush(); err != nil {
+				return nil, fmt.Errorf("trainer: flush telemetry after epoch %d: %w", epoch+1, err)
+			}
+		}
 	}
 	res.FinalTestAcc = res.EpochTestAcc[len(res.EpochTestAcc)-1]
 	if cfg.Chip != nil {
