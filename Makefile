@@ -1,0 +1,35 @@
+# Benchmark budget
+#
+# The gated set below runs serial kernels only (shapes below the tensor
+# package's parallel threshold) with a fixed iteration count and -cpu=1,
+# so allocs/op and B/op are deterministic on any runner: any change is a
+# code change, and CI's bench-budget job hard-fails on it. ns/op is
+# machine-dependent and only warned about. See internal/benchdiff.
+#
+# After an intentional allocation change, regenerate and commit the
+# baseline in the same PR:
+#
+#	make bench-baseline && git add BENCH_BASELINE.json
+
+BENCH_GATED := ^(BenchmarkMatMulSerial|BenchmarkMatMulTransBSerial|BenchmarkMatMulTransASerial|BenchmarkIm2Col|BenchmarkCol2Im|BenchmarkConvForwardBackward|BenchmarkLinearForwardBackward|BenchmarkClampRowInto|BenchmarkQuantize)$$
+BENCH_PKGS  := ./internal/tensor/ ./internal/nn/ ./internal/reram/
+BENCH_FLAGS := -run '^$$' -cpu=1 -benchtime=50x -benchmem
+# Extra remapd-benchdiff flags for the budget diff (CI passes -github).
+BENCHDIFF_FLAGS :=
+
+.PHONY: test bench-gated bench-baseline bench-budget
+
+test:
+	go build ./...
+	go test ./...
+
+bench-gated:
+	go test $(BENCH_FLAGS) -bench '$(BENCH_GATED)' $(BENCH_PKGS) | tee bench-gated.out
+
+bench-baseline: bench-gated
+	go run ./cmd/remapd-benchdiff -render -in bench-gated.out > BENCH_BASELINE.json
+	cat BENCH_BASELINE.json
+
+bench-budget: bench-gated
+	go run ./cmd/remapd-benchdiff -render -in bench-gated.out > BENCH_CURRENT.json
+	go run ./cmd/remapd-benchdiff $(BENCHDIFF_FLAGS) -baseline BENCH_BASELINE.json -current BENCH_CURRENT.json

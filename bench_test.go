@@ -29,6 +29,7 @@ func benchScale() experiments.Scale {
 // BenchmarkFig4BISTCurrent regenerates Fig. 4: BIST column current vs the
 // number of SA0/SA1 faults under device-resistance variation.
 func BenchmarkFig4BISTCurrent(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows := experiments.Fig4(4, 4, 50, 1)
 		if i == 0 {
@@ -40,6 +41,7 @@ func BenchmarkFig4BISTCurrent(b *testing.B) {
 // BenchmarkFig5PhaseTolerance regenerates Fig. 5: accuracy with faults
 // injected only into forward-phase vs only into backward-phase crossbars.
 func BenchmarkFig5PhaseTolerance(b *testing.B) {
+	b.ReportAllocs()
 	s := benchScale()
 	reg := experiments.DefaultRegime()
 	for i := 0; i < b.N; i++ {
@@ -56,6 +58,7 @@ func BenchmarkFig5PhaseTolerance(b *testing.B) {
 // BenchmarkFig6PolicyComparison regenerates Fig. 6: accuracy under
 // combined pre+post faults for every fault-tolerance policy.
 func BenchmarkFig6PolicyComparison(b *testing.B) {
+	b.ReportAllocs()
 	s := benchScale()
 	reg := experiments.DefaultRegime()
 	for i := 0; i < b.N; i++ {
@@ -72,6 +75,7 @@ func BenchmarkFig6PolicyComparison(b *testing.B) {
 // BenchmarkFig7PostDeploymentSweep regenerates Fig. 7: Remap-D accuracy
 // across the (m, n) post-deployment wear sweep.
 func BenchmarkFig7PostDeploymentSweep(b *testing.B) {
+	b.ReportAllocs()
 	s := benchScale()
 	reg := experiments.DefaultRegime()
 	for i := 0; i < b.N; i++ {
@@ -89,6 +93,7 @@ func BenchmarkFig7PostDeploymentSweep(b *testing.B) {
 // BenchmarkFig8Scalability regenerates Fig. 8: Remap-D vs no protection on
 // the CIFAR-100-like and SVHN-like datasets.
 func BenchmarkFig8Scalability(b *testing.B) {
+	b.ReportAllocs()
 	s := benchScale()
 	reg := experiments.DefaultRegime()
 	for i := 0; i < b.N; i++ {
@@ -106,6 +111,7 @@ func BenchmarkFig8Scalability(b *testing.B) {
 // end: the Fig. 6 headline cells at bench scale fanned across 4 workers.
 // CI runs this with -benchtime=1x as the training smoke test.
 func BenchmarkFig6RunnerSmoke(b *testing.B) {
+	b.ReportAllocs()
 	s := benchScale()
 	s.Workers = 4
 	reg := experiments.DefaultRegime()
@@ -125,6 +131,7 @@ func BenchmarkFig6RunnerSmoke(b *testing.B) {
 
 // BenchmarkBISTTimingOverhead regenerates the 0.13% BIST timing claim.
 func BenchmarkBISTTimingOverhead(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		row := experiments.BISTTimingOverhead(50000, 19, 8)
 		if i == 0 {
@@ -136,6 +143,7 @@ func BenchmarkBISTTimingOverhead(b *testing.B) {
 // BenchmarkNoCRemapOverhead regenerates the Section IV.C Monte-Carlo
 // remap-traffic study (paper: 0.22% mean / 0.36% worst).
 func BenchmarkNoCRemapOverhead(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		row := experiments.NoCRemapOverhead(10, 2, 10, 42)
 		if i == 0 {
@@ -147,6 +155,7 @@ func BenchmarkNoCRemapOverhead(b *testing.B) {
 // BenchmarkAreaOverhead regenerates the area table (BIST 0.61%, AN 6.3%,
 // Remap-T-10% 10%).
 func BenchmarkAreaOverhead(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows := experiments.AreaOverheads()
 		if i == 0 {
@@ -158,6 +167,7 @@ func BenchmarkAreaOverhead(b *testing.B) {
 // BenchmarkAblationThreshold sweeps Remap-D's trigger threshold
 // (DESIGN.md §6.3).
 func BenchmarkAblationThreshold(b *testing.B) {
+	b.ReportAllocs()
 	s := benchScale()
 	reg := experiments.DefaultRegime()
 	for i := 0; i < b.N; i++ {
@@ -174,6 +184,7 @@ func BenchmarkAblationThreshold(b *testing.B) {
 // BenchmarkAblationReceiverSelection compares nearest vs random receiver
 // selection (DESIGN.md §6.4).
 func BenchmarkAblationReceiverSelection(b *testing.B) {
+	b.ReportAllocs()
 	s := benchScale()
 	reg := experiments.DefaultRegime()
 	for i := 0; i < b.N; i++ {
@@ -190,6 +201,7 @@ func BenchmarkAblationReceiverSelection(b *testing.B) {
 // BenchmarkAblationCoding compares offset (PytorX-style) and differential
 // conductance coding (DESIGN.md §6.5).
 func BenchmarkAblationCoding(b *testing.B) {
+	b.ReportAllocs()
 	s := benchScale()
 	reg := experiments.DefaultRegime()
 	for i := 0; i < b.N; i++ {
@@ -206,6 +218,7 @@ func BenchmarkAblationCoding(b *testing.B) {
 // BenchmarkAblationBISTvsTruth compares BIST density estimates against
 // ground truth as the remap trigger (DESIGN.md §6, BIST fidelity).
 func BenchmarkAblationBISTvsTruth(b *testing.B) {
+	b.ReportAllocs()
 	s := benchScale()
 	reg := experiments.DefaultRegime()
 	for i := 0; i < b.N; i++ {
@@ -224,6 +237,7 @@ func BenchmarkAblationBISTvsTruth(b *testing.B) {
 // Recorder attached must stay allocation-free (the disabled path is one
 // nil check). Run with -benchmem; allocs/op must be 0.
 func BenchmarkWeightsWrittenNilRecorder(b *testing.B) {
+	b.ReportAllocs()
 	s := benchScale()
 	net, err := experiments.BuildModel("cnn-s", s, 1, 10)
 	if err != nil {
@@ -235,7 +249,6 @@ func BenchmarkWeightsWrittenNilRecorder(b *testing.B) {
 	}
 	layer := net.MVMLayers()[0]
 	chip.WeightsWritten(layer) // warm the dirty-map entry
-	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		chip.WeightsWritten(layer)

@@ -1,0 +1,96 @@
+// Command remapd-benchdiff renders `go test -bench` output into the
+// BENCH_<sha>.json format CI archives per commit, and diffs such a file
+// against the committed BENCH_BASELINE.json to enforce the benchmark
+// budget: allocs/op and B/op on the gated (serial, fixed-iteration)
+// benchmarks are deterministic on any runner, so any change hard-fails;
+// ns/op is machine-dependent and only warns beyond a ±25% band.
+//
+// Examples:
+//
+//	go test -bench ... -benchmem | remapd-benchdiff -render > BENCH_BASELINE.json
+//	remapd-benchdiff -baseline BENCH_BASELINE.json -current BENCH_abc123.json
+//
+// In diff mode the exit status is the gate: 0 clean (warnings allowed),
+// 1 on any hard violation. With -github, findings are also emitted as
+// ::error::/::warning:: workflow annotations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"remapd/internal/benchdiff"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		render   = flag.Bool("render", false, "parse bench output (stdin or -in) and write BENCH json to stdout")
+		in       = flag.String("in", "", "bench output file for -render (default stdin)")
+		baseline = flag.String("baseline", "", "committed baseline json (diff mode)")
+		current  = flag.String("current", "", "current-run json (diff mode)")
+		github   = flag.Bool("github", false, "emit GitHub workflow ::error::/::warning:: annotations")
+	)
+	flag.Parse()
+
+	switch {
+	case *render:
+		src := os.Stdin
+		if *in != "" {
+			f, err := os.Open(*in)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			src = f
+		}
+		results, err := benchdiff.ParseBenchOutput(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := benchdiff.RenderJSON(results)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := os.Stdout.Write(out); err != nil {
+			log.Fatal(err)
+		}
+
+	case *baseline != "" && *current != "":
+		base := loadResults(*baseline)
+		cur := loadResults(*current)
+		findings := benchdiff.Diff(base, cur)
+		for _, f := range findings {
+			severity := "warning"
+			if f.Fail {
+				severity = "error"
+			}
+			fmt.Printf("%s: %s: %s\n", severity, f.Name, f.Msg)
+			if *github {
+				fmt.Printf("::%s title=bench-budget %s::%s\n", severity, f.Name, f.Msg)
+			}
+		}
+		if benchdiff.HasFailure(findings) {
+			log.Fatalf("bench budget violated against %s (intended changes: `make bench-baseline` and commit the result)", *baseline)
+		}
+		fmt.Printf("bench budget ok: %d benchmarks within budget of %s (%d warnings)\n",
+			len(cur), *baseline, len(findings))
+
+	default:
+		log.Fatal("usage: remapd-benchdiff -render [-in bench.out] | remapd-benchdiff -baseline BENCH_BASELINE.json -current BENCH_<sha>.json [-github]")
+	}
+}
+
+func loadResults(path string) []benchdiff.Result {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := benchdiff.LoadJSON(data)
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	return results
+}

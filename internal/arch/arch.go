@@ -98,6 +98,9 @@ type Chip struct {
 	fwdEff     map[string]*tensor.Tensor // cached forward-effective weights
 	bwdEff     map[string]*tensor.Tensor // cached backward-effective weights
 	dirty      map[string]bool
+	// quant caches the per-layer quantisation lookup table (keyed by the
+	// layer's fixed clip); refresh rebuilds an entry if the clip changes.
+	quant map[string]*reram.Quantizer
 
 	// writesPerStep counts optimizer steps for endurance accounting.
 	steps uint64
@@ -145,6 +148,7 @@ func NewChip(p reram.DeviceParams, g Geometry) *Chip {
 		fwdEff:     make(map[string]*tensor.Tensor),
 		bwdEff:     make(map[string]*tensor.Tensor),
 		dirty:      make(map[string]bool),
+		quant:      make(map[string]*reram.Quantizer),
 		ClipFactor: 2,
 	}
 	for i := range c.Xbars {
@@ -508,55 +512,49 @@ func (c *Chip) refresh(layer string) {
 		c.bwdEff[layer] = bwd
 	}
 
-	scratchSrc := make([]float32, c.Params.CrossbarSize*c.Params.CrossbarSize)
-	scratchDst := make([]float32, len(scratchSrc))
+	q := c.quant[layer]
+	if q == nil || q.Clip() != clip { //lint:allow float-eq clip is copied verbatim from c.clip, not recomputed
+		q = c.Params.NewQuantizer(clip)
+		c.quant[layer] = q
+	}
 
 	for _, t := range c.Tasks {
 		if t.Layer != layer {
 			continue
 		}
 		x := c.Xbars[c.xbarOfTask[t.ID]]
-		n := t.Rows * t.Cols
-		src := scratchSrc[:n]
-		dst := scratchDst[:n]
-		// Gather the block (forward: W as-is; backward: Wᵀ element order).
+		// Fused deploy: clamp each crossbar row straight from the weight
+		// tensor into the effective tensor — no gather/scatter scratch pass.
+		// Forward blocks are contiguous W rows; backward blocks tile Wᵀ, so
+		// crossbar row i is W column (RowOff+i) walked with stride cols.
 		if t.Phase == Forward {
 			for i := 0; i < t.Rows; i++ {
-				wr := (t.RowOff + i) * cols
-				copy(src[i*t.Cols:(i+1)*t.Cols], w.Data[wr+t.ColOff:wr+t.ColOff+t.Cols])
+				off := (t.RowOff+i)*cols + t.ColOff
+				x.ClampRowInto(q, fwd.Data[off:off+t.Cols], w.Data[off:off+t.Cols], 1, 1, i, t.Cols)
 			}
 		} else {
-			for i := 0; i < t.Rows; i++ { // row i of Wᵀ block = column of W
-				for j := 0; j < t.Cols; j++ {
-					src[i*t.Cols+j] = w.Data[(t.ColOff+j)*cols+(t.RowOff+i)]
-				}
+			for i := 0; i < t.Rows; i++ {
+				off := t.ColOff*cols + t.RowOff + i
+				end := (t.ColOff+t.Cols-1)*cols + t.RowOff + i + 1
+				x.ClampRowInto(q, bwd.Data[off:end], w.Data[off:end], cols, cols, i, t.Cols)
 			}
 		}
-		x.ClampWeights(dst, src, t.Rows, t.Cols, clip)
 		// Peripheral correction: repair the cells the installed mechanism
 		// can cover (they read back as the ideal quantised weight).
 		if c.CellCorrector != nil {
+			eff := fwd
+			if t.Phase == Backward {
+				eff = bwd
+			}
 			for i := 0; i < t.Rows; i++ {
 				for j := 0; j < t.Cols; j++ {
 					if x.State(i, j) == reram.Healthy {
 						continue
 					}
 					if c.CellCorrector(t, x, i, j) {
-						dst[i*t.Cols+j] = float32(c.Params.QuantizeWeight(float64(src[i*t.Cols+j]), clip))
+						elem := c.ElementOf(t, i, j)
+						eff.Data[elem] = float32(q.Quantize(float64(w.Data[elem])))
 					}
-				}
-			}
-		}
-		// Scatter back into the effective tensors.
-		if t.Phase == Forward {
-			for i := 0; i < t.Rows; i++ {
-				wr := (t.RowOff + i) * cols
-				copy(fwd.Data[wr+t.ColOff:wr+t.ColOff+t.Cols], dst[i*t.Cols:(i+1)*t.Cols])
-			}
-		} else {
-			for i := 0; i < t.Rows; i++ {
-				for j := 0; j < t.Cols; j++ {
-					bwd.Data[(t.ColOff+j)*cols+(t.RowOff+i)] = dst[i*t.Cols+j]
 				}
 			}
 		}

@@ -1,0 +1,214 @@
+// Package benchdiff parses `go test -bench` output and diffs it against a
+// committed baseline, so CI can hard-gate allocation regressions on the
+// tensor/nn hot path. The gate rests on a determinism argument: the gated
+// benchmarks run serial kernels (shapes below the tensor package's parallel
+// threshold) with a fixed iteration count (-benchtime=Nx) and -cpu=1, so
+// their allocs/op and B/op do not depend on the runner's core count, load,
+// or scheduler — any change is a code change. Wall-clock (ns/op) IS
+// machine-dependent, so it is never a hard gate, only a drift warning.
+package benchdiff
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"remapd/internal/det"
+)
+
+// Result is one benchmark line in canonical form. The JSON field names
+// match the BENCH_<sha>.json artifacts CI has recorded per commit since
+// the bench-smoke job was introduced, so old artifacts stay diffable.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// HasMem records whether the line carried -benchmem columns; without
+	// them B/op and allocs/op are unknown, not zero, and must not gate.
+	HasMem bool `json:"has_mem"`
+}
+
+// ParseBenchOutput extracts benchmark results from `go test -bench` output.
+// The trailing GOMAXPROCS suffix (BenchmarkFoo-8) is stripped so results
+// compare across runners; everything that is not a benchmark result line
+// (headers, PASS/ok trailers, test log output) is ignored.
+func ParseBenchOutput(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		// A result line is at least "Name  N  ns/op-value ns/op".
+		if len(f) < 4 || f[3] != "ns/op" {
+			continue
+		}
+		name := f[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchdiff: bad iteration count in %q: %v", line, err)
+		}
+		ns, err := strconv.ParseFloat(f[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchdiff: bad ns/op in %q: %v", line, err)
+		}
+		res := Result{Name: name, Iterations: iters, NsPerOp: ns}
+		for i := 4; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseInt(f[i], 10, 64)
+			if err != nil {
+				continue
+			}
+			switch f[i+1] {
+			case "B/op":
+				res.BytesPerOp = v
+				res.HasMem = true
+			case "allocs/op":
+				res.AllocsPerOp = v
+				res.HasMem = true
+			}
+		}
+		out = append(out, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchdiff: reading bench output: %v", err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchdiff: no benchmark result lines found")
+	}
+	return out, nil
+}
+
+// RenderJSON serialises results in deterministic (name-sorted) order for
+// the committed baseline and the per-commit BENCH_<sha>.json artifacts.
+func RenderJSON(results []Result) ([]byte, error) {
+	sorted := append([]Result(nil), results...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	b, err := json.MarshalIndent(sorted, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// LoadJSON parses a file previously written by RenderJSON.
+func LoadJSON(data []byte) ([]Result, error) {
+	var out []Result
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("benchdiff: parsing baseline JSON: %v", err)
+	}
+	return out, nil
+}
+
+// BytesSlack is the absolute B/op tolerance of the hard gate. The Go
+// runtime can shift a benchmark's measured bytes by a few bytes per op
+// (sync.Pool refills after a GC between benchmark rounds land inside the
+// timed window on some runs), so an exact byte gate would flake. Any real
+// regression allocates at least a slice or interface header (≥ 16 B) per
+// op and still trips the gate.
+const BytesSlack = 16
+
+// NsWarnRatio is the relative ns/op drift beyond which Diff emits a
+// warning. Wall-clock varies across runners, so this never hard-fails.
+const NsWarnRatio = 0.25
+
+// Finding is one comparison outcome for a benchmark present in either set.
+type Finding struct {
+	Name string
+	// Fail is a hard-gate violation; Warn is advisory (ns/op drift).
+	Fail bool
+	Msg  string
+}
+
+// Diff compares current results against the committed baseline.
+//
+// Hard failures (Fail=true): allocs/op above baseline, B/op above baseline
+// by more than BytesSlack, a gated benchmark that disappeared from the
+// current run, or a current benchmark missing from the baseline (the
+// baseline is stale — regenerate it with `make bench-baseline`).
+// Improvements (fewer allocs/bytes than baseline) also fail, deliberately:
+// the baseline must be ratcheted down in the same commit, or the next
+// regression back to the old level would pass unnoticed.
+// Warnings (Fail=false): ns/op drift beyond NsWarnRatio in either
+// direction.
+func Diff(baseline, current []Result) []Finding {
+	base := make(map[string]Result, len(baseline))
+	for _, r := range baseline {
+		base[r.Name] = r
+	}
+	cur := make(map[string]Result, len(current))
+	for _, r := range current {
+		cur[r.Name] = r
+	}
+
+	names := det.SortedKeys(base)
+	for _, n := range det.SortedKeys(cur) {
+		if _, ok := base[n]; !ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	var out []Finding
+	for _, n := range names {
+		b, inBase := base[n]
+		c, inCur := cur[n]
+		switch {
+		case !inCur:
+			out = append(out, Finding{Name: n, Fail: true,
+				Msg: "present in baseline but missing from current run (benchmark removed or renamed? regenerate with `make bench-baseline`)"})
+			continue
+		case !inBase:
+			out = append(out, Finding{Name: n, Fail: true,
+				Msg: "missing from baseline (new benchmark? regenerate with `make bench-baseline`)"})
+			continue
+		}
+		if b.HasMem && c.HasMem {
+			if c.AllocsPerOp != b.AllocsPerOp {
+				out = append(out, Finding{Name: n, Fail: true,
+					Msg: fmt.Sprintf("allocs/op changed: baseline %d, current %d (if intended, regenerate with `make bench-baseline`)",
+						b.AllocsPerOp, c.AllocsPerOp)})
+			}
+			if delta := c.BytesPerOp - b.BytesPerOp; delta > BytesSlack || delta < -BytesSlack {
+				out = append(out, Finding{Name: n, Fail: true,
+					Msg: fmt.Sprintf("B/op changed: baseline %d, current %d (tolerance ±%d B)",
+						b.BytesPerOp, c.BytesPerOp, BytesSlack)})
+			}
+		} else if b.HasMem != c.HasMem {
+			out = append(out, Finding{Name: n, Fail: true,
+				Msg: "one side lacks -benchmem columns; run both with -benchmem"})
+		}
+		if b.NsPerOp > 0 {
+			ratio := c.NsPerOp / b.NsPerOp
+			if ratio > 1+NsWarnRatio || ratio < 1-NsWarnRatio {
+				out = append(out, Finding{Name: n, Fail: false,
+					Msg: fmt.Sprintf("ns/op drifted %.0f%%: baseline %.0f, current %.0f (wall-clock is machine-dependent; informational only)",
+						(ratio-1)*100, b.NsPerOp, c.NsPerOp)})
+			}
+		}
+	}
+	return out
+}
+
+// HasFailure reports whether any finding is a hard-gate violation.
+func HasFailure(findings []Finding) bool {
+	for _, f := range findings {
+		if f.Fail {
+			return true
+		}
+	}
+	return false
+}

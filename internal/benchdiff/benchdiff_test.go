@@ -1,0 +1,147 @@
+package benchdiff
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: remapd/internal/tensor
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkMatMulSerial       	      50	     96928 ns/op	       0 B/op	       0 allocs/op
+BenchmarkMatMulTransBSerial-4 	      50	     86206 ns/op	       2 B/op	       0 allocs/op
+BenchmarkMatMulParallel     	      50	   1698239 ns/op
+some unrelated log line
+PASS
+ok  	remapd/internal/tensor	0.029s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	results, err := ParseBenchOutput(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(results), results)
+	}
+	r := results[1]
+	if r.Name != "BenchmarkMatMulTransBSerial" {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %q", r.Name)
+	}
+	if r.Iterations != 50 || r.NsPerOp != 86206 || r.BytesPerOp != 2 || r.AllocsPerOp != 0 || !r.HasMem {
+		t.Fatalf("bad parse: %+v", r)
+	}
+	if p := results[2]; p.HasMem {
+		t.Fatalf("line without -benchmem columns parsed as HasMem: %+v", p)
+	}
+}
+
+func TestParseBenchOutputEmpty(t *testing.T) {
+	if _, err := ParseBenchOutput(strings.NewReader("PASS\nok x 0.1s\n")); err == nil {
+		t.Fatal("want error on output with no benchmark lines")
+	}
+}
+
+func TestRenderLoadRoundTrip(t *testing.T) {
+	in := []Result{
+		{Name: "BenchmarkB", Iterations: 10, NsPerOp: 2, BytesPerOp: 3, AllocsPerOp: 1, HasMem: true},
+		{Name: "BenchmarkA", Iterations: 20, NsPerOp: 1.5, HasMem: false},
+	}
+	data, err := RenderJSON(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := LoadJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].Name != "BenchmarkA" || out[1].Name != "BenchmarkB" {
+		t.Fatalf("round trip not name-sorted: %+v", out)
+	}
+	if out[1].BytesPerOp != 3 || out[1].AllocsPerOp != 1 || !out[1].HasMem {
+		t.Fatalf("round trip lost fields: %+v", out[1])
+	}
+}
+
+func mem(name string, ns float64, bytes, allocs int64) Result {
+	return Result{Name: name, Iterations: 50, NsPerOp: ns, BytesPerOp: bytes, AllocsPerOp: allocs, HasMem: true}
+}
+
+// TestDiffAllocRegressionFails is the gate's reason to exist: a synthetic
+// allocs/op regression (the escaping-closure failure mode this PR removed:
+// +1 alloc, +96 B) must hard-fail the diff.
+func TestDiffAllocRegressionFails(t *testing.T) {
+	base := []Result{mem("BenchmarkMatMulSerial", 97000, 0, 0)}
+	cur := []Result{mem("BenchmarkMatMulSerial", 97100, 96, 1)}
+	findings := Diff(base, cur)
+	if !HasFailure(findings) {
+		t.Fatalf("alloc regression did not fail: %+v", findings)
+	}
+	fails := 0
+	for _, f := range findings {
+		if f.Fail {
+			fails++
+		}
+	}
+	if fails != 2 { // one for allocs/op, one for B/op
+		t.Fatalf("want 2 hard failures (allocs + bytes), got %d: %+v", fails, findings)
+	}
+}
+
+func TestDiffCleanRunPasses(t *testing.T) {
+	base := []Result{mem("BenchmarkA", 100, 2, 0), mem("BenchmarkB", 200, 0, 0)}
+	cur := []Result{mem("BenchmarkA", 110, 0, 0), mem("BenchmarkB", 190, 0, 0)}
+	// BytesPerOp 2 → 0 sits inside BytesSlack: runtime noise, not a gate.
+	if findings := Diff(base, cur); HasFailure(findings) {
+		t.Fatalf("clean run failed: %+v", findings)
+	}
+}
+
+func TestDiffImprovementRequiresRatchet(t *testing.T) {
+	base := []Result{mem("BenchmarkA", 100, 512, 4)}
+	cur := []Result{mem("BenchmarkA", 100, 0, 0)}
+	if !HasFailure(Diff(base, cur)) {
+		t.Fatal("improvement without a baseline ratchet must fail")
+	}
+}
+
+func TestDiffMissingBenchmarks(t *testing.T) {
+	base := []Result{mem("BenchmarkOld", 100, 0, 0)}
+	cur := []Result{mem("BenchmarkNew", 100, 0, 0)}
+	findings := Diff(base, cur)
+	fails := 0
+	for _, f := range findings {
+		if f.Fail {
+			fails++
+		}
+	}
+	if fails != 2 {
+		t.Fatalf("want failures for both the removed and the unbaselined benchmark: %+v", findings)
+	}
+}
+
+func TestDiffNsDriftWarnsOnly(t *testing.T) {
+	base := []Result{mem("BenchmarkA", 100, 0, 0)}
+	cur := []Result{mem("BenchmarkA", 200, 0, 0)}
+	findings := Diff(base, cur)
+	if HasFailure(findings) {
+		t.Fatalf("ns/op drift must not hard-fail: %+v", findings)
+	}
+	if len(findings) != 1 || findings[0].Fail {
+		t.Fatalf("want exactly one warning: %+v", findings)
+	}
+	// Within the ±25% band: silent.
+	cur[0].NsPerOp = 120
+	if findings := Diff(base, cur); len(findings) != 0 {
+		t.Fatalf("in-band drift should be silent: %+v", findings)
+	}
+}
+
+func TestDiffBenchmemMismatch(t *testing.T) {
+	base := []Result{mem("BenchmarkA", 100, 0, 0)}
+	cur := []Result{{Name: "BenchmarkA", Iterations: 50, NsPerOp: 100}}
+	if !HasFailure(Diff(base, cur)) {
+		t.Fatal("missing -benchmem columns on one side must fail")
+	}
+}

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -166,6 +167,9 @@ func (l *Loader) Load(path string) (*Package, error) {
 }
 
 // goFiles lists the buildable (non-test) .go files of dir, sorted.
+// Build constraints — filename GOOS/GOARCH suffixes and //go:build lines —
+// are honoured for the host platform, so arch-specific kernel files (e.g.
+// an amd64 assembly shim and its pure-Go fallback) don't double-declare.
 func goFiles(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -177,6 +181,9 @@ func goFiles(dir string) ([]string, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
 			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") ||
 			strings.HasPrefix(name, "_") {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
 			continue
 		}
 		names = append(names, name)

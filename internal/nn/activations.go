@@ -6,6 +6,7 @@ import "remapd/internal/tensor"
 // inputs for the backward pass.
 type ReLU struct {
 	name string
+	ws   Workspace
 	mask []bool
 }
 
@@ -20,7 +21,7 @@ func (r *ReLU) Params() []*Param { return nil }
 
 // Forward applies max(0, x).
 func (r *ReLU) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
-	y := tensor.New(x.Shape...)
+	y := r.ws.Take("y", x.Shape...)
 	if cap(r.mask) < x.Len() {
 		r.mask = make([]bool, x.Len())
 	}
@@ -30,6 +31,7 @@ func (r *ReLU) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 			y.Data[i] = v
 			r.mask[i] = true
 		} else {
+			y.Data[i] = 0
 			r.mask[i] = false
 		}
 	}
@@ -38,10 +40,12 @@ func (r *ReLU) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 
 // Backward zeroes gradients where the input was non-positive.
 func (r *ReLU) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(dy.Shape...)
+	dx := r.ws.Take("dx", dy.Shape...)
 	for i, v := range dy.Data {
 		if r.mask[i] {
 			dx.Data[i] = v
+		} else {
+			dx.Data[i] = 0
 		}
 	}
 	return dx
@@ -82,6 +86,7 @@ type Dropout struct {
 	name string
 	P    float64
 	rng  *tensor.RNG
+	ws   Workspace
 	mask []bool
 }
 
@@ -102,7 +107,7 @@ func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		d.mask = d.mask[:0]
 		return x
 	}
-	y := tensor.New(x.Shape...)
+	y := d.ws.Take("y", x.Shape...)
 	if cap(d.mask) < x.Len() {
 		d.mask = make([]bool, x.Len())
 	}
@@ -113,6 +118,7 @@ func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			y.Data[i] = v * scale
 			d.mask[i] = true
 		} else {
+			y.Data[i] = 0
 			d.mask[i] = false
 		}
 	}
@@ -124,11 +130,13 @@ func (d *Dropout) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	if len(d.mask) == 0 {
 		return dy
 	}
-	dx := tensor.New(dy.Shape...)
+	dx := d.ws.Take("dx", dy.Shape...)
 	scale := float32(1 / (1 - d.P))
 	for i, v := range dy.Data {
 		if d.mask[i] {
 			dx.Data[i] = v * scale
+		} else {
+			dx.Data[i] = 0
 		}
 	}
 	return dx

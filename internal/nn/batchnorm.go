@@ -20,6 +20,7 @@ type BatchNorm2D struct {
 	RunMean, RunVar     *tensor.Tensor
 
 	// forward caches
+	ws      Workspace
 	xHat    *tensor.Tensor
 	invStd  []float32
 	inShape []int
@@ -58,14 +59,16 @@ func (bn *BatchNorm2D) Params() []*Param {
 // Forward normalises per channel. In training mode it uses batch statistics
 // and updates the running averages; in eval mode it uses the running stats.
 func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	checkShape(x.Rank() == 4 && x.Dim(1) == bn.C, bn.name, "want N×%d×H×W, got %v", bn.C, x.Shape)
+	if x.Rank() != 4 || x.Dim(1) != bn.C {
+		badShape(bn.name, "want N×%d×H×W, got %v", bn.C, x.Shape)
+	}
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	bn.inShape = append(bn.inShape[:0], x.Shape...)
 	plane := h * w
 	m := float64(n * plane)
 
-	y := tensor.New(x.Shape...)
-	bn.xHat = tensor.New(x.Shape...)
+	y := bn.ws.Take("y", x.Shape...)
+	bn.xHat = bn.ws.Take("xhat", x.Shape...)
 	if cap(bn.invStd) < c {
 		bn.invStd = make([]float32, c)
 	}
@@ -119,7 +122,7 @@ func (bn *BatchNorm2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	n, c := bn.inShape[0], bn.inShape[1]
 	plane := bn.inShape[2] * bn.inShape[3]
 	m := float32(n * plane)
-	dx := tensor.New(bn.inShape...)
+	dx := bn.ws.Take("dx", bn.inShape...)
 
 	for ch := 0; ch < c; ch++ {
 		var sumDy, sumDyXhat float64

@@ -21,7 +21,8 @@ type Conv2D struct {
 	GradB  *tensor.Tensor
 	fabric Fabric
 
-	cols *tensor.Tensor // cached im2col matrix (N·R)×C for backward
+	ws   Workspace      // scratch reused across batches (see Workspace)
+	cols *tensor.Tensor // im2col matrix (N·R)×C, cached for backward
 	n    int            // cached batch size
 }
 
@@ -58,21 +59,20 @@ func (c *Conv2D) Params() []*Param {
 // out((N·R)×OutC) = cols((N·R)×C) · Wfᵀ(C×OutC).
 func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	g := c.Geom
-	checkShape(x.Rank() == 4 && x.Dim(1) == g.InC && x.Dim(2) == g.InH && x.Dim(3) == g.InW,
-		c.name, "want N×%d×%d×%d input, got %v", g.InC, g.InH, g.InW, x.Shape)
+	if x.Rank() != 4 || x.Dim(1) != g.InC || x.Dim(2) != g.InH || x.Dim(3) != g.InW {
+		badShape(c.name, "want N×%d×%d×%d input, got %v", g.InC, g.InH, g.InW, x.Shape)
+	}
 	n := x.Dim(0)
 	c.n = n
 	rows, colsN := g.ColRows(), g.ColCols()
-	if c.cols == nil || c.cols.Dim(0) != n*rows {
-		c.cols = tensor.New(n*rows, colsN)
-	}
+	c.cols = c.ws.Take("cols", n*rows, colsN)
 	imgLen := g.InC * g.InH * g.InW
 	for i := 0; i < n; i++ {
 		g.Im2Col(c.cols.Data[i*rows*colsN:(i+1)*rows*colsN], x.Data[i*imgLen:(i+1)*imgLen])
 	}
 
-	wf := c.fabric.EffectiveForward(c.name, c.W).Reshape(g.OutC, colsN)
-	out := tensor.New(n*rows, g.OutC)
+	wf := c.ws.View2D("wf", c.fabric.EffectiveForward(c.name, c.W), g.OutC, colsN)
+	out := c.ws.Take("gemm", n*rows, g.OutC)
 	tensor.MatMulTransBInto(out, c.cols, wf)
 	for r := 0; r < n*rows; r++ {
 		row := out.Data[r*g.OutC : (r+1)*g.OutC]
@@ -80,14 +80,16 @@ func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 			row[j] += c.B.Data[j]
 		}
 	}
-	// Transpose (N·R)×OutC rows into N×OutC×OH×OW layout.
+	// Transpose (N·R)×OutC rows into N×OutC×OH×OW layout, one contiguous
+	// output plane at a time.
 	oh, ow := g.OutH(), g.OutW()
-	y := tensor.New(n, g.OutC, oh, ow)
+	y := c.ws.Take("y", n, g.OutC, oh, ow)
 	for i := 0; i < n; i++ {
-		for r := 0; r < rows; r++ {
-			src := out.Data[(i*rows+r)*g.OutC : (i*rows+r+1)*g.OutC]
-			for oc := 0; oc < g.OutC; oc++ {
-				y.Data[((i*g.OutC+oc)*oh*ow)+r] = src[oc]
+		img := out.Data[i*rows*g.OutC : (i+1)*rows*g.OutC]
+		for oc := 0; oc < g.OutC; oc++ {
+			plane := y.Data[(i*g.OutC+oc)*rows : (i*g.OutC+oc+1)*rows]
+			for r := range plane {
+				plane[r] = img[r*g.OutC+oc]
 			}
 		}
 	}
@@ -99,18 +101,20 @@ func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 func (c *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	g := c.Geom
 	oh, ow := g.OutH(), g.OutW()
-	checkShape(dy.Rank() == 4 && dy.Dim(1) == g.OutC && dy.Dim(2) == oh && dy.Dim(3) == ow,
-		c.name, "want N×%d×%d×%d grad, got %v", g.OutC, oh, ow, dy.Shape)
+	if dy.Rank() != 4 || dy.Dim(1) != g.OutC || dy.Dim(2) != oh || dy.Dim(3) != ow {
+		badShape(c.name, "want N×%d×%d×%d grad, got %v", g.OutC, oh, ow, dy.Shape)
+	}
 	n := c.n
 	rows, colsN := g.ColRows(), g.ColCols()
 
 	// Re-layout dy from N×OutC×OH×OW to (N·R)×OutC to match the GEMM view.
-	dyf := tensor.New(n*rows, g.OutC)
+	dyf := c.ws.Take("dyf", n*rows, g.OutC)
 	for i := 0; i < n; i++ {
+		img := dyf.Data[i*rows*g.OutC : (i+1)*rows*g.OutC]
 		for oc := 0; oc < g.OutC; oc++ {
 			src := dy.Data[(i*g.OutC+oc)*oh*ow : (i*g.OutC+oc+1)*oh*ow]
-			for r := 0; r < rows; r++ {
-				dyf.Data[(i*rows+r)*g.OutC+oc] = src[r]
+			for r, v := range src {
+				img[r*g.OutC+oc] = v
 			}
 		}
 	}
@@ -118,7 +122,7 @@ func (c *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	// dW(OutC×C) = dyfᵀ((N·R)×OutC)ᵀ · cols((N·R)×C); db = Σ dy. The dW
 	// outer products run on the backward-phase crossbars, so the fabric may
 	// corrupt stuck entries.
-	gw := c.GradW.Reshape(g.OutC, colsN)
+	gw := c.ws.View2D("gw", c.GradW, g.OutC, colsN)
 	tensor.MatMulTransAInto(gw, dyf, c.cols)
 	c.fabric.TransformGradient(c.name, c.GradW)
 	for r := 0; r < n*rows; r++ {
@@ -129,11 +133,12 @@ func (c *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	}
 
 	// dcols = dyf · Wb, then fold back to image space.
-	wb := c.fabric.EffectiveBackward(c.name, c.W).Reshape(g.OutC, colsN)
-	dcols := tensor.New(n*rows, colsN)
+	wb := c.ws.View2D("wb", c.fabric.EffectiveBackward(c.name, c.W), g.OutC, colsN)
+	dcols := c.ws.Take("dcols", n*rows, colsN) // MatMulInto zeroes it
 	tensor.MatMulInto(dcols, dyf, wb)
 
-	dx := tensor.New(n, g.InC, g.InH, g.InW)
+	dx := c.ws.Take("dx", n, g.InC, g.InH, g.InW)
+	dx.Zero() // Col2Im accumulates into its destination
 	imgLen := g.InC * g.InH * g.InW
 	for i := 0; i < n; i++ {
 		g.Col2Im(dx.Data[i*imgLen:(i+1)*imgLen], dcols.Data[i*rows*colsN:(i+1)*rows*colsN])

@@ -20,7 +20,8 @@ type Linear struct {
 	GradB  *tensor.Tensor
 	fabric Fabric
 
-	x *tensor.Tensor // cached input N×In
+	ws Workspace
+	x  *tensor.Tensor // cached input N×In
 }
 
 // NewLinear builds a fully-connected layer with Kaiming-uniform weights.
@@ -55,11 +56,13 @@ func (l *Linear) Params() []*Param {
 
 // Forward computes y = x·Wfᵀ + b for a batch x of shape N×In.
 func (l *Linear) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
-	checkShape(x.Rank() == 2 && x.Dim(1) == l.In, l.name, "want N×%d input, got %v", l.In, x.Shape)
+	if x.Rank() != 2 || x.Dim(1) != l.In {
+		badShape(l.name, "want N×%d input, got %v", l.In, x.Shape)
+	}
 	l.x = x
 	wf := l.fabric.EffectiveForward(l.name, l.W)
 	n := x.Dim(0)
-	y := tensor.New(n, l.Out)
+	y := l.ws.Take("y", n, l.Out)
 	tensor.MatMulTransBInto(y, x, wf)
 	for i := 0; i < n; i++ {
 		row := y.Data[i*l.Out : (i+1)*l.Out]
@@ -72,7 +75,9 @@ func (l *Linear) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 
 // Backward computes dx = dy·Wb, dW = dyᵀ·x, db = Σ dy.
 func (l *Linear) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	checkShape(dy.Rank() == 2 && dy.Dim(1) == l.Out, l.name, "want N×%d grad, got %v", l.Out, dy.Shape)
+	if dy.Rank() != 2 || dy.Dim(1) != l.Out {
+		badShape(l.name, "want N×%d grad, got %v", l.Out, dy.Shape)
+	}
 	n := dy.Dim(0)
 
 	// Weight gradient: dW(Out×In) = dyᵀ(Out×N)·x(N×In), computed on the
@@ -88,7 +93,7 @@ func (l *Linear) Backward(dy *tensor.Tensor) *tensor.Tensor {
 
 	// Error propagation through the backward (transpose) weight copy.
 	wb := l.fabric.EffectiveBackward(l.name, l.W)
-	dx := tensor.New(n, l.In)
+	dx := l.ws.Take("dx", n, l.In) // MatMulInto zeroes it
 	tensor.MatMulInto(dx, dy, wb)
 	return dx
 }

@@ -10,6 +10,15 @@ import (
 // (N×C) against integer labels, and the gradient w.r.t. the logits.
 // The softmax is computed with the max-subtraction trick for stability.
 func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, grad *tensor.Tensor) {
+	grad = tensor.New(logits.Dim(0), logits.Dim(1))
+	loss = SoftmaxCrossEntropyInto(grad, logits, labels)
+	return loss, grad
+}
+
+// SoftmaxCrossEntropyInto is SoftmaxCrossEntropy writing the gradient into a
+// caller-provided N×C tensor (fully overwritten), so the training loop can
+// reuse one buffer across batches instead of allocating per step.
+func SoftmaxCrossEntropyInto(grad, logits *tensor.Tensor, labels []int) (loss float64) {
 	if logits.Rank() != 2 {
 		panic("nn: SoftmaxCrossEntropy wants N×C logits")
 	}
@@ -17,7 +26,9 @@ func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, gra
 	if len(labels) != n {
 		panic("nn: SoftmaxCrossEntropy label count mismatch")
 	}
-	grad = tensor.New(n, c)
+	if grad.Len() != n*c {
+		panic("nn: SoftmaxCrossEntropyInto grad shape mismatch")
+	}
 	invN := 1 / float64(n)
 	for i := 0; i < n; i++ {
 		row := logits.Data[i*c : (i+1)*c]
@@ -46,7 +57,7 @@ func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, gra
 			}
 		}
 	}
-	return loss, grad
+	return loss
 }
 
 // Accuracy returns the fraction of rows of logits whose argmax equals the

@@ -184,10 +184,10 @@ func (n *Network) ZeroGrads() {
 	}
 }
 
-// checkShape panics with a descriptive message if the condition fails;
-// layers use it to validate input geometry early.
-func checkShape(ok bool, layer, format string, args ...interface{}) {
-	if !ok {
-		panic(fmt.Sprintf("nn: layer %s: %s", layer, fmt.Sprintf(format, args...)))
-	}
+// badShape panics with a descriptive layer-geometry message. Layers call it
+// behind an explicit condition check (rather than passing the condition to a
+// variadic assert helper) so the valid-shape hot path never builds or boxes
+// an argument list — Forward/Backward run per batch and must not allocate.
+func badShape(layer, format string, args ...interface{}) {
+	panic(fmt.Sprintf("nn: layer %s: %s", layer, fmt.Sprintf(format, args...)))
 }

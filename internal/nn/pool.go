@@ -9,6 +9,7 @@ type MaxPool2D struct {
 	name    string
 	K       int
 	Stride  int
+	ws      Workspace
 	argmax  []int
 	inShape []int
 }
@@ -26,13 +27,17 @@ func (p *MaxPool2D) Params() []*Param { return nil }
 
 // Forward computes the window maxima and records argmax indices.
 func (p *MaxPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
-	checkShape(x.Rank() == 4, p.name, "want NCHW input, got %v", x.Shape)
+	if x.Rank() != 4 {
+		badShape(p.name, "want NCHW input, got %v", x.Shape)
+	}
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	oh := (h-p.K)/p.Stride + 1
 	ow := (w-p.K)/p.Stride + 1
-	checkShape(oh > 0 && ow > 0, p.name, "input %dx%d too small for pool %d/%d", h, w, p.K, p.Stride)
+	if oh <= 0 || ow <= 0 {
+		badShape(p.name, "input %dx%d too small for pool %d/%d", h, w, p.K, p.Stride)
+	}
 	p.inShape = append(p.inShape[:0], x.Shape...)
-	y := tensor.New(n, c, oh, ow)
+	y := p.ws.Take("y", n, c, oh, ow)
 	if cap(p.argmax) < y.Len() {
 		p.argmax = make([]int, y.Len())
 	}
@@ -65,7 +70,8 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 
 // Backward routes each output gradient to its argmax input position.
 func (p *MaxPool2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(p.inShape...)
+	dx := p.ws.Take("dx", p.inShape...)
+	dx.Zero() // gradients accumulate into argmax positions
 	for oi, v := range dy.Data {
 		dx.Data[p.argmax[oi]] += v
 	}
@@ -76,6 +82,7 @@ func (p *MaxPool2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 // N×C output from N×C×H×W input (ResNet/SqueezeNet heads).
 type GlobalAvgPool struct {
 	name    string
+	ws      Workspace
 	inShape []int
 }
 
@@ -90,10 +97,12 @@ func (p *GlobalAvgPool) Params() []*Param { return nil }
 
 // Forward averages each H×W plane.
 func (p *GlobalAvgPool) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
-	checkShape(x.Rank() == 4, p.name, "want NCHW input, got %v", x.Shape)
+	if x.Rank() != 4 {
+		badShape(p.name, "want NCHW input, got %v", x.Shape)
+	}
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	p.inShape = append(p.inShape[:0], x.Shape...)
-	y := tensor.New(n, c)
+	y := p.ws.Take("y", n, c)
 	inv := 1 / float32(h*w)
 	for i := 0; i < n; i++ {
 		for ch := 0; ch < c; ch++ {
@@ -111,7 +120,7 @@ func (p *GlobalAvgPool) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 // Backward spreads each gradient uniformly over its plane.
 func (p *GlobalAvgPool) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := p.inShape[0], p.inShape[1], p.inShape[2], p.inShape[3]
-	dx := tensor.New(p.inShape...)
+	dx := p.ws.Take("dx", p.inShape...)
 	inv := 1 / float32(h*w)
 	for i := 0; i < n; i++ {
 		for ch := 0; ch < c; ch++ {
@@ -131,6 +140,7 @@ type AvgPool2D struct {
 	name    string
 	K       int
 	Stride  int
+	ws      Workspace
 	inShape []int
 }
 
@@ -147,12 +157,14 @@ func (p *AvgPool2D) Params() []*Param { return nil }
 
 // Forward computes window means.
 func (p *AvgPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
-	checkShape(x.Rank() == 4, p.name, "want NCHW input, got %v", x.Shape)
+	if x.Rank() != 4 {
+		badShape(p.name, "want NCHW input, got %v", x.Shape)
+	}
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	oh := (h-p.K)/p.Stride + 1
 	ow := (w-p.K)/p.Stride + 1
 	p.inShape = append(p.inShape[:0], x.Shape...)
-	y := tensor.New(n, c, oh, ow)
+	y := p.ws.Take("y", n, c, oh, ow)
 	inv := 1 / float32(p.K*p.K)
 	oi := 0
 	for i := 0; i < n; i++ {
@@ -180,7 +192,8 @@ func (p *AvgPool2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := p.inShape[0], p.inShape[1], p.inShape[2], p.inShape[3]
 	oh := (h-p.K)/p.Stride + 1
 	ow := (w-p.K)/p.Stride + 1
-	dx := tensor.New(p.inShape...)
+	dx := p.ws.Take("dx", p.inShape...)
+	dx.Zero() // overlapping windows accumulate
 	inv := 1 / float32(p.K*p.K)
 	oi := 0
 	for i := 0; i < n; i++ {

@@ -10,6 +10,7 @@ type Residual struct {
 	Body  []Layer
 	Short []Layer
 	relu  *ReLU
+	ws    Workspace
 }
 
 // NewResidual builds a residual block. The output ReLU is applied after the
@@ -93,7 +94,8 @@ func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if !b.SameShape(s) {
 		panic("nn: residual branch shape mismatch: " + b.String() + " vs " + s.String())
 	}
-	sum := b.Clone()
+	sum := r.ws.Take("sum", b.Shape...)
+	copy(sum.Data, b.Data)
 	sum.Add(s)
 	return r.relu.Forward(sum, train)
 }
@@ -110,7 +112,8 @@ func (r *Residual) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	for i := len(r.Short) - 1; i >= 0; i-- {
 		ds = r.Short[i].Backward(ds)
 	}
-	dx := db.Clone()
+	dx := r.ws.Take("dx", db.Shape...)
+	copy(dx.Data, db.Data)
 	dx.Add(ds)
 	return dx
 }

@@ -14,6 +14,11 @@ type SGD struct {
 	velocity     map[string]*tensor.Tensor
 	net          *Network
 	stepsApplied int
+
+	// params/mvmNames cache the network's (static) parameter and MVM-layer
+	// lists so the per-step hot loop does not rebuild them.
+	params   []*Param
+	mvmNames []string
 }
 
 // NewSGD builds an optimizer over net's parameters.
@@ -33,7 +38,11 @@ func (s *SGD) Steps() int { return s.stepsApplied }
 
 // Step applies one update to every parameter and clears the gradients.
 func (s *SGD) Step() {
-	for _, p := range s.net.Params() {
+	if s.params == nil {
+		s.params = s.net.Params()
+		s.mvmNames = s.net.MVMLayers()
+	}
+	for _, p := range s.params {
 		g := p.Grad
 		if s.GradClip > 0 {
 			if norm := g.L2Norm(); norm > s.GradClip {
@@ -58,7 +67,7 @@ func (s *SGD) Step() {
 	}
 	s.stepsApplied++
 	// Every step rewrites the stored conductances on the substrate.
-	for _, name := range s.net.MVMLayers() {
+	for _, name := range s.mvmNames {
 		s.net.Fabric.WeightsWritten(name)
 	}
 }

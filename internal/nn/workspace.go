@@ -1,0 +1,69 @@
+package nn
+
+import "remapd/internal/tensor"
+
+// Workspace owns the named scratch tensors a layer reuses across batches:
+// im2col patch matrices, GEMM outputs, activation/gradient buffers. Before
+// workspaces, every Forward/Backward call allocated its outputs fresh, and
+// the training loop's steady state churned hundreds of megabytes per epoch
+// through the garbage collector; with them, the conv path runs
+// allocation-free once buffers have grown to the batch's working-set size.
+//
+// The contract is single-owner, latest-call-wins: a tensor returned by Take
+// is valid until the *same key* is taken again, so a layer's Forward output
+// is stable exactly until its next Forward call — the lifetime the training
+// loop needs (forward → loss → backward → step, then the next batch may
+// overwrite). Contents are unspecified at Take time: callers must fully
+// overwrite the tensor or Zero() it first. The zero value is ready to use.
+type Workspace struct {
+	bufs map[string]*tensor.Tensor
+}
+
+// Take returns the workspace tensor registered under key, reshaped to
+// shape. The backing storage (and the *Tensor header itself) is reused when
+// capacity allows, so the steady state allocates nothing.
+func (ws *Workspace) Take(key string, shape ...int) *tensor.Tensor {
+	t := ws.bufs[key]
+	if t == nil {
+		if ws.bufs == nil {
+			ws.bufs = make(map[string]*tensor.Tensor)
+		}
+		t = tensor.New(shape...)
+		ws.bufs[key] = t
+		return t
+	}
+	vol := 1
+	for _, d := range shape {
+		vol *= d
+	}
+	if cap(t.Data) < vol {
+		t.Data = make([]float32, vol)
+	} else {
+		t.Data = t.Data[:vol]
+	}
+	t.Shape = append(t.Shape[:0], shape...)
+	return t
+}
+
+// View2D returns a d0×d1 view of src's storage registered under key,
+// reusing the cached *Tensor header across calls — the allocation-free
+// counterpart of src.Reshape(d0, d1) for hot-path weight views. The view
+// aliases src.Data directly, tracking whatever tensor src is on each call,
+// and like Take it is valid only until the same key is viewed again.
+func (ws *Workspace) View2D(key string, src *tensor.Tensor, d0, d1 int) *tensor.Tensor {
+	if d0*d1 != len(src.Data) {
+		panic("nn: View2D volume mismatch")
+	}
+	v := ws.bufs[key]
+	if v == nil {
+		if ws.bufs == nil {
+			ws.bufs = make(map[string]*tensor.Tensor)
+		}
+		v = src.Reshape(d0, d1)
+		ws.bufs[key] = v
+		return v
+	}
+	v.Data = src.Data
+	v.Shape = append(v.Shape[:0], d0, d1)
+	return v
+}

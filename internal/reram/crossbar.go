@@ -159,24 +159,58 @@ func (x *Crossbar) ClampWeights(dst, src []float32, rows, cols int, clip float64
 	if len(dst) != len(src) || len(src) != rows*cols {
 		panic("reram: ClampWeights block size mismatch")
 	}
-	if rows > x.Size || cols > x.Size {
-		panic(fmt.Sprintf("reram: %d×%d block exceeds crossbar size %d", rows, cols, x.Size))
+	q := x.Params.NewQuantizer(clip)
+	for i := 0; i < rows; i++ {
+		x.ClampRowInto(q, dst[i*cols:], src[i*cols:], 1, 1, i, cols)
+	}
+}
+
+// ClampRowInto clamps one crossbar row directly between caller-owned
+// (possibly strided) views: dst[j·dstStride] receives the effective weight
+// of src[j·srcStride] as seen through cell (row, j), for j in [0, ncols).
+// Stride 1 walks a contiguous forward-weight row; stride = matrix-width
+// walks a column of the transposed backward copy in place. This is the
+// fused deploy path: the architecture layer hands tensor sub-slices here
+// instead of gathering blocks into scratch and scattering results back.
+func (x *Crossbar) ClampRowInto(q *Quantizer, dst, src []float32, dstStride, srcStride, row, ncols int) {
+	if row < 0 || row >= x.Size || ncols > x.Size {
+		panic(fmt.Sprintf("reram: row %d / %d cols exceeds crossbar size %d", row, ncols, x.Size))
+	}
+	if ncols <= 0 {
+		return
+	}
+	if (ncols-1)*dstStride >= len(dst) || (ncols-1)*srcStride >= len(src) {
+		panic("reram: ClampRowInto view too short for stride")
 	}
 	p := x.Params
-	for i := 0; i < rows; i++ {
-		for j := 0; j < cols; j++ {
-			bi := i*cols + j
-			cell := i*x.Size + j
-			if x.state[cell] == Healthy {
-				w := p.QuantizeWeight(float64(src[bi]), clip)
-				if p.ProgramSigma > 0 {
-					w *= programNoise(x.ID, x.writes, cell, p.ProgramSigma)
-				}
-				dst[bi] = float32(w)
-			} else {
-				dst[bi] = float32(p.StuckWeightAs(x.state[cell], x.gFault[cell], x.inPositive[cell], float64(src[bi]), clip))
+	states := x.state[row*x.Size : row*x.Size+ncols]
+	if p.ProgramSigma <= 0 {
+		healthy := true
+		for _, s := range states {
+			if s != Healthy {
+				healthy = false
+				break
 			}
 		}
+		if healthy {
+			for j := 0; j < ncols; j++ {
+				dst[j*dstStride] = float32(q.Quantize(float64(src[j*srcStride])))
+			}
+			return
+		}
+	}
+	for j, s := range states {
+		w := float64(src[j*srcStride])
+		if s == Healthy {
+			w = q.Quantize(w)
+			if p.ProgramSigma > 0 {
+				w *= programNoise(x.ID, x.writes, row*x.Size+j, p.ProgramSigma)
+			}
+		} else {
+			cell := row*x.Size + j
+			w = p.StuckWeightAs(s, x.gFault[cell], x.inPositive[cell], w, q.clip)
+		}
+		dst[j*dstStride] = float32(w)
 	}
 }
 

@@ -165,6 +165,55 @@ func (p DeviceParams) QuantizeWeight(w, clip float64) float64 {
 	return p.WeightOfG(p.GOfWeight(w, clip), clip)
 }
 
+// Quantizer is a precomputed program-and-read-back table for one (device,
+// clip) pair. QuantizeWeight walks the full conductance coding per call —
+// two divisions, a round, and an inverse map — but with Levels programmable
+// states there are only Levels distinct outcomes, so the weight-deploy hot
+// path looks them up instead. Quantize is bit-identical to QuantizeWeight:
+// the table index int(round(x·(L−1))) is exactly the rounded x·(L−1) that
+// GOfWeight computes (a small integer-valued float64 converts to int and
+// back without rounding), and each table entry is built by the same
+// GMin + x·(GMax−GMin) → WeightOfG expression the scalar path evaluates.
+type Quantizer struct {
+	p    DeviceParams
+	clip float64
+	lut  []float64 // nil when the device point has no quantisation grid
+}
+
+// NewQuantizer builds the lookup table for clip. Degenerate device points
+// (clip ≤ 0 or Levels ≤ 1, where GOfWeight does not snap to a grid) keep a
+// nil table and fall back to the scalar path.
+func (p DeviceParams) NewQuantizer(clip float64) *Quantizer {
+	q := &Quantizer{p: p, clip: clip}
+	if clip <= 0 || p.Levels <= 1 {
+		return q
+	}
+	q.lut = make([]float64, p.Levels)
+	for i := range q.lut {
+		x := float64(i) / float64(p.Levels-1)
+		q.lut[i] = p.WeightOfG(p.GMin()+x*(p.GMax()-p.GMin()), clip)
+	}
+	return q
+}
+
+// Clip returns the coding range the table was built for.
+func (q *Quantizer) Clip() float64 { return q.clip }
+
+// Quantize returns the stored weight after program-and-read-back,
+// bit-identical to p.QuantizeWeight(w, clip).
+func (q *Quantizer) Quantize(w float64) float64 {
+	if q.lut == nil {
+		return q.p.QuantizeWeight(w, q.clip)
+	}
+	x := (w + q.clip) / (2 * q.clip)
+	if x < 0 {
+		x = 0
+	} else if x > 1 {
+		x = 1
+	}
+	return q.lut[int(math.Round(x*float64(q.p.Levels-1)))]
+}
+
 // StuckWeight returns the weight value read from a faulty cell under plain
 // offset coding: SA1 reads near +clip (low resistance, high conductance),
 // SA0 near −clip. gFault is the sampled stuck conductance. The crossbar

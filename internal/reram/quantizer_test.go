@@ -1,0 +1,119 @@
+package reram
+
+import (
+	"math"
+	"testing"
+
+	"remapd/internal/tensor"
+)
+
+// TestQuantizerBitIdentical sweeps a dense weight grid (±2·clip, so both
+// in-range and saturating inputs) comparing the LUT fast path against the
+// scalar program-and-read-back chain bit-for-bit, across clip ranges and
+// level counts.
+func TestQuantizerBitIdentical(t *testing.T) {
+	p := DefaultDeviceParams()
+	for _, levels := range []int{2, 8, 32} {
+		p.Levels = levels
+		for _, clip := range []float64{0.5, 1, 2.37} {
+			q := p.NewQuantizer(clip)
+			for i := -2000; i <= 2000; i++ {
+				w := float64(i) / 1000 * clip
+				got, want := q.Quantize(w), p.QuantizeWeight(w, clip)
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("levels %d clip %g w %g: lut %x (%g) scalar %x (%g)",
+						levels, clip, w, math.Float64bits(got), got, math.Float64bits(want), want)
+				}
+			}
+		}
+	}
+}
+
+// TestQuantizerDegenerateFallsBack pins the nil-LUT path: clip ≤ 0 and
+// Levels ≤ 1 have no quantisation grid and must defer to the scalar chain.
+func TestQuantizerDegenerateFallsBack(t *testing.T) {
+	p := DefaultDeviceParams()
+	q := p.NewQuantizer(0)
+	if got, want := q.Quantize(0.3), p.QuantizeWeight(0.3, 0); math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("clip 0: lut %g scalar %g", got, want)
+	}
+	p.Levels = 1
+	q = p.NewQuantizer(1)
+	if got, want := q.Quantize(0.3), p.QuantizeWeight(0.3, 1); math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("levels 1: lut %g scalar %g", got, want)
+	}
+}
+
+// TestClampRowIntoStridedMatchesBlock checks the fused strided deploy path
+// against the block-copy wrapper: clamping a column of a transposed matrix
+// in place (stride = width) must produce exactly the values ClampWeights
+// yields on the gathered contiguous block.
+func TestClampRowIntoStridedMatchesBlock(t *testing.T) {
+	p := DefaultDeviceParams()
+	p.CrossbarSize = 8
+	x := NewCrossbar(1, p)
+	rng := tensor.NewRNG(9)
+	x.InjectFault(0, 2, SA0, rng)
+	x.InjectFault(1, 5, SA1, rng)
+	x.InjectFault(3, 0, SA1, rng)
+
+	const rows, cols, clip = 4, 6, 1.5
+	src := make([]float32, rows*cols)
+	for i := range src {
+		src[i] = float32(rng.NormFloat64())
+	}
+	want := make([]float32, rows*cols)
+	x.ClampWeights(want, src, rows, cols, clip)
+
+	// Strided layout: the same block stored transposed in a cols×rows
+	// matrix, so block row i is a column walked with stride rows.
+	trans := make([]float32, rows*cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			trans[j*rows+i] = src[i*cols+j]
+		}
+	}
+	got := make([]float32, rows*cols)
+	q := p.NewQuantizer(clip)
+	for i := 0; i < rows; i++ {
+		x.ClampRowInto(q, got[i:], trans[i:], rows, rows, i, cols)
+	}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			g, w := got[j*rows+i], want[i*cols+j]
+			if math.Float32bits(g) != math.Float32bits(w) {
+				t.Fatalf("cell (%d,%d): strided %g block %g", i, j, g, w)
+			}
+		}
+	}
+}
+
+func BenchmarkClampRowInto(b *testing.B) {
+	p := DefaultDeviceParams()
+	x := NewCrossbar(0, p)
+	rng := tensor.NewRNG(4)
+	x.InjectFault(7, 3, SA0, rng) // one faulty row: exercises the general loop
+	q := p.NewQuantizer(1)
+	src := make([]float32, p.CrossbarSize)
+	dst := make([]float32, p.CrossbarSize)
+	for i := range src {
+		src[i] = float32(rng.NormFloat64())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.ClampRowInto(q, dst, src, 1, 1, i%p.CrossbarSize, p.CrossbarSize)
+	}
+}
+
+func BenchmarkQuantize(b *testing.B) {
+	p := DefaultDeviceParams()
+	q := p.NewQuantizer(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += q.Quantize(float64(i%200)/100 - 1)
+	}
+	_ = s
+}

@@ -1,0 +1,10 @@
+package tensor
+
+// axpy computes dst[j] += v·src[j] over len(src) elements; len(dst) must be
+// at least len(src). Implemented in axpy_amd64.s with baseline SSE2 packed
+// multiply/add — element-wise IEEE operations identical to the Go loop, so
+// results are bit-identical to the generic version (see the determinism
+// argument in axpy_amd64.s and the golden tests in kernels_test.go).
+//
+//go:noescape
+func axpy(dst, src []float32, v float32)

@@ -1,0 +1,53 @@
+// SSE2 axpy kernel: dst[j] += v*src[j] for j < len(src).
+//
+// Each element is one scalar multiply and one scalar add in IEEE float32,
+// exactly like the Go loop — MULPS/ADDPS round every lane independently and
+// nothing is fused — so vectorising across j (distinct output elements)
+// cannot change any result bit. SSE2 is the amd64 baseline: no feature
+// detection needed. The caller guarantees len(dst) >= len(src).
+
+#include "textflag.h"
+
+// func axpy(dst, src []float32, v float32)
+TEXT ·axpy(SB), NOSPLIT, $0-52
+	MOVQ  dst_base+0(FP), DI
+	MOVQ  src_base+24(FP), SI
+	MOVQ  src_len+32(FP), CX
+	MOVSS v+48(FP), X0
+	SHUFPS $0x00, X0, X0       // broadcast v to all four lanes
+	XORQ  AX, AX
+	MOVQ  CX, BX
+	ANDQ  $-8, BX              // main loop handles 8 elements per iteration
+	CMPQ  AX, BX
+	JGE   tail
+
+loop8:
+	MOVUPS (SI)(AX*4), X1
+	MOVUPS 16(SI)(AX*4), X2
+	MULPS  X0, X1
+	MULPS  X0, X2
+	MOVUPS (DI)(AX*4), X3
+	MOVUPS 16(DI)(AX*4), X4
+	ADDPS  X3, X1
+	ADDPS  X4, X2
+	MOVUPS X1, (DI)(AX*4)
+	MOVUPS X2, 16(DI)(AX*4)
+	ADDQ   $8, AX
+	CMPQ   AX, BX
+	JLT    loop8
+
+tail:
+	CMPQ AX, CX
+	JGE  done
+
+tailloop:
+	MOVSS (SI)(AX*4), X1
+	MULSS X0, X1
+	ADDSS (DI)(AX*4), X1
+	MOVSS X1, (DI)(AX*4)
+	INCQ  AX
+	CMPQ  AX, CX
+	JLT   tailloop
+
+done:
+	RET

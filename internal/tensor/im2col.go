@@ -26,6 +26,9 @@ func (g ConvGeom) ColCols() int { return g.InC * g.K * g.K }
 // Im2Col lowers one image (C×H×W, flattened in src) into the patch matrix
 // dst of shape (OutH*OutW) × (InC*K*K). Out-of-bounds (padding) taps are
 // zero. dst must be pre-allocated with ColRows()*ColCols() elements.
+//
+// Patches whose K-wide tap span lies fully inside the input row copy it
+// contiguously; only edge patches take the per-tap bounds-checked path.
 func (g ConvGeom) Im2Col(dst, src []float32) {
 	oh, ow := g.OutH(), g.OutW()
 	cols := g.ColCols()
@@ -38,21 +41,29 @@ func (g ConvGeom) Im2Col(dst, src []float32) {
 	for oy := 0; oy < oh; oy++ {
 		for ox := 0; ox < ow; ox++ {
 			row := dst[(oy*ow+ox)*cols : (oy*ow+ox+1)*cols]
+			x0 := ox*g.Stride - g.Pad
+			inX := x0 >= 0 && x0+g.K <= g.InW
 			di := 0
 			for c := 0; c < g.InC; c++ {
 				chn := src[c*g.InH*g.InW : (c+1)*g.InH*g.InW]
 				for ky := 0; ky < g.K; ky++ {
 					iy := oy*g.Stride + ky - g.Pad
 					if iy < 0 || iy >= g.InH {
-						for kx := 0; kx < g.K; kx++ {
-							row[di] = 0
-							di++
+						seg := row[di : di+g.K]
+						for kx := range seg {
+							seg[kx] = 0
 						}
+						di += g.K
 						continue
 					}
 					base := iy * g.InW
+					if inX {
+						copy(row[di:di+g.K], chn[base+x0:base+x0+g.K])
+						di += g.K
+						continue
+					}
 					for kx := 0; kx < g.K; kx++ {
-						ix := ox*g.Stride + kx - g.Pad
+						ix := x0 + kx
 						if ix < 0 || ix >= g.InW {
 							row[di] = 0
 						} else {
@@ -82,6 +93,8 @@ func (g ConvGeom) Col2Im(dstImage, srcCols []float32) {
 	for oy := 0; oy < oh; oy++ {
 		for ox := 0; ox < ow; ox++ {
 			row := srcCols[(oy*ow+ox)*cols : (oy*ow+ox+1)*cols]
+			x0 := ox*g.Stride - g.Pad
+			inX := x0 >= 0 && x0+g.K <= g.InW
 			si := 0
 			for c := 0; c < g.InC; c++ {
 				chn := dstImage[c*g.InH*g.InW : (c+1)*g.InH*g.InW]
@@ -92,8 +105,17 @@ func (g ConvGeom) Col2Im(dstImage, srcCols []float32) {
 						continue
 					}
 					base := iy * g.InW
+					if inX {
+						seg := chn[base+x0 : base+x0+g.K]
+						taps := row[si : si+g.K]
+						for kx, v := range taps {
+							seg[kx] += v
+						}
+						si += g.K
+						continue
+					}
 					for kx := 0; kx < g.K; kx++ {
-						ix := ox*g.Stride + kx - g.Pad
+						ix := x0 + kx
 						if ix >= 0 && ix < g.InW {
 							chn[base+ix] += row[si]
 						}

@@ -1,14 +1,40 @@
 package tensor
 
-import (
-	"runtime"
-	"sync"
+import "sync"
+
+// The three GEMM kernels below are register-tiled: each pass over the
+// streamed operand computes a small compile-time-constant tile of output
+// rows (mrTile) instead of one, which divides the memory traffic on the
+// streamed matrix by the tile height — the dominant cost once the operand
+// no longer fits in cache. All three funnel their inner loops through the
+// vector axpy kernel (SSE2 on amd64, unrolled Go elsewhere), which operates
+// on distinct output elements only. The tiling is chosen so that it can
+// never change results: it only reorders *which rows* are in flight, while
+// the additions into any single output element stay in ascending inner-index
+// order with a single accumulation chain, exactly like the naive reference
+// loops (kernels_test.go proves bit-identity over a shape sweep). Tile sizes
+// are compile-time constants — never derived from GOMAXPROCS — so the
+// summation order per shape is fixed on every machine.
+//
+// The row loops live in named functions (not closures) so the serial path —
+// every GEMM below parallelThreshold — allocates nothing; only the parallel
+// branch builds a closure for the goroutine fan-out.
+const (
+	// mrTile is the output-row tile of MatMulInto/MatMulTransBInto: four
+	// rows of a share each streamed row of b (or bᵀ).
+	mrTile = 4
+	// transABlock is the output-row block of MatMulTransAInto: the block
+	// stays cache-resident across the full k-sweep instead of re-streaming
+	// the whole output matrix once per inner index.
+	transABlock = 8
 )
 
-// parallelThreshold is the matrix volume (rows*cols*inner) above which
-// MatMulInto shards work across goroutines. Below it the scheduling cost
-// outweighs the parallel speedup.
-const parallelThreshold = 64 * 64 * 64
+// nonzero reports whether a kernel operand is exactly zero. Skipping an
+// exact-zero multiplier cannot change any sum, but it must be applied
+// consistently in blocked and reference kernels for bit-identity.
+func nonzero(v float32) bool {
+	return v != 0 //lint:allow float-eq zero-skip fast path: skipping an exact-zero operand cannot change the sum
+}
 
 // MatMul returns a × b for 2-D tensors (m×k)·(k×n) → (m×n).
 func MatMul(a, b *Tensor) *Tensor {
@@ -17,10 +43,50 @@ func MatMul(a, b *Tensor) *Tensor {
 	return out
 }
 
+// matmulRows accumulates out rows [r0, r1) of the (m×k)·(k×n) product: an
+// i-k-j loop register-tiled over mrTile rows of a, so each streamed row of b
+// is applied to four output rows per load. Rows of od must be pre-zeroed.
+func matmulRows(od, ad, bd []float32, k, n, r0, r1 int) {
+	i := r0
+	for ; i+mrTile <= r1; i += mrTile {
+		a0 := ad[i*k : i*k+k]
+		a1 := ad[(i+1)*k : (i+1)*k+k]
+		a2 := ad[(i+2)*k : (i+2)*k+k]
+		a3 := ad[(i+3)*k : (i+3)*k+k]
+		o0 := od[i*n : i*n+n]
+		o1 := od[(i+1)*n : (i+1)*n+n]
+		o2 := od[(i+2)*n : (i+2)*n+n]
+		o3 := od[(i+3)*n : (i+3)*n+n]
+		for p := 0; p < k; p++ {
+			brow := bd[p*n : p*n+n]
+			if v := a0[p]; nonzero(v) {
+				axpy(o0, brow, v)
+			}
+			if v := a1[p]; nonzero(v) {
+				axpy(o1, brow, v)
+			}
+			if v := a2[p]; nonzero(v) {
+				axpy(o2, brow, v)
+			}
+			if v := a3[p]; nonzero(v) {
+				axpy(o3, brow, v)
+			}
+		}
+	}
+	for ; i < r1; i++ {
+		arow := ad[i*k : i*k+k]
+		orow := od[i*n : i*n+n]
+		for p := 0; p < k; p++ {
+			if v := arow[p]; nonzero(v) {
+				axpy(orow, bd[p*n:p*n+n], v)
+			}
+		}
+	}
+}
+
 // MatMulInto computes out = a × b, reusing out's storage. out must be m×n.
-// The kernel is an i-k-j loop with the b row held in a slice, which lets the
-// compiler vectorise the inner accumulation; large products are sharded
-// across GOMAXPROCS goroutines by row blocks.
+// Large products are sharded across GOMAXPROCS goroutines by row blocks
+// (row results are independent, so sharding cannot change results).
 func MatMulInto(out, a, b *Tensor) {
 	if a.Rank() != 2 || b.Rank() != 2 || out.Rank() != 2 {
 		panic("tensor: MatMulInto requires rank-2 tensors")
@@ -34,51 +100,62 @@ func MatMulInto(out, a, b *Tensor) {
 		panic("tensor: MatMulInto output shape mismatch")
 	}
 	out.Zero()
-
-	work := func(r0, r1 int) {
-		for i := r0; i < r1; i++ {
-			arow := a.Data[i*k : (i+1)*k]
-			orow := out.Data[i*n : (i+1)*n]
-			for p := 0; p < k; p++ {
-				av := arow[p]
-				if av == 0 { //lint:allow float-eq zero-skip fast path: skipping an exact-zero operand cannot change the sum
-					continue
-				}
-				brow := b.Data[p*n : (p+1)*n]
-				for j, bv := range brow {
-					orow[j] += av * bv
-				}
-			}
-		}
-	}
-
-	if m*n*k < parallelThreshold {
-		work(0, m)
+	ad, bd, od := a.Data, b.Data, out.Data
+	if serialRows(m, m*n*k) {
+		matmulRows(od, ad, bd, k, n, 0, m)
 		return
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > m {
-		workers = m
-	}
-	var wg sync.WaitGroup
-	chunk := (m + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		r0 := w * chunk
-		r1 := min(r0+chunk, m)
-		if r0 >= r1 {
-			break
+	parallelFor(m, m*n*k, func(r0, r1 int) {
+		matmulRows(od, ad, bd, k, n, r0, r1)
+	})
+}
+
+// transScratch pools the transposed-operand buffers of MatMulTransBInto.
+// Pooled buffers are fully overwritten before use, so reuse cannot affect
+// results; the pool only keeps the steady state allocation-free under
+// concurrent callers (distributed workers run independent cells in-process).
+var transScratch = sync.Pool{New: func() any { return new([]float32) }}
+
+// transBRows accumulates out rows [r0, r1) of a × bᵀ, where bt holds the
+// already-transposed operand (k×n row-major). Same row tiling as
+// matmulRows, but with unguarded axpy calls: the dot-product reference has
+// no zero-skip, so neither may this path. Rows of od must be pre-zeroed.
+func transBRows(od, ad, bt []float32, k, n, r0, r1 int) {
+	i := r0
+	for ; i+mrTile <= r1; i += mrTile {
+		a0 := ad[i*k : i*k+k]
+		a1 := ad[(i+1)*k : (i+1)*k+k]
+		a2 := ad[(i+2)*k : (i+2)*k+k]
+		a3 := ad[(i+3)*k : (i+3)*k+k]
+		o0 := od[i*n : i*n+n]
+		o1 := od[(i+1)*n : (i+1)*n+n]
+		o2 := od[(i+2)*n : (i+2)*n+n]
+		o3 := od[(i+3)*n : (i+3)*n+n]
+		for p := 0; p < k; p++ {
+			brow := bt[p*n : p*n+n]
+			axpy(o0, brow, a0[p])
+			axpy(o1, brow, a1[p])
+			axpy(o2, brow, a2[p])
+			axpy(o3, brow, a3[p])
 		}
-		wg.Add(1)
-		go func(r0, r1 int) {
-			defer wg.Done()
-			work(r0, r1)
-		}(r0, r1)
 	}
-	wg.Wait()
+	for ; i < r1; i++ {
+		arow := ad[i*k : i*k+k]
+		orow := od[i*n : i*n+n]
+		for p := 0; p < k; p++ {
+			axpy(orow, bt[p*n:p*n+n], arow[p])
+		}
+	}
 }
 
 // MatMulTransBInto computes out = a × bᵀ where b is n×k (so bᵀ is k×n).
-// This avoids materialising the transpose for backward passes.
+// The kernel first transposes b into pooled scratch, then accumulates
+// out rows with the vector axpy kernel over contiguous bᵀ rows. Per output
+// element the additions happen in ascending-p order with a single chain
+// starting from exact zero — the same sequence the dot-product reference
+// produces (`s := 0; s += a[i][p]·b[j][p]`) — so results are bit-identical,
+// including k = 0 (every output exactly +0) and the NaN/signed-zero cases
+// (no zero-skip here, matching the reference, which also has none).
 func MatMulTransBInto(out, a, b *Tensor) {
 	if a.Rank() != 2 || b.Rank() != 2 || out.Rank() != 2 {
 		panic("tensor: MatMulTransBInto requires rank-2 tensors")
@@ -91,49 +168,54 @@ func MatMulTransBInto(out, a, b *Tensor) {
 	if out.Shape[0] != m || out.Shape[1] != n {
 		panic("tensor: MatMulTransBInto output shape mismatch")
 	}
+	ad, od := a.Data, out.Data
 
-	work := func(r0, r1 int) {
-		for i := r0; i < r1; i++ {
-			arow := a.Data[i*k : (i+1)*k]
-			orow := out.Data[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				brow := b.Data[j*k : (j+1)*k]
-				var s float32
-				for p, av := range arow {
-					s += av * brow[p]
+	btp := transScratch.Get().(*[]float32)
+	if cap(*btp) < k*n {
+		*btp = make([]float32, k*n)
+	}
+	bt := (*btp)[:k*n]
+	for j := 0; j < n; j++ {
+		row := b.Data[j*k : j*k+k]
+		for p, v := range row {
+			bt[p*n+j] = v
+		}
+	}
+
+	out.Zero()
+	if serialRows(m, m*n*k) {
+		transBRows(od, ad, bt, k, n, 0, m)
+	} else {
+		parallelFor(m, m*n*k, func(r0, r1 int) {
+			transBRows(od, ad, bt, k, n, r0, r1)
+		})
+	}
+	transScratch.Put(btp)
+}
+
+// transARows accumulates out rows [r0, r1) of aᵀ × b (a stored k×m). Output
+// rows are processed transABlock at a time: the block's rows stay
+// cache-resident across the full ascending-p sweep, instead of the naive
+// loop's re-streaming of the whole output matrix on every p. Rows of od
+// must be pre-zeroed.
+func transARows(od, ad, bd []float32, k, m, n, r0, r1 int) {
+	for i0 := r0; i0 < r1; i0 += transABlock {
+		i1 := min(i0+transABlock, r1)
+		for p := 0; p < k; p++ {
+			arow := ad[p*m : p*m+m]
+			brow := bd[p*n : p*n+n]
+			for i := i0; i < i1; i++ {
+				if v := arow[i]; nonzero(v) {
+					axpy(od[i*n:i*n+n], brow, v)
 				}
-				orow[j] = s
 			}
 		}
 	}
-
-	if m*n*k < parallelThreshold {
-		work(0, m)
-		return
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > m {
-		workers = m
-	}
-	var wg sync.WaitGroup
-	chunk := (m + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		r0 := w * chunk
-		r1 := min(r0+chunk, m)
-		if r0 >= r1 {
-			break
-		}
-		wg.Add(1)
-		go func(r0, r1 int) {
-			defer wg.Done()
-			work(r0, r1)
-		}(r0, r1)
-	}
-	wg.Wait()
 }
 
 // MatMulTransAInto computes out = aᵀ × b where a is k×m (so aᵀ is m×k).
-// Used for weight-gradient accumulation (dW = xᵀ·dy patterns).
+// Used for weight-gradient accumulation (dW = xᵀ·dy patterns). Parallelism
+// shards over output rows, keeping writes disjoint.
 func MatMulTransAInto(out, a, b *Tensor) {
 	if a.Rank() != 2 || b.Rank() != 2 || out.Rank() != 2 {
 		panic("tensor: MatMulTransAInto requires rank-2 tensors")
@@ -147,47 +229,12 @@ func MatMulTransAInto(out, a, b *Tensor) {
 		panic("tensor: MatMulTransAInto output shape mismatch")
 	}
 	out.Zero()
-
-	// out[i][j] = Σ_p a[p][i] * b[p][j]. Parallelise over output rows i to
-	// keep writes disjoint; each worker streams over p.
-	work := func(r0, r1 int) {
-		for p := 0; p < k; p++ {
-			arow := a.Data[p*m : (p+1)*m]
-			brow := b.Data[p*n : (p+1)*n]
-			for i := r0; i < r1; i++ {
-				av := arow[i]
-				if av == 0 { //lint:allow float-eq zero-skip fast path: skipping an exact-zero operand cannot change the sum
-					continue
-				}
-				orow := out.Data[i*n : (i+1)*n]
-				for j, bv := range brow {
-					orow[j] += av * bv
-				}
-			}
-		}
-	}
-
-	if m*n*k < parallelThreshold {
-		work(0, m)
+	ad, bd, od := a.Data, b.Data, out.Data
+	if serialRows(m, m*n*k) {
+		transARows(od, ad, bd, k, m, n, 0, m)
 		return
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > m {
-		workers = m
-	}
-	var wg sync.WaitGroup
-	chunk := (m + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		r0 := w * chunk
-		r1 := min(r0+chunk, m)
-		if r0 >= r1 {
-			break
-		}
-		wg.Add(1)
-		go func(r0, r1 int) {
-			defer wg.Done()
-			work(r0, r1)
-		}(r0, r1)
-	}
-	wg.Wait()
+	parallelFor(m, m*n*k, func(r0, r1 int) {
+		transARows(od, ad, bd, k, m, n, r0, r1)
+	})
 }

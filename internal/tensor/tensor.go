@@ -21,11 +21,16 @@ type Tensor struct {
 }
 
 // New returns a zero-filled tensor with the given shape.
+//
+// The panic path formats a copy of shape, not shape itself: passing the
+// parameter to fmt would make it escape, forcing every caller to heap-
+// allocate its variadic argument list even on the non-panicking hot path
+// (Workspace.Take forwards here on every buffer miss).
 func New(shape ...int) *Tensor {
 	n := 1
 	for _, d := range shape {
 		if d < 0 {
-			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, append([]int(nil), shape...)))
 		}
 		n *= d
 	}

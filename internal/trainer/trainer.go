@@ -218,6 +218,10 @@ func Train(net *nn.Network, ds *dataset.Dataset, cfg Config) (*Result, error) {
 		mvmSet[l] = true
 	}
 
+	// Loss-gradient scratch, reused across batches (the last partial batch
+	// reshapes it smaller; Take handles the size change in place).
+	var lossWS nn.Workspace
+
 	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
 		if err := ctxErr(cfg.Ctx); err != nil {
 			return nil, err
@@ -243,7 +247,8 @@ func Train(net *nn.Network, ds *dataset.Dataset, cfg Config) (*Result, error) {
 				return nil, err
 			}
 			logits := net.Forward(b.X, true)
-			loss, grad := nn.SoftmaxCrossEntropy(logits, b.Y)
+			grad := lossWS.Take("grad", logits.Dim(0), logits.Dim(1))
+			loss := nn.SoftmaxCrossEntropyInto(grad, logits, b.Y)
 			if !math.IsNaN(loss) && !math.IsInf(loss, 0) {
 				lossSum += loss
 			}
