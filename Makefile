@@ -17,11 +17,25 @@ BENCH_FLAGS := -run '^$$' -cpu=1 -benchtime=50x -benchmem
 # Extra remapd-benchdiff flags for the budget diff (CI passes -github).
 BENCHDIFF_FLAGS :=
 
-.PHONY: test bench-gated bench-baseline bench-budget
+.PHONY: test lint wire-golden bench-gated bench-baseline bench-budget
 
 test:
 	go build ./...
 	go test ./...
+
+# Static-analysis gate: the determinism suite plus the invariant-analysis
+# rules (hotpath-alloc, workspace-owner, wire-stability, unchecked-error)
+# over the whole module, with the analysis worker pool at full width. The
+# timeout enforces the <30s budget the parallel runner is sized for.
+lint:
+	go build -o remapd-lint.bin ./cmd/remapd-lint
+	timeout 30 ./remapd-lint.bin -format github ./...
+
+# Regenerate the wire-stability golden field-set snapshots after an
+# intentional wire-format change (bump ProtoVersion/SchemaVersion first,
+# then commit the updated goldens with the change).
+wire-golden:
+	go run ./cmd/remapd-lint -write-wire-golden ./...
 
 bench-gated:
 	go test $(BENCH_FLAGS) -bench '$(BENCH_GATED)' $(BENCH_PKGS) | tee bench-gated.out

@@ -1,37 +1,68 @@
 // Command remapd-lint runs the repo's determinism & safety analyzer suite
 // (internal/lint) over the module and exits non-zero on any finding. It is
 // the CI gate that keeps the invariants behind bit-identical experiment
-// replay machine-checked instead of conventional.
+// replay — and, since the invariant-analysis rules, the hot-path
+// zero-allocation and wire-format contracts — machine-checked instead of
+// conventional.
 //
 // Usage:
 //
-//	remapd-lint [-list] [packages]
+//	remapd-lint [-list] [-format text|github|json] [-json] [-parallel N]
+//	            [-write-wire-golden] [packages]
 //
 // Package patterns follow the go tool's shape: ./... (default) lints the
 // whole module, ./internal/remap lints one package, ./internal/... a
-// subtree. Findings print as "file:line:col: [rule] message".
+// subtree.
+//
+// Output formats: text (the default "file:line:col: [rule] message"),
+// github (::error workflow annotations, inline on the PR diff), and json
+// (one object with findings + per-rule counts, greppable from CI logs);
+// -json is shorthand for -format json. On any finding the exit status is
+// 1 and a summary line naming each firing rule and its count goes to
+// stderr. -parallel bounds the analysis worker pool (default GOMAXPROCS).
+//
+// -write-wire-golden regenerates the wire-stability golden field-set
+// snapshots for every matched package that declares a wire version const
+// (see `make wire-golden`).
 //
 // A finding is suppressed by a "//lint:allow <rule> <reason>" comment on
-// the offending line or the line above; an allow that suppresses nothing
-// is reported as stale.
+// the offending statement or the line above it (multi-line statements are
+// covered in full); an allow that suppresses nothing is reported as stale.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"strings"
 
+	"remapd/internal/det"
 	"remapd/internal/lint"
 )
 
 func main() {
 	listRules := flag.Bool("list", false, "list the rule suite and exit")
+	format := flag.String("format", "text", "output format: text, github (workflow annotations), or json")
+	jsonOut := flag.Bool("json", false, "shorthand for -format json")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "analysis worker pool size")
+	writeGolden := flag.Bool("write-wire-golden", false, "regenerate wire-stability golden snapshots and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: remapd-lint [-list] [packages]\n\npackages default to ./... (the whole module)\n")
+		fmt.Fprintf(os.Stderr, "usage: remapd-lint [-list] [-format text|github|json] [-json] [-parallel N] [-write-wire-golden] [packages]\n\npackages default to ./... (the whole module)\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *jsonOut {
+		*format = "json"
+	}
+	switch *format {
+	case "text", "github", "json":
+	default:
+		fatal(fmt.Errorf("unknown -format %q (want text, github, or json)", *format))
+	}
 
 	if *listRules {
 		for _, a := range lint.All {
@@ -67,25 +98,127 @@ func main() {
 		fatal(fmt.Errorf("no packages match %v", patterns))
 	}
 
-	var findings []lint.Finding
+	if *writeGolden {
+		writeWireGoldens(loader, paths)
+		return
+	}
+
+	runner := &lint.Runner{Loader: loader, Jobs: *parallel}
+	findings, err := runner.Run(paths)
+	if err != nil {
+		fatal(err)
+	}
+	// Report module-relative paths so output is stable across checkouts.
+	for i := range findings {
+		if rel, err := filepath.Rel(loader.ModuleDir, findings[i].Pos.Filename); err == nil {
+			findings[i].Pos.Filename = rel
+		}
+	}
+
+	switch *format {
+	case "text":
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	case "github":
+		for _, f := range findings {
+			// One workflow annotation per finding: shows inline on the PR.
+			fmt.Printf("::error file=%s,line=%d,col=%d::[%s] %s\n",
+				f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
+		}
+	case "json":
+		printJSON(findings, len(paths))
+	}
+
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "remapd-lint: %d finding(s) in %d package(s): %s\n",
+			len(findings), len(paths), ruleSummary(findings))
+		os.Exit(1)
+	}
+}
+
+// ruleSummary renders "rule1 xN, rule2 xM" sorted by rule name, so CI
+// logs are greppable for which gate fired.
+func ruleSummary(findings []lint.Finding) string {
+	counts := ruleCounts(findings)
+	parts := make([]string, 0, len(counts))
+	for _, name := range det.SortedKeys(counts) {
+		parts = append(parts, fmt.Sprintf("%s x%d", name, counts[name]))
+	}
+	return strings.Join(parts, ", ")
+}
+
+func ruleCounts(findings []lint.Finding) map[string]int {
+	counts := map[string]int{}
+	for _, f := range findings {
+		counts[f.Rule]++
+	}
+	return counts
+}
+
+// jsonFinding is the machine-readable finding shape.
+type jsonFinding struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+type jsonReport struct {
+	Findings []jsonFinding  `json:"findings"`
+	Packages int            `json:"packages"`
+	ByRule   map[string]int `json:"by_rule"`
+}
+
+func printJSON(findings []lint.Finding, packages int) {
+	report := jsonReport{
+		Findings: make([]jsonFinding, 0, len(findings)),
+		Packages: packages,
+		ByRule:   ruleCounts(findings),
+	}
+	for _, f := range findings {
+		report.Findings = append(report.Findings, jsonFinding{
+			File: f.Pos.Filename, Line: f.Pos.Line, Col: f.Pos.Column,
+			Rule: f.Rule, Msg: f.Msg,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fatal(err)
+	}
+}
+
+// writeWireGoldens regenerates the golden field-set snapshot for every
+// matched package that declares a wire version const.
+func writeWireGoldens(loader *lint.Loader, paths []string) {
+	wrote := 0
 	for _, path := range paths {
 		pkg, err := loader.Load(path)
 		if err != nil {
 			fatal(err)
 		}
-		findings = append(findings, lint.RunPackage(pkg)...)
-	}
-	lint.SortFindings(findings)
-	for _, f := range findings {
-		// Report module-relative paths so output is stable across checkouts.
-		if rel, err := filepath.Rel(loader.ModuleDir, f.Pos.Filename); err == nil {
-			f.Pos.Filename = rel
+		snap, ok := lint.WireSnapshot(pkg)
+		if !ok {
+			continue
 		}
-		fmt.Println(f)
+		file := lint.WireGoldenPath(loader.WireGoldenDir, path)
+		if err := os.MkdirAll(filepath.Dir(file), 0o755); err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(file, []byte(snap), 0o644); err != nil {
+			fatal(err)
+		}
+		rel, err := filepath.Rel(loader.ModuleDir, file)
+		if err != nil {
+			rel = file
+		}
+		fmt.Printf("wrote %s\n", rel)
+		wrote++
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "remapd-lint: %d finding(s) in %d package(s)\n", len(findings), len(paths))
-		os.Exit(1)
+	if wrote == 0 {
+		fatal(fmt.Errorf("no matched package declares a wire version const (ProtoVersion/SchemaVersion)"))
 	}
 }
 

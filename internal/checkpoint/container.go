@@ -57,16 +57,17 @@ type section struct {
 func packContainer(sections []section) []byte {
 	var buf bytes.Buffer
 	buf.WriteString(containerMagic)
-	binary.Write(&buf, binary.LittleEndian, uint32(containerVersion))
-	binary.Write(&buf, binary.LittleEndian, uint32(len(sections)))
+	// binary.Write to a bytes.Buffer cannot fail; discards are explicit.
+	_ = binary.Write(&buf, binary.LittleEndian, uint32(containerVersion))
+	_ = binary.Write(&buf, binary.LittleEndian, uint32(len(sections)))
 	for _, s := range sections {
-		binary.Write(&buf, binary.LittleEndian, uint32(len(s.name)))
+		_ = binary.Write(&buf, binary.LittleEndian, uint32(len(s.name)))
 		buf.WriteString(s.name)
-		binary.Write(&buf, binary.LittleEndian, uint64(len(s.payload)))
+		_ = binary.Write(&buf, binary.LittleEndian, uint64(len(s.payload)))
 		buf.Write(s.payload)
 	}
 	sum := crc64.Checksum(buf.Bytes(), crcTable)
-	binary.Write(&buf, binary.LittleEndian, sum)
+	_ = binary.Write(&buf, binary.LittleEndian, sum)
 	return buf.Bytes()
 }
 
@@ -137,8 +138,9 @@ func writeAtomic(path string, data []byte) error {
 	}
 	tmpName := tmp.Name()
 	cleanup := func() {
-		tmp.Close()
-		os.Remove(tmpName)
+		// Best-effort teardown on a path that already failed.
+		_ = tmp.Close()
+		_ = os.Remove(tmpName)
 	}
 	if _, err := tmp.Write(data); err != nil {
 		cleanup()
@@ -149,11 +151,11 @@ func writeAtomic(path string, data []byte) error {
 		return err
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
+		_ = os.Remove(tmpName)
 		return err
 	}
 	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
+		_ = os.Remove(tmpName)
 		return err
 	}
 	if d, err := os.Open(dir); err == nil {
@@ -170,11 +172,11 @@ func writeAtomic(path string, data []byte) error {
 type writer struct{ buf bytes.Buffer }
 
 func (w *writer) u8(v uint8)   { w.buf.WriteByte(v) }
-func (w *writer) u32(v uint32) { binary.Write(&w.buf, binary.LittleEndian, v) }
-func (w *writer) u64(v uint64) { binary.Write(&w.buf, binary.LittleEndian, v) }
-func (w *writer) i64(v int64)  { binary.Write(&w.buf, binary.LittleEndian, v) }
+func (w *writer) u32(v uint32) { _ = binary.Write(&w.buf, binary.LittleEndian, v) }
+func (w *writer) u64(v uint64) { _ = binary.Write(&w.buf, binary.LittleEndian, v) }
+func (w *writer) i64(v int64)  { _ = binary.Write(&w.buf, binary.LittleEndian, v) }
 func (w *writer) f64(v float64) {
-	binary.Write(&w.buf, binary.LittleEndian, math.Float64bits(v))
+	_ = binary.Write(&w.buf, binary.LittleEndian, math.Float64bits(v))
 }
 func (w *writer) boolByte(v bool) {
 	if v {

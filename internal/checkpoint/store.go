@@ -67,7 +67,7 @@ func CellFileBase(key string) string {
 		}
 	}
 	h := fnv.New64a()
-	h.Write([]byte(key))
+	_, _ = h.Write([]byte(key)) // hash.Hash.Write never fails
 	return fmt.Sprintf("%s-%016x", b.String(), h.Sum64())
 }
 

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// UncheckedError is the errcheck-style rule: a call whose result
+// includes an error must not be used as a bare statement (including via
+// go/defer) — a dropped error from a checkpoint write or a worker pipe
+// turns a crash-safe run into silent corruption. Discarding with
+// `_ = f()` is explicit intent and stays legal, as does a verified
+// //lint:allow unchecked-error suppression. Methods on bytes.Buffer and
+// strings.Builder (documented to never return a non-nil error) and the
+// stdout convenience printers fmt.Print/Printf/Println are exempt;
+// fmt.Fprint* to a real writer is not.
+var UncheckedError = &Analyzer{
+	Name: "unchecked-error",
+	Doc:  "calls returning an error must not discard it silently",
+	Run:  runUncheckedError,
+}
+
+func runUncheckedError(pass *Pass) {
+	if !pass.InDirs("internal") {
+		return
+	}
+	check := func(call *ast.CallExpr) {
+		if !returnsError(pass, call) || errcheckExempt(pass, call) {
+			return
+		}
+		name := "call"
+		if fn, ok := calleeObj(pass, call).(*types.Func); ok {
+			name = funcDisplayName(fn)
+		}
+		pass.Reportf(call.Pos(), "unchecked error: result of %s is discarded (handle it, or assign to _ to discard explicitly)", name)
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					check(call)
+				}
+			case *ast.DeferStmt:
+				check(n.Call)
+			case *ast.GoStmt:
+				check(n.Call)
+			}
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call's results include an error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if types.Identical(tuple.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	}
+	return types.Identical(t, errType)
+}
+
+// errcheckExempt lists the calls whose error is ignorable by contract.
+func errcheckExempt(pass *Pass, call *ast.CallExpr) bool {
+	fn, ok := calleeObj(pass, call).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Print", "Printf", "Println":
+			return true
+		}
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	return namedType(rt, "bytes", "Buffer") || namedType(rt, "strings", "Builder")
+}

@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Cross-function facts.
+//
+// The hot-path rules need to reason across function and package
+// boundaries: a call from an annotated GEMM driver in internal/nn into a
+// kernel in internal/tensor is only allocation-safe if the kernel itself
+// is annotated and checked. The loader therefore extracts annotation
+// facts from every package *as it is type-checked* and stores them keyed
+// by types.Object in one shared Facts table. Because dependencies always
+// load through the same memoized loader, a fact exported by
+// internal/tensor is visible — for free — when internal/nn or
+// internal/trainer is analyzed: that is the whole cross-package
+// propagation mechanism, no separate export files needed.
+//
+// The annotation grammar is one directive comment in a declaration's doc
+// (or trailing same-line comment):
+//
+//	//lint:hotpath [note]   — the function must not allocate, and may
+//	                          only call other hotpath functions (or the
+//	                          small allocation-free allowlist)
+//	//lint:coldpath [note]  — the function is a sanctioned exit from a
+//	                          hot path (panic helpers, error paths);
+//	                          calls to it are exempt and its entire
+//	                          argument subtree is skipped
+//
+// Both attach to function/method declarations and to interface method
+// fields. Annotating an interface method creates a contract: every
+// concrete type implementing the interface must annotate the
+// corresponding method (checked by hotpath-alloc), which is how the
+// nn.Layer/nn.Fabric annotations pull Conv2D, the ReRAM Chip and the
+// SqueezeNet Fire module into enforcement without listing them anywhere.
+
+// FuncFact is the hot/cold classification of one function object.
+type FuncFact uint8
+
+// Function classifications.
+const (
+	FactNone FuncFact = iota
+	FactHot           // //lint:hotpath — body checked, callable from hot code
+	FactCold          // //lint:coldpath — terminating path, calls exempt
+)
+
+const (
+	hotDirective  = "//lint:hotpath"
+	coldDirective = "//lint:coldpath"
+)
+
+// hotIface is one interface with at least one //lint:hotpath method; the
+// hotpath-alloc rule enforces the annotation contract on every
+// implementing type.
+type hotIface struct {
+	name    string // qualified display name, e.g. "nn.Layer"
+	typ     *types.Interface
+	methods []*types.Func // the annotated (abstract) methods
+}
+
+// Facts is the cross-package annotation table shared by every package a
+// loader touches. It is written only during Loader.Load (which is
+// serial) and read-only during analysis, so parallel package analysis
+// needs no locking.
+type Facts struct {
+	funcs  map[types.Object]FuncFact
+	ifaces []hotIface
+}
+
+func newFacts() *Facts {
+	return &Facts{funcs: map[types.Object]FuncFact{}}
+}
+
+// FuncFact returns the classification recorded for a function or
+// interface-method object (FactNone when unannotated).
+func (f *Facts) FuncFact(obj types.Object) FuncFact {
+	if f == nil || obj == nil {
+		return FactNone
+	}
+	return f.funcs[obj]
+}
+
+// directiveOf classifies one comment, returning FactNone for comments
+// that are not hot/cold directives. The directive must be the comment's
+// first token; anything after it is a free-form note.
+func directiveOf(c *ast.Comment) FuncFact {
+	switch {
+	case c.Text == hotDirective || strings.HasPrefix(c.Text, hotDirective+" "):
+		return FactHot
+	case c.Text == coldDirective || strings.HasPrefix(c.Text, coldDirective+" "):
+		return FactCold
+	}
+	return FactNone
+}
+
+// groupDirective scans a comment group for a hot/cold directive.
+func groupDirective(groups ...*ast.CommentGroup) (FuncFact, token.Pos) {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			if fact := directiveOf(c); fact != FactNone {
+				return fact, c.Pos()
+			}
+		}
+	}
+	return FactNone, token.NoPos
+}
+
+// addPackage extracts the package's annotation facts into the table and
+// returns the positions of orphaned directives — hot/cold comments that
+// are not attached to a function declaration or interface method, which
+// the hotpath-alloc rule reports (an annotation that binds to nothing
+// enforces nothing).
+func (f *Facts) addPackage(pkg *Package) []token.Pos {
+	attached := map[token.Pos]bool{}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				fact, pos := groupDirective(d.Doc)
+				if fact == FactNone {
+					continue
+				}
+				attached[pos] = true
+				if obj := pkg.Info.Defs[d.Name]; obj != nil {
+					f.funcs[obj] = fact
+				}
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					it, ok := ts.Type.(*ast.InterfaceType)
+					if !ok {
+						continue
+					}
+					f.addInterface(pkg, ts, it, attached)
+				}
+			}
+		}
+	}
+	var orphans []token.Pos
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if directiveOf(c) != FactNone && !attached[c.Pos()] {
+					orphans = append(orphans, c.Pos())
+				}
+			}
+		}
+	}
+	return orphans
+}
+
+// addInterface records hot/cold facts on an interface's method fields
+// and, if any method is hot, registers the interface for the
+// implementation-contract check.
+func (f *Facts) addInterface(pkg *Package, ts *ast.TypeSpec, it *ast.InterfaceType, attached map[token.Pos]bool) {
+	var hot []*types.Func
+	for _, field := range it.Methods.List {
+		if len(field.Names) != 1 {
+			continue // embedded interface, no directive target
+		}
+		fact, pos := groupDirective(field.Doc, field.Comment)
+		if fact == FactNone {
+			continue
+		}
+		attached[pos] = true
+		obj, ok := pkg.Info.Defs[field.Names[0]].(*types.Func)
+		if !ok {
+			continue
+		}
+		f.funcs[obj] = fact
+		if fact == FactHot {
+			hot = append(hot, obj)
+		}
+	}
+	if len(hot) == 0 {
+		return
+	}
+	tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName)
+	if !ok {
+		return
+	}
+	iface, ok := tn.Type().Underlying().(*types.Interface)
+	if !ok {
+		return
+	}
+	f.ifaces = append(f.ifaces, hotIface{
+		name:    pkg.Types.Name() + "." + ts.Name.Name,
+		typ:     iface,
+		methods: hot,
+	})
+}

@@ -1,0 +1,403 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotpathAlloc enforces the PR 6 zero-allocation contract on annotated
+// hot-path functions. A function marked //lint:hotpath must not contain
+// allocation sites (make/new, growing append, composite literals,
+// escaping closures, string building, interface boxing, goroutine
+// spawns, map inserts) and may only call other hotpath functions, a
+// small allocation-free allowlist, or //lint:coldpath exits (whose whole
+// argument subtree — typically a panic message — is exempt). Annotating
+// an interface method extends the contract to every implementing type.
+var HotpathAlloc = &Analyzer{
+	Name: "hotpath-alloc",
+	Doc:  "//lint:hotpath functions must be allocation-free and only call hotpath/allowlisted code",
+	Run:  runHotpathAlloc,
+}
+
+func runHotpathAlloc(pass *Pass) {
+	if !pass.InDirs("internal") {
+		return
+	}
+	for _, pos := range pass.Orphans {
+		pass.Reportf(pos, "hotpath/coldpath directive attaches to no function or interface method")
+	}
+	checkHotContracts(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			d, ok := decl.(*ast.FuncDecl)
+			if !ok || d.Body == nil {
+				continue
+			}
+			if pass.Facts.FuncFact(pass.Info.Defs[d.Name]) != FactHot {
+				continue
+			}
+			checkHotBody(pass, d)
+		}
+	}
+}
+
+// checkHotContracts enforces interface annotation contracts: every
+// concrete type in this package implementing an interface with
+// //lint:hotpath methods must annotate the corresponding methods, which
+// is how nn.Layer/nn.Fabric pull every layer, fabric and out-of-package
+// module (e.g. models.Fire) into enforcement without a registry.
+func checkHotContracts(pass *Pass) {
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() { // Names() is sorted: deterministic
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, isIface := named.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		ptr := types.NewPointer(named)
+		for _, hi := range pass.Facts.ifaces {
+			if !types.Implements(ptr, hi.typ) && !types.Implements(named, hi.typ) {
+				continue
+			}
+			for _, abs := range hi.methods {
+				obj, _, _ := types.LookupFieldOrMethod(ptr, true, abs.Pkg(), abs.Name())
+				fn, ok := obj.(*types.Func)
+				if !ok || fn.Pkg() != pass.Pkg {
+					// Promoted from another (already-checked) package, e.g.
+					// an embedded annotated type — nothing to report here.
+					continue
+				}
+				if pass.Facts.FuncFact(fn) != FactHot {
+					pass.Reportf(fn.Pos(), "%s.%s implements %s.%s (//lint:hotpath) but is not annotated //lint:hotpath",
+						name, fn.Name(), hi.name, abs.Name())
+				}
+			}
+		}
+	}
+}
+
+// checkHotBody walks one annotated function body and reports every
+// allocation site and unverifiable call.
+func checkHotBody(pass *Pass, d *ast.FuncDecl) {
+	guards := capGuards(pass, d.Body)
+	ast.Inspect(d.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			obj := calleeObj(pass, n)
+			if isBuiltin(obj, "panic") || pass.Facts.FuncFact(obj) == FactCold {
+				// A terminating path: its argument subtree (panic message
+				// formatting, error construction) runs at most once per
+				// process and is exempt by design.
+				return false
+			}
+			checkHotCall(pass, n, obj, guards)
+		case *ast.CompositeLit:
+			switch pass.TypeOf(n).Underlying().(type) {
+			case *types.Slice, *types.Map:
+				pass.Reportf(n.Pos(), "hot path allocates: composite literal")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "hot path allocates: address of composite literal")
+				}
+			}
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "hot path allocates: closure (may escape; hoist to a named function)")
+			return false
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "hot path spawns a goroutine")
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringExpr(pass, n) {
+				pass.Reportf(n.Pos(), "hot path allocates: string concatenation")
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if _, isMap := pass.TypeOf(ix.X).Underlying().(*types.Map); isMap {
+						pass.Reportf(ix.Pos(), "hot path assigns through a map index (may allocate on insert)")
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if ix, ok := ast.Unparen(n.X).(*ast.IndexExpr); ok {
+				if _, isMap := pass.TypeOf(ix.X).Underlying().(*types.Map); isMap {
+					pass.Reportf(ix.Pos(), "hot path assigns through a map index (may allocate on insert)")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// capGuards returns the body spans of if-statements whose condition
+// reads cap() or len(): a make inside such a branch is the sanctioned
+// grow-once idiom (allocate only when the reused buffer is too small),
+// which is amortized-free in steady state and exempt.
+func capGuards(pass *Pass, body *ast.BlockStmt) [][2]token.Pos {
+	var spans [][2]token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		guarded := false
+		ast.Inspect(ifs.Cond, func(c ast.Node) bool {
+			if call, ok := c.(*ast.CallExpr); ok {
+				obj := calleeObj(pass, call)
+				if isBuiltin(obj, "cap") || isBuiltin(obj, "len") {
+					guarded = true
+				}
+			}
+			return !guarded
+		})
+		if guarded {
+			spans = append(spans, [2]token.Pos{ifs.Body.Pos(), ifs.Body.End()})
+		}
+		return true
+	})
+	return spans
+}
+
+func inSpans(spans [][2]token.Pos, pos token.Pos) bool {
+	for _, s := range spans {
+		if s[0] <= pos && pos < s[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHotCall classifies one call inside a hot body: builtins, type
+// conversions, static calls (fact / allowlist check + interface-boxing
+// scan of the arguments), and dynamic calls (unverifiable).
+func checkHotCall(pass *Pass, call *ast.CallExpr, obj types.Object, guards [][2]token.Pos) {
+	if obj == nil {
+		if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+			checkHotConversion(pass, call)
+			return
+		}
+		pass.Reportf(call.Pos(), "hot path makes a dynamic call (cannot verify allocation-freedom; use //lint:allow with a reason)")
+		return
+	}
+	switch obj := obj.(type) {
+	case *types.Builtin:
+		switch obj.Name() {
+		case "make":
+			if !inSpans(guards, call.Pos()) {
+				pass.Reportf(call.Pos(), "hot path allocates: make (cap/len-guarded grow-once is exempt)")
+			}
+		case "new":
+			pass.Reportf(call.Pos(), "hot path allocates: new")
+		case "append":
+			if !isResetAppend(pass, call) {
+				pass.Reportf(call.Pos(), "hot path allocates: append may grow (reusing via append(x[:0], ...) is exempt)")
+			}
+		}
+		return
+	case *types.TypeName:
+		checkHotConversion(pass, call)
+		return
+	case *types.Func:
+		checkBoxedArgs(pass, call)
+		if pass.Facts.FuncFact(obj) == FactHot || isAllocFree(obj) {
+			return
+		}
+		if obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+			pass.Reportf(call.Pos(), "hot path calls fmt.%s: formatting allocates", obj.Name())
+			return
+		}
+		pass.Reportf(call.Pos(), "hot path calls %s which is not //lint:hotpath (annotate it, or //lint:allow with a reason)",
+			funcDisplayName(obj))
+		return
+	default:
+		// A *types.Var (func-typed field or local) or anything else.
+		checkBoxedArgs(pass, call)
+		pass.Reportf(call.Pos(), "hot path calls through a function value (cannot verify allocation-freedom; use //lint:allow with a reason)")
+	}
+}
+
+// checkHotConversion flags the conversions that allocate: string <->
+// byte/rune slices, and conversion to an interface type (boxing).
+func checkHotConversion(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	dst := pass.TypeOf(call.Fun)
+	if dst == nil {
+		return
+	}
+	src := pass.TypeOf(call.Args[0])
+	switch d := dst.Underlying().(type) {
+	case *types.Slice:
+		if src != nil {
+			if _, ok := src.Underlying().(*types.Basic); ok && isStringType(src) {
+				pass.Reportf(call.Pos(), "hot path allocates: string-to-slice conversion")
+			}
+		}
+	case *types.Basic:
+		if d.Info()&types.IsString != 0 && src != nil {
+			if _, ok := src.Underlying().(*types.Slice); ok {
+				pass.Reportf(call.Pos(), "hot path allocates: slice-to-string conversion")
+			}
+		}
+	case *types.Interface:
+		if boxes(pass, call.Args[0]) {
+			pass.Reportf(call.Pos(), "hot path allocates: conversion boxes value into interface")
+		}
+	}
+}
+
+// checkBoxedArgs flags arguments whose value must be boxed to satisfy an
+// interface-typed parameter (including interface variadics). Non-interface
+// variadic calls are not flagged: the argument slice is stack-allocated
+// when it does not escape, which the gated benchmarks prove for the
+// Workspace.Take-style call sites.
+func checkBoxedArgs(pass *Pass, call *ast.CallExpr) {
+	sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+	if !ok || call.Ellipsis.IsValid() {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		if boxes(pass, arg) {
+			pass.Reportf(arg.Pos(), "hot path allocates: argument boxes into interface parameter")
+		}
+	}
+}
+
+// boxes reports whether passing e as an interface value allocates:
+// constants, nil, values already of interface type, and pointer-shaped
+// values (pointer/chan/map/func/unsafe.Pointer fit in the iface word) do
+// not; everything else does.
+func boxes(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value != nil || tv.IsNil() {
+		return false
+	}
+	t := tv.Type
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		if t.Underlying().(*types.Basic).Kind() == types.UnsafePointer {
+			return false
+		}
+	}
+	return true
+}
+
+// isResetAppend recognizes the sanctioned reuse idiom
+// append(x[:0], ...): the destination keeps its backing array, so no
+// growth happens once capacity is warm.
+func isResetAppend(pass *Pass, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	sl, ok := ast.Unparen(call.Args[0]).(*ast.SliceExpr)
+	if !ok || sl.Slice3 {
+		return false
+	}
+	zero := func(e ast.Expr) bool {
+		if e == nil {
+			return false
+		}
+		tv, ok := pass.Info.Types[e]
+		return ok && tv.Value != nil && tv.Value.String() == "0"
+	}
+	// x[:0] or x[0:0]: length 0 over the existing backing array.
+	return zero(sl.High) && (sl.Low == nil || zero(sl.Low))
+}
+
+// isAllocFree is the closed allowlist of stdlib calls known not to
+// allocate, callable from hot paths without annotation.
+func isAllocFree(obj *types.Func) bool {
+	pkg := obj.Pkg()
+	if pkg == nil {
+		return false
+	}
+	switch pkg.Path() {
+	case "math":
+		return true // pure float kernels
+	case "sort":
+		switch obj.Name() {
+		case "SearchFloat64s", "SearchInts", "SearchStrings":
+			return true
+		}
+	case "runtime":
+		return obj.Name() == "GOMAXPROCS"
+	case "sync":
+		sig, ok := obj.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return false
+		}
+		rt := sig.Recv().Type()
+		switch {
+		case namedType(rt, "sync", "Pool"):
+			return obj.Name() == "Get" || obj.Name() == "Put"
+		case namedType(rt, "sync", "Mutex"):
+			return obj.Name() == "Lock" || obj.Name() == "Unlock"
+		case namedType(rt, "sync", "RWMutex"):
+			return obj.Name() == "Lock" || obj.Name() == "Unlock" ||
+				obj.Name() == "RLock" || obj.Name() == "RUnlock"
+		case namedType(rt, "sync", "WaitGroup"):
+			return obj.Name() == "Add" || obj.Name() == "Done" || obj.Name() == "Wait"
+		}
+	}
+	return false
+}
+
+// isStringExpr reports whether e is a non-constant string-typed
+// expression (constant concatenation folds at compile time).
+func isStringExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value != nil {
+		return false
+	}
+	return tv.Type != nil && isStringType(tv.Type)
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// funcDisplayName renders obj as pkg.Func or pkg.Recv.Method.
+func funcDisplayName(obj *types.Func) string {
+	name := obj.Name()
+	if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		if n, ok := rt.(*types.Named); ok {
+			name = n.Obj().Name() + "." + name
+		}
+	}
+	if obj.Pkg() != nil {
+		name = obj.Pkg().Name() + "." + name
+	}
+	return name
+}

@@ -62,6 +62,10 @@ var All = []*Analyzer{
 	FloatEq,
 	NoNakedPrint,
 	CtxGoroutine,
+	HotpathAlloc,
+	WorkspaceOwner,
+	WireStability,
+	UncheckedError,
 }
 
 // Pass carries one type-checked package through one analyzer.
@@ -73,6 +77,12 @@ type Pass struct {
 	// Path is the package's import path (e.g. "remapd/internal/remap");
 	// rules scope themselves with it.
 	Path string
+	// Facts is the loader-wide cross-package annotation table.
+	Facts *Facts
+	// Orphans are unattached hotpath/coldpath directives in this package.
+	Orphans []token.Pos
+	// GoldenDir is the wire-stability golden field-set directory.
+	GoldenDir string
 
 	rule     string
 	allows   []*allowDirective
@@ -84,7 +94,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	position := p.Fset.Position(pos)
 	for _, a := range p.allows {
 		if a.rule == p.rule && a.file == position.Filename &&
-			(a.line == position.Line || a.line == position.Line-1) {
+			a.from <= position.Line && position.Line <= a.to {
 			a.used = true
 			return
 		}
@@ -112,14 +122,18 @@ func (p *Pass) InDirs(prefixes ...string) bool {
 	return false
 }
 
-// allowDirective is one parsed //lint:allow comment.
+// allowDirective is one parsed //lint:allow comment. It suppresses
+// findings of its rule reported anywhere in the line span [from, to] of
+// its file — the span of the statement (or field/spec) the directive is
+// attached to, so a suppressed statement that spans multiple lines is
+// covered in full, not just on the directive's own line.
 type allowDirective struct {
-	file   string
-	line   int
-	rule   string
-	reason string
-	pos    token.Pos
-	used   bool
+	file     string
+	from, to int
+	rule     string
+	reason   string
+	pos      token.Pos
+	used     bool
 }
 
 const allowPrefix = "//lint:allow"
@@ -153,14 +167,68 @@ func parseAllows(fset *token.FileSet, files []*ast.File, known map[string]bool, 
 					bad(fmt.Sprintf("malformed allow: %s needs a reason", fields[0]))
 					continue
 				}
+				from, to := allowSpan(fset, f, pos.Line)
 				out = append(out, &allowDirective{
-					file: pos.Filename, line: pos.Line, pos: c.Pos(),
+					file: pos.Filename, from: from, to: to, pos: c.Pos(),
 					rule: fields[0], reason: strings.Join(fields[1:], " "),
 				})
 			}
 		}
 	}
 	return out
+}
+
+// allowSpan computes the line range an allow directive at line covers.
+// The directive attaches to the statement (or struct field / spec) it is
+// written above — the smallest candidate node starting on the next line —
+// or, failing that, the smallest candidate node whose span contains the
+// directive's own line (the inline form). The result is the union of the
+// node's line span with the historical [line, line+1] window, so every
+// directive that worked under the old exact-line matching keeps working,
+// and one written above a multi-line statement now covers all of it.
+func allowSpan(fset *token.FileSet, f *ast.File, line int) (from, to int) {
+	from, to = line, line+1
+	var above, inline ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		switch n.(type) {
+		case ast.Stmt, *ast.Field, ast.Spec:
+			if _, isBlock := n.(*ast.BlockStmt); isBlock {
+				return true // blocks are containers, not attachment targets
+			}
+		default:
+			return true
+		}
+		start := fset.Position(n.Pos()).Line
+		end := fset.Position(n.End()).Line
+		if start == line+1 {
+			if above == nil || n.End()-n.Pos() < above.End()-above.Pos() {
+				above = n
+			}
+		}
+		if start <= line && line <= end {
+			if inline == nil || n.End()-n.Pos() < inline.End()-inline.Pos() {
+				inline = n
+			}
+		}
+		return true
+	})
+	target := above
+	if target == nil {
+		target = inline
+	}
+	if target == nil {
+		return from, to
+	}
+	if s := fset.Position(target.Pos()).Line; s < from {
+		from = s
+	}
+	if e := fset.Position(target.End()).Line; e > to {
+		to = e
+	}
+	return from, to
 }
 
 // RunPackage runs the whole suite over one loaded package and returns its
@@ -175,7 +243,8 @@ func RunPackage(pkg *Package) []Finding {
 	allows := parseAllows(pkg.Fset, pkg.Files, known, &findings)
 	pass := &Pass{
 		Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info,
-		Path: pkg.Path, allows: allows, findings: &findings,
+		Path: pkg.Path, Facts: pkg.Facts, Orphans: pkg.Orphans,
+		GoldenDir: pkg.GoldenDir, allows: allows, findings: &findings,
 	}
 	for _, a := range All {
 		pass.rule = a.Name

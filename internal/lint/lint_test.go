@@ -26,6 +26,12 @@ var fixturePaths = map[string]string{
 	"goroutine":  "remapd/internal/experiments/lintfixture",
 	"allowok":    "remapd/internal/lintfixture/allowok",
 	"obsdomain":  "remapd/internal/obs/obsfixture",
+
+	"hotpathalloc":   "remapd/internal/lintfixture/hotpathalloc",
+	"hotpathuse":     "remapd/internal/lintfixture/hotpathuse",
+	"workspaceowner": "remapd/internal/lintfixture/workspaceowner",
+	"uncheckederr":   "remapd/internal/lintfixture/uncheckederr",
+	"allowspan":      "remapd/internal/lintfixture/allowspan",
 }
 
 var (
@@ -137,7 +143,7 @@ func checkFixture(t *testing.T, fixture string) []lint.Finding {
 func TestRuleFixtures(t *testing.T) {
 	for _, fixture := range []string{
 		"wallclock", "globalrand", "seededrng", "maporder", "floateq", "nakedprint", "goroutine",
-		"obsdomain",
+		"obsdomain", "hotpathalloc", "workspaceowner", "uncheckederr",
 	} {
 		t.Run(fixture, func(t *testing.T) { checkFixture(t, fixture) })
 	}
@@ -164,6 +170,96 @@ func TestAllowDirectives(t *testing.T) {
 	if stale != 3 {
 		t.Errorf("stale-allow findings = %d, want 3 (stale, unknown rule, missing reason)", stale)
 	}
+}
+
+// TestAllowSpanMultiline pins the allow-directive span rules: one allow
+// above a multi-line statement covers every line of the statement, and a
+// fully-consumed allow is not reported stale. The fixture seeds four
+// wall-clock violations across two multi-line statements, each preceded
+// by a single allow — anything surfacing (violation or stale-allow) is a
+// regression.
+func TestAllowSpanMultiline(t *testing.T) {
+	if findings := checkFixture(t, "allowspan"); len(findings) != 0 {
+		t.Errorf("allowspan fixture produced %d finding(s), want 0", len(findings))
+	}
+}
+
+// TestCrossPackageFactPropagation pins the fact-export mechanism: hotpath
+// annotations recorded while type-checking the real internal/tensor and
+// internal/nn packages must be visible when a package importing them is
+// analyzed — annotated kernels callable, unannotated ones findings, and
+// the nn.Layer interface contract enforced on out-of-package types.
+func TestCrossPackageFactPropagation(t *testing.T) {
+	findings := checkFixture(t, "hotpathuse")
+	hitMatMul := false
+	for _, f := range findings {
+		if f.Rule == "hotpath-alloc" && strings.Contains(f.Msg, "tensor.MatMul ") {
+			hitMatMul = true
+		}
+		if strings.Contains(f.Msg, "tensor.MatMulInto") {
+			t.Errorf("annotated cross-package callee flagged: %s", f.Msg)
+		}
+	}
+	if !hitMatMul {
+		t.Error("unannotated cross-package callee tensor.MatMul not flagged")
+	}
+}
+
+// TestWireDrift drives the wire-stability golden check through its three
+// failure modes with a fixture package mounted at an import path ending
+// in internal/dist: field-set drift at an unchanged version, a version
+// bump with a stale golden, and a missing golden. The committed drift
+// golden predates the fixture's Extra field on purpose.
+func TestWireDrift(t *testing.T) {
+	l, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs, err := filepath.Abs(filepath.Join("testdata", "src", "wiredrift"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Overlay = map[string]string{"remapd/wirefixture/internal/dist": abs}
+	driftDir, err := filepath.Abs(filepath.Join("testdata", "wire-drift"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.WireGoldenDir = driftDir
+	pkg, err := l.Load("remapd/wirefixture/internal/dist")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	requireFinding := func(t *testing.T, findings []lint.Finding, substr string) {
+		t.Helper()
+		for _, f := range findings {
+			if f.Rule == "wire-stability" && strings.Contains(f.Msg, substr) {
+				return
+			}
+		}
+		t.Errorf("no wire-stability finding containing %q in %v", substr, findings)
+	}
+
+	findings := lint.RunPackage(pkg)
+	requireFinding(t, findings, "wire field set changed without a ProtoVersion bump")
+	for _, substr := range []string{
+		"not lowercase snake_case",
+		"duplicate json tag",
+		"has no json tag",
+		"json tag on unexported field",
+	} {
+		requireFinding(t, findings, substr)
+	}
+
+	staleDir, err := filepath.Abs(filepath.Join("testdata", "wire-drift-stale"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg.GoldenDir = staleDir
+	requireFinding(t, lint.RunPackage(pkg), "ProtoVersion changed (0 -> 1) but the golden is stale")
+
+	pkg.GoldenDir = t.TempDir()
+	requireFinding(t, lint.RunPackage(pkg), "no wire golden for this package")
 }
 
 // TestRepoClean runs the whole suite over the module, mirroring the CI

@@ -22,6 +22,15 @@ type Package struct {
 	Files []*ast.File // non-test files, in filename order
 	Types *types.Package
 	Info  *types.Info
+
+	// Facts is the loader-wide cross-package annotation table (shared by
+	// every package the loader touched; see facts.go).
+	Facts *Facts
+	// Orphans are //lint:hotpath / //lint:coldpath directives in this
+	// package that attached to nothing (reported by hotpath-alloc).
+	Orphans []token.Pos
+	// GoldenDir is where wire-stability golden field-set files live.
+	GoldenDir string
 }
 
 // Loader parses and type-checks module packages with stdlib machinery
@@ -37,10 +46,15 @@ type Loader struct {
 	// use it to load testdata packages under "remapd/internal/..." paths so
 	// path-scoped rules fire.
 	Overlay map[string]string
+	// WireGoldenDir holds the wire-stability golden field-set files
+	// (defaults to <ModuleDir>/internal/lint/testdata/wire; the drift
+	// fixture test points it elsewhere).
+	WireGoldenDir string
 
 	pkgs    map[string]*Package
 	loading map[string]bool
 	std     types.Importer
+	facts   *Facts
 }
 
 // NewLoader finds the module root at or above dir and returns a loader
@@ -67,12 +81,14 @@ func NewLoader(dir string) (*Loader, error) {
 	}
 	fset := token.NewFileSet()
 	return &Loader{
-		Fset:       fset,
-		ModuleDir:  root,
-		ModulePath: modPath,
-		pkgs:       map[string]*Package{},
-		loading:    map[string]bool{},
-		std:        importer.ForCompiler(fset, "source", nil),
+		Fset:          fset,
+		ModuleDir:     root,
+		ModulePath:    modPath,
+		WireGoldenDir: filepath.Join(root, "internal", "lint", "testdata", "wire"),
+		pkgs:          map[string]*Package{},
+		loading:       map[string]bool{},
+		std:           importer.ForCompiler(fset, "source", nil),
+		facts:         newFacts(),
 	}, nil
 }
 
@@ -161,7 +177,14 @@ func (l *Loader) Load(path string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
 	}
-	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	pkg := &Package{
+		Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info,
+		Facts: l.facts, GoldenDir: l.WireGoldenDir,
+	}
+	// Extract annotation facts while loading is still serial; dependencies
+	// load (and export their facts) before their importers, so by the time
+	// a package is analyzed every fact it can observe is in the table.
+	pkg.Orphans = l.facts.addPackage(pkg)
 	l.pkgs[path] = pkg
 	return pkg, nil
 }

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Runner analyzes many packages with a bounded worker pool. Loading
+// (parse + type-check) stays serial — it mutates the loader's memo
+// tables and the shared fact table — but analysis is read-only over
+// immutable packages (FileSet positions are safe concurrently, type
+// queries are pure), so the rule passes fan out across packages. This
+// is what keeps `make lint` inside its CI wall-clock budget now that
+// the suite runs eleven rules, several of them whole-package walks.
+type Runner struct {
+	Loader *Loader
+	// Jobs bounds analysis concurrency; <= 0 means GOMAXPROCS.
+	Jobs int
+}
+
+// Run loads every path and returns the merged, sorted findings.
+func (r *Runner) Run(paths []string) ([]Finding, error) {
+	pkgs := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := r.Loader.Load(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	jobs := r.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(pkgs) {
+		jobs = len(pkgs)
+	}
+	perPkg := make([][]Finding, len(pkgs))
+	if jobs <= 1 {
+		for i, pkg := range pkgs {
+			perPkg[i] = RunPackage(pkg)
+		}
+	} else {
+		work := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < jobs; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					perPkg[i] = RunPackage(pkgs[i])
+				}
+			}()
+		}
+		for i := range pkgs {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+	}
+	var findings []Finding
+	for _, fs := range perPkg {
+		findings = append(findings, fs...)
+	}
+	SortFindings(findings)
+	return findings, nil
+}

@@ -1,0 +1,32 @@
+// Package allowspan pins the allow-directive span rules: an allow placed
+// above a multi-line statement covers the entire statement, not just the
+// next source line. Every violation here is suppressed, so the fixture
+// must produce zero findings — including zero stale-allow findings,
+// which proves the allows were actually consumed.
+package allowspan
+
+import "time"
+
+// Epoch's violations sit on the second and fourth lines of a multi-line
+// if statement; one allow above the statement must cover both.
+func Epoch(fast bool) int64 {
+	var ts int64
+	//lint:allow no-wall-clock fixture: one allow covers the whole multi-line statement below
+	if fast {
+		ts = time.Now().Unix()
+	} else {
+		ts = time.Now().UnixNano()
+	}
+	return ts
+}
+
+// Record's violations sit inside a multi-line argument list.
+func Record() {
+	//lint:allow no-wall-clock fixture: multi-line call arguments are covered too
+	record(
+		time.Now().Unix(),
+		time.Now().UnixNano(),
+	)
+}
+
+func record(a, b int64) {}

@@ -1,0 +1,182 @@
+// Package hotpathalloc is the hotpath-alloc rule fixture: one annotated
+// function per allocation class the rule recognises, plus the sanctioned
+// idioms (cap-guarded grow-once, reset-append, allowlisted stdlib,
+// coldpath exits) that must stay silent.
+package hotpathalloc
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// state is the reused scratch the good paths grow once.
+type state struct {
+	buf []float32
+	m   map[string]int
+	mu  sync.Mutex
+}
+
+//lint:hotpath
+func allocMake(n int) []int {
+	return make([]int, n) // want "hot path allocates: make"
+}
+
+//lint:hotpath
+func allocNew() *int {
+	return new(int) // want "hot path allocates: new"
+}
+
+//lint:hotpath
+func allocAppend(xs []int, v int) []int {
+	return append(xs, v) // want "hot path allocates: append may grow"
+}
+
+//lint:hotpath
+func allocLiteral() []int {
+	return []int{1, 2} // want "hot path allocates: composite literal"
+}
+
+//lint:hotpath
+func allocAddr() *state {
+	return &state{} // want "hot path allocates: address of composite literal"
+}
+
+//lint:hotpath
+func allocClosure(n int) func() int {
+	return func() int { return n } // want "hot path allocates: closure"
+}
+
+//lint:hotpath
+func spawns() {
+	go hotHelper() // want "hot path spawns a goroutine"
+}
+
+//lint:hotpath
+func concat(a, b string) string {
+	return a + b // want "hot path allocates: string concatenation"
+}
+
+//lint:hotpath
+func strToBytes(s string) []byte {
+	return []byte(s) // want "hot path allocates: string-to-slice conversion"
+}
+
+//lint:hotpath
+func bytesToStr(b []byte) string {
+	return string(b) // want "hot path allocates: slice-to-string conversion"
+}
+
+//lint:hotpath
+func boxConvert(v int) any {
+	return any(v) // want "hot path allocates: conversion boxes value into interface"
+}
+
+//lint:hotpath
+func boxArg(v int) {
+	hotSink(v) // want "hot path allocates: argument boxes into interface parameter"
+}
+
+//lint:hotpath
+func mapInsert(s *state, k string) {
+	s.m[k] = 1 // want "hot path assigns through a map index"
+}
+
+//lint:hotpath
+func mapInc(s *state, k string) {
+	s.m[k]++ // want "hot path assigns through a map index"
+}
+
+//lint:hotpath
+func format(n int) string {
+	return fmt.Sprintf("n=%d", n) // want "hot path calls fmt.Sprintf: formatting allocates" // want "hot path allocates: argument boxes into interface parameter"
+}
+
+//lint:hotpath
+func callsUnannotated() {
+	helper() // want "hot path calls hotpathalloc.helper which is not //lint:hotpath"
+}
+
+//lint:hotpath
+func dynamicCall(f func()) {
+	f() // want "hot path calls through a function value"
+}
+
+// Kernel's hot method puts every implementing type under contract.
+type Kernel interface {
+	//lint:hotpath
+	Run(n int)
+}
+
+type badImpl struct{}
+
+func (badImpl) Run(n int) {} // want "badImpl.Run implements hotpathalloc.Kernel"
+
+type goodImpl struct{}
+
+//lint:hotpath
+func (goodImpl) Run(n int) {}
+
+//lint:hotpath orphan: attaches to a var, not a function // want "directive attaches to no function or interface method"
+var orphaned = 1
+
+// ---- sanctioned idioms: everything below must stay silent ----
+
+//lint:hotpath
+func hotHelper() {}
+
+//lint:hotpath
+func hotSink(v any) {}
+
+func helper() {}
+
+//lint:coldpath panic helper, runs at most once per process
+func fail(msg string) {
+	panic("hotpathalloc: " + msg)
+}
+
+//lint:hotpath
+func growOnce(s *state, n int) []float32 {
+	if cap(s.buf) < n {
+		s.buf = make([]float32, n)
+	}
+	s.buf = s.buf[:n]
+	return s.buf
+}
+
+//lint:hotpath
+func resetAppend(s *state, xs []float32) {
+	s.buf = append(s.buf[:0], xs...)
+}
+
+//lint:hotpath
+func locked(s *state) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}
+
+//lint:hotpath
+func mathCall(x float64) float64 {
+	return math.Sqrt(x)
+}
+
+//lint:hotpath
+func coldExit(n int) {
+	if n < 0 {
+		fail("negative") // coldpath call: exempt
+	}
+}
+
+//lint:hotpath
+func panicFmt(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("bad n %d", n)) // panic subtree: exempt
+	}
+}
+
+var _ = []any{
+	allocMake, allocNew, allocAppend, allocLiteral, allocAddr, allocClosure,
+	spawns, concat, strToBytes, bytesToStr, boxConvert, boxArg, mapInsert,
+	mapInc, format, callsUnannotated, dynamicCall, growOnce, resetAppend,
+	locked, mathCall, coldExit, panicFmt, orphaned,
+}

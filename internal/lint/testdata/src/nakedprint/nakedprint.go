@@ -15,7 +15,7 @@ func Bad() {
 
 // GoodSink routes output through an explicit writer.
 func GoodSink(w io.Writer) {
-	fmt.Fprintln(w, "done")
+	_, _ = fmt.Fprintln(w, "done")
 }
 
 // GoodLogf routes output through a caller-supplied sink.

@@ -1,0 +1,44 @@
+// Package uncheckederr is the unchecked-error rule fixture: error
+// results silently dropped by expression, defer and go statements are
+// flagged; explicit discards and the by-contract-infallible writers
+// (strings.Builder, bytes.Buffer, fmt.Print*) stay silent.
+package uncheckederr
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+)
+
+// Close drops the close error on the floor.
+func Close(f *os.File) {
+	f.Close() // want "unchecked error: result of os.File.Close is discarded"
+}
+
+// CloseDeferred drops it behind a defer.
+func CloseDeferred(f *os.File) {
+	defer f.Close() // want "unchecked error: result of os.File.Close is discarded"
+}
+
+// CloseAsync drops it on a goroutine.
+func CloseAsync(f *os.File) {
+	go f.Close() // want "unchecked error: result of os.File.Close is discarded"
+}
+
+// Write drops an (n, error) result tuple.
+func Write(w io.Writer, p []byte) {
+	w.Write(p) // want "unchecked error: result of"
+}
+
+// CloseChecked propagates the error.
+func CloseChecked(f *os.File) error { return f.Close() }
+
+// CloseDiscard discards it explicitly, which is legal.
+func CloseDiscard(f *os.File) { _ = f.Close() }
+
+// Build writes through strings.Builder, whose error is nil by contract.
+func Build(sb *strings.Builder) { sb.WriteString("x") }
+
+// Buffer writes through bytes.Buffer, also infallible by contract.
+func Buffer(b *bytes.Buffer, p []byte) { b.Write(p) }

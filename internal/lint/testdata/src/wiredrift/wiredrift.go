@@ -1,0 +1,29 @@
+// Package dist mimics the real coordinator↔worker protocol package: the
+// test overlay mounts it at an import path ending in internal/dist, so
+// the wire-stability rule treats it as wire code. Request has grown an
+// Extra field that the committed drift golden predates — the field-set
+// drift without a ProtoVersion bump the rule must catch — and Sloppy
+// collects one of every tag-hygiene violation.
+package dist
+
+// ProtoVersion pins the message schema. It is deliberately NOT bumped
+// for the Extra field below.
+const ProtoVersion = 1
+
+// Request is the protocol message whose field set drifted.
+type Request struct {
+	Kind  string `json:"kind"`
+	Seq   int    `json:"seq"`
+	Extra string `json:"extra"`
+}
+
+// Sloppy violates every tag-hygiene rule.
+type Sloppy struct {
+	Kind   string `json:"Kind"` // want "not lowercase snake_case"
+	Dup    string `json:"kind_2"`
+	Dup2   string `json:"kind_2"` // want "duplicate json tag"
+	Bare   int    // want "has no json tag"
+	hidden int    `json:"hidden"` // want "json tag on unexported field"
+}
+
+var _ = Sloppy{hidden: 0}

@@ -1,0 +1,37 @@
+// Package workspaceowner is the workspace-owner rule fixture: uses of a
+// Take/View2D result after the same key has been retaken are flagged;
+// distinct keys and rebinding to the newest take stay silent.
+package workspaceowner
+
+import (
+	"remapd/internal/nn"
+	"remapd/internal/tensor"
+)
+
+func useAfterRetake(ws *nn.Workspace) float32 {
+	a := ws.Take("a", 4)
+	b := ws.Take("a", 4)
+	b.Data[0] = 1
+	return a.Data[0] // want "use-after-retake: a holds ws.Take"
+}
+
+func viewAfterReview(ws *nn.Workspace, src *tensor.Tensor) float32 {
+	v := ws.View2D("v", src, 1, src.Len())
+	w := ws.View2D("v", src, src.Len(), 1)
+	w.Data[0] = 1
+	return v.Data[0] // want "use-after-retake: v holds ws.View2D"
+}
+
+func distinctKeys(ws *nn.Workspace) float32 {
+	a := ws.Take("a", 4)
+	b := ws.Take("b", 4)
+	b.Data[0] = 1
+	return a.Data[0] // silent: different keys own different buffers
+}
+
+func rebound(ws *nn.Workspace) float32 {
+	a := ws.Take("a", 4)
+	a.Data[0] = 2
+	a = ws.Take("a", 4)
+	return a.Data[0] // silent: a rebinds to the newest take
+}

@@ -1,0 +1,256 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"strings"
+)
+
+// WireStability guards the serialized formats: the dist coordinator ↔
+// worker protocol (line-delimited JSON, resumable across binary
+// versions), the checkpoint store, and the obs event/metrics schemas.
+// Two layers of defence:
+//
+//  1. Tag hygiene — in internal/dist, internal/checkpoint and
+//     internal/obs, any struct that participates in JSON serialization
+//     (has at least one json tag) must tag every exported field, with
+//     unique lowercase snake_case names; a json tag on an unexported
+//     field is dead and reported too.
+//
+//  2. Golden field sets — a package that declares a wire version const
+//     (ProtoVersion or SchemaVersion) has its full tagged field set
+//     snapshotted into internal/lint/testdata/wire/<pkg>.golden. Any
+//     drift between the snapshot and the golden without a version bump
+//     is a finding: adding a field to a dist message silently changes
+//     the bytes old workers emit, which the byte-identity contract
+//     (and mixed-version fan-out) cannot tolerate. After an intentional
+//     change, bump the version const and `make wire-golden`.
+var WireStability = &Analyzer{
+	Name: "wire-stability",
+	Doc:  "serialized structs need complete lowercase json tags; versioned wire field sets must match their golden",
+	Run:  runWireStability,
+}
+
+var wireDirs = []string{"internal/dist", "internal/checkpoint", "internal/obs"}
+
+var jsonNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+func runWireStability(pass *Pass) {
+	inScope := false
+	for _, dir := range wireDirs {
+		if pathHasSuffix(pass.Path, dir) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			checkWireTags(pass, ts.Name.Name, st)
+			return true
+		})
+	}
+	checkWireGolden(pass)
+}
+
+// jsonTag extracts the json struct tag of a field: name, whether a json
+// key was present at all, and the raw value (name + options).
+func jsonTag(field *ast.Field) (name string, present bool, raw string) {
+	if field.Tag == nil {
+		return "", false, ""
+	}
+	tag := reflect.StructTag(strings.Trim(field.Tag.Value, "`"))
+	raw, present = tag.Lookup("json")
+	name = raw
+	if i := strings.Index(raw, ","); i >= 0 {
+		name = raw[:i]
+	}
+	return name, present, raw
+}
+
+// checkWireTags enforces tag hygiene on one struct declaration, but only
+// when the struct opts into JSON serialization (≥ 1 json tag) — the
+// checkpoint package's binary container structs stay untouched.
+func checkWireTags(pass *Pass, structName string, st *ast.StructType) {
+	serialized := false
+	for _, f := range st.Fields.List {
+		if _, present, _ := jsonTag(f); present {
+			serialized = true
+			break
+		}
+	}
+	if !serialized {
+		return
+	}
+	seen := map[string]bool{}
+	for _, f := range st.Fields.List {
+		name, present, _ := jsonTag(f)
+		idents := f.Names
+		if len(idents) == 0 {
+			// Embedded field: its exported name is the type name.
+			if id := embeddedIdent(f.Type); id != nil {
+				idents = []*ast.Ident{id}
+			} else {
+				continue
+			}
+		}
+		for _, id := range idents {
+			switch {
+			case !id.IsExported():
+				if present && name != "-" {
+					pass.Reportf(f.Pos(), "json tag on unexported field %s.%s is dead (never serialized)", structName, id.Name)
+				}
+			case !present:
+				pass.Reportf(id.Pos(), "exported field %s.%s has no json tag (wire structs need complete tags)", structName, id.Name)
+			case name == "-":
+				// Explicitly excluded from the wire format.
+			case !jsonNameRE.MatchString(name):
+				pass.Reportf(f.Tag.Pos(), "json tag %q on %s.%s is not lowercase snake_case", name, structName, id.Name)
+			case seen[name]:
+				pass.Reportf(f.Tag.Pos(), "duplicate json tag %q in %s", name, structName)
+			default:
+				seen[name] = true
+			}
+		}
+	}
+}
+
+// embeddedIdent returns the name identifier of an embedded field type.
+func embeddedIdent(e ast.Expr) *ast.Ident {
+	switch t := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return t
+	case *ast.StarExpr:
+		return embeddedIdent(t.X)
+	case *ast.SelectorExpr:
+		return t.Sel
+	}
+	return nil
+}
+
+// wireVersionOf finds the package's wire version const (ProtoVersion or
+// SchemaVersion) and its integer value.
+func wireVersionOf(pkg *types.Package) (name, value string, pos token.Pos, ok bool) {
+	for _, n := range []string{"ProtoVersion", "SchemaVersion"} {
+		if c, isConst := pkg.Scope().Lookup(n).(*types.Const); isConst {
+			return n, c.Val().ExactString(), c.Pos(), true
+		}
+	}
+	return "", "", token.NoPos, false
+}
+
+// wireSnapshotLines renders the tagged field set of every serialized
+// struct, in file/declaration/field order (JSON output order is field
+// order, so order changes are drift too). Lines look like:
+//
+//	Reply.Kind json=kind,omitempty type=string
+func wireSnapshotLines(files []*ast.File, info *types.Info) []string {
+	var lines []string
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			serialized := false
+			for _, field := range st.Fields.List {
+				if _, present, _ := jsonTag(field); present {
+					serialized = true
+					break
+				}
+			}
+			if !serialized {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				name, present, raw := jsonTag(field)
+				if !present || name == "-" {
+					continue
+				}
+				typ := "?"
+				if t := info.TypeOf(field.Type); t != nil {
+					typ = t.String()
+				}
+				for _, id := range field.Names {
+					if !id.IsExported() {
+						continue
+					}
+					lines = append(lines, fmt.Sprintf("%s.%s json=%s type=%s", ts.Name.Name, id.Name, raw, typ))
+				}
+			}
+			return true
+		})
+	}
+	return lines
+}
+
+// WireSnapshot renders a package's golden wire snapshot ("version N"
+// header plus one line per serialized field). ok is false when the
+// package declares no wire version const and needs no golden.
+func WireSnapshot(pkg *Package) (string, bool) {
+	_, value, _, ok := wireVersionOf(pkg.Types)
+	if !ok {
+		return "", false
+	}
+	return renderWireSnapshot(value, wireSnapshotLines(pkg.Files, pkg.Info)), true
+}
+
+func renderWireSnapshot(version string, lines []string) string {
+	return "version " + version + "\n" + strings.Join(lines, "\n") + "\n"
+}
+
+// WireGoldenPath is where a package's golden snapshot lives.
+func WireGoldenPath(goldenDir, pkgPath string) string {
+	return filepath.Join(goldenDir, path.Base(pkgPath)+".golden")
+}
+
+// checkWireGolden compares the package's current wire snapshot against
+// its committed golden, reporting at the version const so the finding
+// points at the thing to bump.
+func checkWireGolden(pass *Pass) {
+	vname, value, vpos, ok := wireVersionOf(pass.Pkg)
+	if !ok {
+		return
+	}
+	goldenFile := WireGoldenPath(pass.GoldenDir, pass.Path)
+	data, err := os.ReadFile(goldenFile)
+	if err != nil {
+		pass.Reportf(vpos, "no wire golden for this package: run `make wire-golden` and commit %s", path.Base(goldenFile))
+		return
+	}
+	golden := string(data)
+	current := renderWireSnapshot(value, wireSnapshotLines(pass.Files, pass.Info))
+	if current == golden {
+		return
+	}
+	goldenVersion := ""
+	if first, _, found := strings.Cut(golden, "\n"); found {
+		goldenVersion = strings.TrimPrefix(first, "version ")
+	}
+	if goldenVersion == value {
+		pass.Reportf(vpos, "wire field set changed without a %s bump: bump it and run `make wire-golden`", vname)
+		return
+	}
+	pass.Reportf(vpos, "%s changed (%s -> %s) but the golden is stale: run `make wire-golden` and commit it", vname, goldenVersion, value)
+}

@@ -1,0 +1,198 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// WorkspaceOwner guards the single-owner convention of nn.Workspace
+// scratch buffers: Take/View2D/View return the latest buffer for a key,
+// and a second call with the same key on the same workspace hands out
+// the same backing memory — so a binding from an earlier call must not
+// be used after a later call retakes the key (use-after-retake), the
+// exact aliasing bug class the PR 6 workspace convention invites.
+//
+// The analysis is flow-insensitive but position-aware within one
+// function body: a use of binding B is flagged when some other take of
+// B's (workspace, key) pair appears textually between B's assignment and
+// the use. Loops that take in one iteration and use in the next are the
+// documented gap; in this codebase every Forward/Backward takes all its
+// buffers up front, which this rule locks in.
+var WorkspaceOwner = &Analyzer{
+	Name: "workspace-owner",
+	Doc:  "a Workspace.Take/View2D/View result must not be used after a later take of the same key",
+	Run:  runWorkspaceOwner,
+}
+
+// wsTake is one Take/View2D/View call inside a function body.
+type wsTake struct {
+	method  string    // "Take", "View2D", "View"
+	recv    string    // canonical receiver expression, e.g. "c.ws"
+	key     string    // constant string key argument
+	callPos token.Pos // call start (identity)
+	callEnd token.Pos // call end
+	binding string    // canonical LHS expression, "" when unbound
+	bindEnd token.Pos // end of the binding assignment
+}
+
+func runWorkspaceOwner(pass *Pass) {
+	if !pass.InDirs("internal") {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			d, ok := decl.(*ast.FuncDecl)
+			if !ok || d.Body == nil {
+				continue
+			}
+			checkWorkspaceBody(pass, d.Body)
+		}
+	}
+}
+
+func checkWorkspaceBody(pass *Pass, body *ast.BlockStmt) {
+	takes := collectTakes(pass, body)
+	if len(takes) < 2 {
+		return
+	}
+	bound := map[string]bool{}
+	for _, t := range takes {
+		if t.binding != "" {
+			bound[t.binding] = true
+		}
+	}
+	if len(bound) == 0 {
+		return
+	}
+	// Positions that are assignment targets (the whole LHS expression):
+	// writing a new value into the name is a rebind, not a buffer use.
+	lhsPos := map[token.Pos]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, l := range as.Lhs {
+				lhsPos[l.Pos()] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		switch e.(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+		default:
+			return true
+		}
+		name := exprString(e)
+		if !bound[name] || lhsPos[e.Pos()] {
+			return true
+		}
+		checkUse(pass, takes, name, e.Pos())
+		// A matched SelectorExpr's children are its receiver path ("c" of
+		// "c.cols"), never themselves bound names — descending is safe.
+		return true
+	})
+}
+
+// checkUse flags the use at pos if the latest binding of name before pos
+// has been retaken by an intervening take of the same (workspace, key).
+func checkUse(pass *Pass, takes []wsTake, name string, pos token.Pos) {
+	var b *wsTake
+	for i := range takes {
+		t := &takes[i]
+		if t.binding == name && t.bindEnd < pos && (b == nil || t.bindEnd > b.bindEnd) {
+			b = t
+		}
+	}
+	if b == nil {
+		return
+	}
+	for i := range takes {
+		t := &takes[i]
+		if t.callPos == b.callPos || t.recv != b.recv || t.key != b.key {
+			continue
+		}
+		if t.callEnd > b.bindEnd && t.callEnd < pos {
+			pass.Reportf(pos, "use-after-retake: %s holds %s.%s(%q) but a later %s(%q) retook that buffer",
+				name, b.recv, b.method, b.key, t.method, t.key)
+			return
+		}
+	}
+}
+
+// collectTakes finds every Workspace Take/View2D/View call in the body,
+// in source order, with its binding when the call is the sole RHS of an
+// assignment.
+func collectTakes(pass *Pass, body *ast.BlockStmt) []wsTake {
+	var takes []wsTake
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Take", "View2D", "View":
+		default:
+			return true
+		}
+		if !isWorkspaceType(pass.TypeOf(sel.X)) || len(call.Args) == 0 {
+			return true
+		}
+		tv, ok := pass.Info.Types[call.Args[0]]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			return true // dynamic key: out of scope
+		}
+		takes = append(takes, wsTake{
+			method:  sel.Sel.Name,
+			recv:    exprString(sel.X),
+			key:     constant.StringVal(tv.Value),
+			callPos: call.Pos(),
+			callEnd: call.End(),
+		})
+		return true
+	})
+	// Attach bindings: y := ws.Take(...) style single assignments.
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for i := range takes {
+			if takes[i].callPos == call.Pos() {
+				takes[i].binding = exprString(as.Lhs[0])
+				takes[i].bindEnd = as.End()
+			}
+		}
+		return true
+	})
+	return takes
+}
+
+// isWorkspaceType reports whether t is nn.Workspace (or a pointer to it),
+// matched by module-relative path so fixture overlays are covered too.
+func isWorkspaceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && pathHasSuffix(obj.Pkg().Path(), "internal/nn") && obj.Name() == "Workspace"
+}

@@ -11,6 +11,7 @@ import (
 // binding and crossbar mapping to its three inner convolutions.
 type Fire struct {
 	name              string
+	ws                nn.Workspace
 	squeeze           *nn.Conv2D
 	sqRelu            *nn.ReLU
 	expand1, expand3  *nn.Conv2D
@@ -74,12 +75,14 @@ func (f *Fire) InnerWeight(name string) *tensor.Tensor {
 }
 
 // Forward computes concat(relu(e1(s)), relu(e3(s))) with s = relu(sq(x)).
+//
+//lint:hotpath
 func (f *Fire) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	s := f.sqRelu.Forward(f.squeeze.Forward(x, train), train)
 	a := f.ex1Relu.Forward(f.expand1.Forward(s, train), train)
 	b := f.ex3Relu.Forward(f.expand3.Forward(s, train), train)
 	n, h, w := a.Dim(0), a.Dim(2), a.Dim(3)
-	out := tensor.New(n, f.e1C+f.e3C, h, w)
+	out := f.ws.Take("cat", n, f.e1C+f.e3C, h, w)
 	plane := h * w
 	for i := 0; i < n; i++ {
 		copy(out.Data[i*(f.e1C+f.e3C)*plane:], a.Data[i*f.e1C*plane:(i+1)*f.e1C*plane])
@@ -90,11 +93,13 @@ func (f *Fire) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward splits the gradient by channel and sums the two expand paths'
 // contributions at the squeeze output.
+//
+//lint:hotpath
 func (f *Fire) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	n, h, w := dy.Dim(0), dy.Dim(2), dy.Dim(3)
 	plane := h * w
-	da := tensor.New(n, f.e1C, h, w)
-	db := tensor.New(n, f.e3C, h, w)
+	da := f.ws.Take("da", n, f.e1C, h, w)
+	db := f.ws.Take("db", n, f.e3C, h, w)
 	for i := 0; i < n; i++ {
 		copy(da.Data[i*f.e1C*plane:(i+1)*f.e1C*plane], dy.Data[i*(f.e1C+f.e3C)*plane:])
 		copy(db.Data[i*f.e3C*plane:(i+1)*f.e3C*plane], dy.Data[(i*(f.e1C+f.e3C)+f.e1C)*plane:])

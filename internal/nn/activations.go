@@ -20,6 +20,8 @@ func (r *ReLU) Name() string { return r.name }
 func (r *ReLU) Params() []*Param { return nil }
 
 // Forward applies max(0, x).
+//
+//lint:hotpath
 func (r *ReLU) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	y := r.ws.Take("y", x.Shape...)
 	if cap(r.mask) < x.Len() {
@@ -39,6 +41,8 @@ func (r *ReLU) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 }
 
 // Backward zeroes gradients where the input was non-positive.
+//
+//lint:hotpath
 func (r *ReLU) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	dx := r.ws.Take("dx", dy.Shape...)
 	for i, v := range dy.Data {
@@ -52,9 +56,12 @@ func (r *ReLU) Backward(dy *tensor.Tensor) *tensor.Tensor {
 }
 
 // Flatten reshapes N×C×H×W activations into N×(C·H·W) for the classifier
-// head. It remembers the input shape to unflatten gradients.
+// head. It remembers the input shape to unflatten gradients. Both
+// directions are workspace views over the incoming storage — no
+// allocation once the cached headers exist.
 type Flatten struct {
 	name  string
+	ws    Workspace
 	shape []int
 }
 
@@ -68,15 +75,19 @@ func (f *Flatten) Name() string { return f.name }
 func (f *Flatten) Params() []*Param { return nil }
 
 // Forward flattens all but the batch axis.
+//
+//lint:hotpath
 func (f *Flatten) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	f.shape = append(f.shape[:0], x.Shape...)
 	n := x.Dim(0)
-	return x.Reshape(n, x.Len()/n)
+	return f.ws.View2D("y", x, n, x.Len()/n)
 }
 
 // Backward restores the cached input shape.
+//
+//lint:hotpath
 func (f *Flatten) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	return dy.Reshape(f.shape...)
+	return f.ws.View("dx", dy, f.shape...)
 }
 
 // Dropout zeroes activations with probability P during training and scales
@@ -102,6 +113,8 @@ func (d *Dropout) Name() string { return d.name }
 func (d *Dropout) Params() []*Param { return nil }
 
 // Forward applies inverted dropout in training mode.
+//
+//lint:hotpath
 func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if !train || d.P <= 0 {
 		d.mask = d.mask[:0]
@@ -126,6 +139,8 @@ func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward routes gradients only through surviving units.
+//
+//lint:hotpath
 func (d *Dropout) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	if len(d.mask) == 0 {
 		return dy

@@ -58,6 +58,8 @@ func (bn *BatchNorm2D) Params() []*Param {
 
 // Forward normalises per channel. In training mode it uses batch statistics
 // and updates the running averages; in eval mode it uses the running stats.
+//
+//lint:hotpath
 func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Rank() != 4 || x.Dim(1) != bn.C {
 		badShape(bn.name, "want N×%d×H×W, got %v", bn.C, x.Shape)
@@ -118,6 +120,8 @@ func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward implements the standard batch-norm gradient (training-mode
 // statistics; eval mode is only used for inference, never backprop).
+//
+//lint:hotpath
 func (bn *BatchNorm2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	n, c := bn.inShape[0], bn.inShape[1]
 	plane := bn.inShape[2] * bn.inShape[3]

@@ -57,6 +57,8 @@ func (c *Conv2D) Params() []*Param {
 
 // Forward lowers the batch with im2col and computes one large GEMM:
 // out((N·R)×OutC) = cols((N·R)×C) · Wfᵀ(C×OutC).
+//
+//lint:hotpath
 func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	g := c.Geom
 	if x.Rank() != 4 || x.Dim(1) != g.InC || x.Dim(2) != g.InH || x.Dim(3) != g.InW {
@@ -98,6 +100,8 @@ func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 
 // Backward computes kernel/bias gradients and the input gradient. The
 // propagation dcols = dy·Wb uses the backward-effective weight copy.
+//
+//lint:hotpath
 func (c *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	g := c.Geom
 	oh, ow := g.OutH(), g.OutW()

@@ -55,6 +55,8 @@ func (l *Linear) Params() []*Param {
 }
 
 // Forward computes y = x·Wfᵀ + b for a batch x of shape N×In.
+//
+//lint:hotpath
 func (l *Linear) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	if x.Rank() != 2 || x.Dim(1) != l.In {
 		badShape(l.name, "want N×%d input, got %v", l.In, x.Shape)
@@ -74,6 +76,8 @@ func (l *Linear) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 }
 
 // Backward computes dx = dy·Wb, dW = dyᵀ·x, db = Σ dy.
+//
+//lint:hotpath
 func (l *Linear) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	if dy.Rank() != 2 || dy.Dim(1) != l.Out {
 		badShape(l.name, "want N×%d grad, got %v", l.Out, dy.Shape)

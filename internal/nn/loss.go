@@ -18,6 +18,8 @@ func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, gra
 // SoftmaxCrossEntropyInto is SoftmaxCrossEntropy writing the gradient into a
 // caller-provided N×C tensor (fully overwritten), so the training loop can
 // reuse one buffer across batches instead of allocating per step.
+//
+//lint:hotpath
 func SoftmaxCrossEntropyInto(grad, logits *tensor.Tensor, labels []int) (loss float64) {
 	if logits.Rank() != 2 {
 		panic("nn: SoftmaxCrossEntropy wants N×C logits")

@@ -33,8 +33,8 @@ type Param struct {
 // w.r.t. its output and returns the gradient w.r.t. its input.
 type Layer interface {
 	Name() string
-	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
-	Backward(dy *tensor.Tensor) *tensor.Tensor
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor //lint:hotpath per-batch, zero-alloc steady state
+	Backward(dy *tensor.Tensor) *tensor.Tensor           //lint:hotpath per-batch, zero-alloc steady state
 	Params() []*Param
 }
 
@@ -49,25 +49,33 @@ type Layer interface {
 // WeightsWritten is invoked after every optimizer step so the substrate can
 // account for device write endurance.
 type Fabric interface {
-	EffectiveForward(layer string, w *tensor.Tensor) *tensor.Tensor
-	EffectiveBackward(layer string, w *tensor.Tensor) *tensor.Tensor
-	TransformGradient(layer string, grad *tensor.Tensor)
-	WeightsWritten(layer string)
+	EffectiveForward(layer string, w *tensor.Tensor) *tensor.Tensor  //lint:hotpath runs inside every MVM layer's Forward
+	EffectiveBackward(layer string, w *tensor.Tensor) *tensor.Tensor //lint:hotpath runs inside every MVM layer's Backward
+	TransformGradient(layer string, grad *tensor.Tensor)             //lint:hotpath runs per weight-gradient per batch
+	WeightsWritten(layer string)                                     //lint:hotpath runs after every optimizer step
 }
 
 // IdealFabric is the identity substrate: a fault-free digital accelerator.
 type IdealFabric struct{}
 
 // EffectiveForward returns w unchanged.
+//
+//lint:hotpath
 func (IdealFabric) EffectiveForward(_ string, w *tensor.Tensor) *tensor.Tensor { return w }
 
 // EffectiveBackward returns w unchanged.
+//
+//lint:hotpath
 func (IdealFabric) EffectiveBackward(_ string, w *tensor.Tensor) *tensor.Tensor { return w }
 
 // TransformGradient leaves the gradient untouched on the ideal substrate.
+//
+//lint:hotpath
 func (IdealFabric) TransformGradient(string, *tensor.Tensor) {}
 
 // WeightsWritten is a no-op for the ideal substrate.
+//
+//lint:hotpath
 func (IdealFabric) WeightsWritten(string) {}
 
 // Network is an ordered stack of layers bound to a fabric.
@@ -98,6 +106,8 @@ func (n *Network) SetFabric(f Fabric) {
 type FabricUser interface{ SetFabric(Fabric) }
 
 // Forward runs the full stack.
+//
+//lint:hotpath
 func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	for _, l := range n.Layers {
 		x = l.Forward(x, train)
@@ -106,6 +116,8 @@ func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward propagates dy through the stack in reverse.
+//
+//lint:hotpath
 func (n *Network) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	for i := len(n.Layers) - 1; i >= 0; i-- {
 		dy = n.Layers[i].Backward(dy)
@@ -188,6 +200,8 @@ func (n *Network) ZeroGrads() {
 // behind an explicit condition check (rather than passing the condition to a
 // variadic assert helper) so the valid-shape hot path never builds or boxes
 // an argument list — Forward/Backward run per batch and must not allocate.
+//
+//lint:coldpath shape-panic helper, called only behind failed guards
 func badShape(layer, format string, args ...interface{}) {
 	panic(fmt.Sprintf("nn: layer %s: %s", layer, fmt.Sprintf(format, args...)))
 }

@@ -26,6 +26,8 @@ func (p *MaxPool2D) Name() string { return p.name }
 func (p *MaxPool2D) Params() []*Param { return nil }
 
 // Forward computes the window maxima and records argmax indices.
+//
+//lint:hotpath
 func (p *MaxPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	if x.Rank() != 4 {
 		badShape(p.name, "want NCHW input, got %v", x.Shape)
@@ -69,6 +71,8 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 }
 
 // Backward routes each output gradient to its argmax input position.
+//
+//lint:hotpath
 func (p *MaxPool2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	dx := p.ws.Take("dx", p.inShape...)
 	dx.Zero() // gradients accumulate into argmax positions
@@ -96,6 +100,8 @@ func (p *GlobalAvgPool) Name() string { return p.name }
 func (p *GlobalAvgPool) Params() []*Param { return nil }
 
 // Forward averages each H×W plane.
+//
+//lint:hotpath
 func (p *GlobalAvgPool) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	if x.Rank() != 4 {
 		badShape(p.name, "want NCHW input, got %v", x.Shape)
@@ -118,6 +124,8 @@ func (p *GlobalAvgPool) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 }
 
 // Backward spreads each gradient uniformly over its plane.
+//
+//lint:hotpath
 func (p *GlobalAvgPool) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := p.inShape[0], p.inShape[1], p.inShape[2], p.inShape[3]
 	dx := p.ws.Take("dx", p.inShape...)
@@ -156,6 +164,8 @@ func (p *AvgPool2D) Name() string { return p.name }
 func (p *AvgPool2D) Params() []*Param { return nil }
 
 // Forward computes window means.
+//
+//lint:hotpath
 func (p *AvgPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	if x.Rank() != 4 {
 		badShape(p.name, "want NCHW input, got %v", x.Shape)
@@ -188,6 +198,8 @@ func (p *AvgPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 }
 
 // Backward spreads each gradient uniformly over its window.
+//
+//lint:hotpath
 func (p *AvgPool2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := p.inShape[0], p.inShape[1], p.inShape[2], p.inShape[3]
 	oh := (h-p.K)/p.Stride + 1

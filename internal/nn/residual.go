@@ -82,6 +82,8 @@ func (r *Residual) InnerWeight(name string) *tensor.Tensor {
 }
 
 // Forward computes relu(Body(x) + Short(x)).
+//
+//lint:hotpath
 func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	b := x
 	for _, l := range r.Body {
@@ -102,6 +104,8 @@ func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward splits the gradient between the two branches and sums the input
 // gradients.
+//
+//lint:hotpath
 func (r *Residual) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	d := r.relu.Backward(dy)
 	db := d

@@ -37,7 +37,10 @@ func NewSGD(net *Network, lr, momentum, weightDecay float64) *SGD {
 func (s *SGD) Steps() int { return s.stepsApplied }
 
 // Step applies one update to every parameter and clears the gradients.
+//
+//lint:hotpath
 func (s *SGD) Step() {
+	//lint:allow hotpath-alloc one-time parameter-cache build on the first step
 	if s.params == nil {
 		s.params = s.net.Params()
 		s.mvmNames = s.net.MVMLayers()
@@ -53,6 +56,7 @@ func (s *SGD) Step() {
 			g.AXPY(float32(s.WeightDecay), p.W)
 		}
 		v, ok := s.velocity[p.Name]
+		//lint:allow hotpath-alloc velocity-buffer miss: allocated once per parameter, steady state always hits
 		if !ok {
 			v = tensor.New(p.W.Shape...)
 			s.velocity[p.Name] = v

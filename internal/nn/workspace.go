@@ -22,8 +22,11 @@ type Workspace struct {
 // Take returns the workspace tensor registered under key, reshaped to
 // shape. The backing storage (and the *Tensor header itself) is reused when
 // capacity allows, so the steady state allocates nothing.
+//
+//lint:hotpath steady state is a map hit + header reshape
 func (ws *Workspace) Take(key string, shape ...int) *tensor.Tensor {
 	t := ws.bufs[key]
+	//lint:allow hotpath-alloc first-take miss branch: runs once per key, steady state never enters it
 	if t == nil {
 		if ws.bufs == nil {
 			ws.bufs = make(map[string]*tensor.Tensor)
@@ -50,11 +53,14 @@ func (ws *Workspace) Take(key string, shape ...int) *tensor.Tensor {
 // counterpart of src.Reshape(d0, d1) for hot-path weight views. The view
 // aliases src.Data directly, tracking whatever tensor src is on each call,
 // and like Take it is valid only until the same key is viewed again.
+//
+//lint:hotpath steady state is a map hit + header rewrite
 func (ws *Workspace) View2D(key string, src *tensor.Tensor, d0, d1 int) *tensor.Tensor {
 	if d0*d1 != len(src.Data) {
 		panic("nn: View2D volume mismatch")
 	}
 	v := ws.bufs[key]
+	//lint:allow hotpath-alloc first-view miss branch: runs once per key, steady state never enters it
 	if v == nil {
 		if ws.bufs == nil {
 			ws.bufs = make(map[string]*tensor.Tensor)
@@ -65,5 +71,35 @@ func (ws *Workspace) View2D(key string, src *tensor.Tensor, d0, d1 int) *tensor.
 	}
 	v.Data = src.Data
 	v.Shape = append(v.Shape[:0], d0, d1)
+	return v
+}
+
+// View returns a view of src's storage with the given shape registered
+// under key — the arbitrary-rank counterpart of View2D (Flatten.Backward
+// needs to hand the upstream gradient back in the cached input shape).
+// Same contract: the view aliases src.Data and is valid until the key is
+// viewed again.
+//
+//lint:hotpath steady state is a map hit + header rewrite
+func (ws *Workspace) View(key string, src *tensor.Tensor, shape ...int) *tensor.Tensor {
+	vol := 1
+	for _, d := range shape {
+		vol *= d
+	}
+	if vol != len(src.Data) {
+		panic("nn: View volume mismatch")
+	}
+	v := ws.bufs[key]
+	//lint:allow hotpath-alloc first-view miss branch: runs once per key, steady state never enters it
+	if v == nil {
+		if ws.bufs == nil {
+			ws.bufs = make(map[string]*tensor.Tensor)
+		}
+		v = src.Reshape(shape...)
+		ws.bufs[key] = v
+		return v
+	}
+	v.Data = src.Data
+	v.Shape = append(v.Shape[:0], shape...)
 	return v
 }

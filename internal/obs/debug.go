@@ -27,6 +27,10 @@ func StartDebugServer(addr string) (string, error) {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
 	srv := &http.Server{Handler: mux}
-	go srv.Serve(ln)
+	go func() {
+		// Serve returns when the listener dies at process exit; the debug
+		// server is best-effort and must never take the run down with it.
+		_ = srv.Serve(ln)
+	}()
 	return ln.Addr().String(), nil
 }

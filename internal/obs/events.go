@@ -7,6 +7,12 @@ import (
 	"io"
 )
 
+// SchemaVersion is the obs wire schema version: the JSONL event envelope
+// plus the metrics snapshot field sets. Tools that parse recorded traces
+// key off it; the wire-stability lint rule pins the full tagged field
+// set to a golden and requires a bump here when it changes.
+const SchemaVersion = 1
+
 // Event is one structured trace record. Every event is keyed by simulated
 // coordinates only (epoch, crossbar id, tile id — never wall-clock
 // time), so a trace replays bit-identically with the run that produced

@@ -29,6 +29,8 @@ package obs
 // interface-call and argument-boxing costs.
 type Recorder interface {
 	// Add increments the named counter by delta.
+	//
+	//lint:hotpath counters are bumped inside the per-batch training loop
 	Add(name string, delta int64)
 	// Set writes the named gauge (last value wins).
 	Set(name string, v float64)

@@ -100,11 +100,11 @@ func (s *Sink) Stream(base, cell string) (*StreamTrace, error) {
 	}
 	line, err := EncodeEvent(&CellStartEvent{Cell: cell})
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	if _, err := f.Write(line); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("obs: write events for %s: %w", cell, err)
 	}
 	return &StreamTrace{Trace: NewTrace(cell), sink: s, base: base, f: f}, nil

@@ -103,7 +103,7 @@ func readCell(dir, base string) (*CellMetrics, error) {
 	if err != nil {
 		return nil, fmt.Errorf("obs: cell %s has metrics but no events: %w", base, err)
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only handle
 	events, err := DecodeEvents(f)
 	if err != nil {
 		return nil, fmt.Errorf("obs: parse %s: %w", base+eventsSuffix, err)

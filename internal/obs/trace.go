@@ -30,6 +30,8 @@ func (t *Trace) Cell() string { return t.cell }
 func (t *Trace) Registry() *Registry { return t.reg }
 
 // Add implements Recorder.
+//
+//lint:hotpath
 func (t *Trace) Add(name string, delta int64) { t.reg.Add(name, delta) }
 
 // Set implements Recorder.

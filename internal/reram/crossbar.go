@@ -45,12 +45,18 @@ func NewCrossbar(id int, p DeviceParams) *Crossbar {
 func (x *Crossbar) Cells() int { return x.Size * x.Size }
 
 // State returns the state of cell (r, c).
+//
+//lint:hotpath
 func (x *Crossbar) State(r, c int) CellState { return x.state[r*x.Size+c] }
 
 // StateAt returns the state of the cell at flat index i.
+//
+//lint:hotpath
 func (x *Crossbar) StateAt(i int) CellState { return x.state[i] }
 
 // FaultG returns the sampled stuck conductance of the cell at flat index i.
+//
+//lint:hotpath
 func (x *Crossbar) FaultG(i int) float64 { return x.gFault[i] }
 
 // InjectFault marks cell (r, c) as stuck, sampling its stuck conductance
@@ -78,6 +84,8 @@ func (x *Crossbar) InjectFaultPolar(r, c int, s CellState, inPositive bool, rng 
 }
 
 // FaultInPositive reports which pair cell the fault at flat index i hit.
+//
+//lint:hotpath
 func (x *Crossbar) FaultInPositive(i int) bool { return x.inPositive[i] }
 
 // FaultCount returns the number of stuck cells.
@@ -121,6 +129,8 @@ func (x *Crossbar) ColumnFaults(c int, s CellState) int {
 
 // RecordWrite accounts for one full-array write (one row-by-row program
 // pass, e.g. a weight update or a BIST background write).
+//
+//lint:hotpath
 func (x *Crossbar) RecordWrite() { x.writes++ }
 
 // Writes returns the number of full-array writes performed.
@@ -172,6 +182,8 @@ func (x *Crossbar) ClampWeights(dst, src []float32, rows, cols int, clip float64
 // walks a column of the transposed backward copy in place. This is the
 // fused deploy path: the architecture layer hands tensor sub-slices here
 // instead of gathering blocks into scratch and scattering results back.
+//
+//lint:hotpath
 func (x *Crossbar) ClampRowInto(q *Quantizer, dst, src []float32, dstStride, srcStride, row, ncols int) {
 	if row < 0 || row >= x.Size || ncols > x.Size {
 		panic(fmt.Sprintf("reram: row %d / %d cols exceeds crossbar size %d", row, ncols, x.Size))
@@ -218,6 +230,8 @@ func (x *Crossbar) ClampRowInto(q *Quantizer, dst, src []float32, dstStride, src
 // cell's current programmed state: the same (crossbar, write-generation,
 // cell) triple always yields the same factor, so the noise is stable
 // between writes and resampled when the array is reprogrammed.
+//
+//lint:hotpath
 func programNoise(id int, writes uint64, cell int, sigma float64) float64 {
 	// splitmix64 over the triple.
 	h := uint64(id)*0x9e3779b97f4a7c15 ^ writes*0xbf58476d1ce4e5b9 ^ uint64(cell)*0x94d049bb133111eb

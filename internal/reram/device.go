@@ -96,6 +96,8 @@ type DeviceParams struct {
 // configured coding scheme, given the fault state, the sampled stuck
 // conductance, the pair polarity, and the weight the cell was supposed to
 // hold.
+//
+//lint:hotpath
 func (p DeviceParams) StuckWeightAs(state CellState, gFault float64, inPositive bool, w, clip float64) float64 {
 	if p.Coding == DifferentialCoding {
 		return p.StuckWeightPair(state, inPositive, w, clip)
@@ -122,13 +124,19 @@ func DefaultDeviceParams() DeviceParams {
 }
 
 // GMax returns the highest programmable conductance (S).
+//
+//lint:hotpath
 func (p DeviceParams) GMax() float64 { return 1 / p.ROn }
 
 // GMin returns the lowest programmable conductance (S).
+//
+//lint:hotpath
 func (p DeviceParams) GMin() float64 { return 1 / p.ROff }
 
 // GOfWeight maps a weight w ∈ [−clip, +clip] to a programmed conductance
 // using offset (unipolar) coding, quantised to p.Levels levels.
+//
+//lint:hotpath
 func (p DeviceParams) GOfWeight(w, clip float64) float64 {
 	if clip <= 0 {
 		return p.GMin()
@@ -147,6 +155,8 @@ func (p DeviceParams) GOfWeight(w, clip float64) float64 {
 
 // WeightOfG inverts GOfWeight (without quantisation), clipping the result
 // to ±1.25·clip to model ADC saturation on out-of-range stuck conductances.
+//
+//lint:hotpath
 func (p DeviceParams) WeightOfG(g, clip float64) float64 {
 	x := (g - p.GMin()) / (p.GMax() - p.GMin())
 	w := x*2*clip - clip
@@ -161,6 +171,8 @@ func (p DeviceParams) WeightOfG(g, clip float64) float64 {
 
 // QuantizeWeight returns the weight value actually stored after program-
 // and-read-back through the conductance coding (quantisation included).
+//
+//lint:hotpath
 func (p DeviceParams) QuantizeWeight(w, clip float64) float64 {
 	return p.WeightOfG(p.GOfWeight(w, clip), clip)
 }
@@ -197,10 +209,14 @@ func (p DeviceParams) NewQuantizer(clip float64) *Quantizer {
 }
 
 // Clip returns the coding range the table was built for.
+//
+//lint:hotpath
 func (q *Quantizer) Clip() float64 { return q.clip }
 
 // Quantize returns the stored weight after program-and-read-back,
 // bit-identical to p.QuantizeWeight(w, clip).
+//
+//lint:hotpath
 func (q *Quantizer) Quantize(w float64) float64 {
 	if q.lut == nil {
 		return q.p.QuantizeWeight(w, q.clip)
@@ -220,6 +236,8 @@ func (q *Quantizer) Quantize(w float64) float64 {
 // weight path uses the differential-pair model (StuckWeightPair) instead;
 // this decode remains for the BIST calibration path and offset-coded
 // buffers.
+//
+//lint:hotpath
 func (p DeviceParams) StuckWeight(gFault, clip float64) float64 {
 	return p.WeightOfG(gFault, clip)
 }
@@ -235,6 +253,8 @@ func (p DeviceParams) StuckWeight(gFault, clip float64) float64 {
 //	SA0 in G⁻: w' = w for w ≥ 0, else ≈ 0
 //	SA1 in G⁺: w' ≈ +clip + min(w, 0)
 //	SA1 in G⁻: w' ≈ −clip + max(w, 0)
+//
+//lint:hotpath
 func (p DeviceParams) StuckWeightPair(state CellState, inPositive bool, w, clip float64) float64 {
 	switch state {
 	case SA0:

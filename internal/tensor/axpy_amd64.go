@@ -6,5 +6,6 @@ package tensor
 // results are bit-identical to the generic version (see the determinism
 // argument in axpy_amd64.s and the golden tests in kernels_test.go).
 //
+//lint:hotpath vector kernel, asm body
 //go:noescape
 func axpy(dst, src []float32, v float32)

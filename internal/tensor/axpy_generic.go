@@ -7,6 +7,8 @@ package tensor
 // chains to the pipeline (each dst[j] is its own accumulation chain, so the
 // unroll cannot reorder any addition) and the full-width reslices eliminate
 // per-element bounds checks.
+//
+//lint:hotpath
 func axpy(dst, src []float32, v float32) {
 	dst = dst[:len(src)]
 	n := len(src) &^ 7

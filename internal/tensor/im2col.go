@@ -11,16 +11,24 @@ type ConvGeom struct {
 }
 
 // OutH returns the output height for the geometry.
+//
+//lint:hotpath
 func (g ConvGeom) OutH() int { return (g.InH+2*g.Pad-g.K)/g.Stride + 1 }
 
 // OutW returns the output width for the geometry.
+//
+//lint:hotpath
 func (g ConvGeom) OutW() int { return (g.InW+2*g.Pad-g.K)/g.Stride + 1 }
 
 // ColRows returns the number of rows of the im2col matrix for one image:
 // OutH*OutW.
+//
+//lint:hotpath
 func (g ConvGeom) ColRows() int { return g.OutH() * g.OutW() }
 
 // ColCols returns the number of columns of the im2col matrix: InC*K*K.
+//
+//lint:hotpath
 func (g ConvGeom) ColCols() int { return g.InC * g.K * g.K }
 
 // Im2Col lowers one image (C×H×W, flattened in src) into the patch matrix
@@ -29,6 +37,8 @@ func (g ConvGeom) ColCols() int { return g.InC * g.K * g.K }
 //
 // Patches whose K-wide tap span lies fully inside the input row copy it
 // contiguously; only edge patches take the per-tap bounds-checked path.
+//
+//lint:hotpath
 func (g ConvGeom) Im2Col(dst, src []float32) {
 	oh, ow := g.OutH(), g.OutW()
 	cols := g.ColCols()
@@ -81,6 +91,8 @@ func (g ConvGeom) Im2Col(dst, src []float32) {
 // back into an image gradient of size InC×InH×InW, accumulating overlapping
 // taps. dstImage is accumulated into (callers should zero it first if
 // starting fresh).
+//
+//lint:hotpath
 func (g ConvGeom) Col2Im(dstImage, srcCols []float32) {
 	oh, ow := g.OutH(), g.OutW()
 	cols := g.ColCols()

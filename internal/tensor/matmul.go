@@ -32,6 +32,8 @@ const (
 // nonzero reports whether a kernel operand is exactly zero. Skipping an
 // exact-zero multiplier cannot change any sum, but it must be applied
 // consistently in blocked and reference kernels for bit-identity.
+//
+//lint:hotpath
 func nonzero(v float32) bool {
 	return v != 0 //lint:allow float-eq zero-skip fast path: skipping an exact-zero operand cannot change the sum
 }
@@ -46,6 +48,8 @@ func MatMul(a, b *Tensor) *Tensor {
 // matmulRows accumulates out rows [r0, r1) of the (m×k)·(k×n) product: an
 // i-k-j loop register-tiled over mrTile rows of a, so each streamed row of b
 // is applied to four output rows per load. Rows of od must be pre-zeroed.
+//
+//lint:hotpath
 func matmulRows(od, ad, bd []float32, k, n, r0, r1 int) {
 	i := r0
 	for ; i+mrTile <= r1; i += mrTile {
@@ -87,6 +91,8 @@ func matmulRows(od, ad, bd []float32, k, n, r0, r1 int) {
 // MatMulInto computes out = a × b, reusing out's storage. out must be m×n.
 // Large products are sharded across GOMAXPROCS goroutines by row blocks
 // (row results are independent, so sharding cannot change results).
+//
+//lint:hotpath
 func MatMulInto(out, a, b *Tensor) {
 	if a.Rank() != 2 || b.Rank() != 2 || out.Rank() != 2 {
 		panic("tensor: MatMulInto requires rank-2 tensors")
@@ -105,6 +111,7 @@ func MatMulInto(out, a, b *Tensor) {
 		matmulRows(od, ad, bd, k, n, 0, m)
 		return
 	}
+	//lint:allow hotpath-alloc parallel branch only: the closure fan-out runs above parallelThreshold, the serial hot path allocates nothing
 	parallelFor(m, m*n*k, func(r0, r1 int) {
 		matmulRows(od, ad, bd, k, n, r0, r1)
 	})
@@ -120,6 +127,8 @@ var transScratch = sync.Pool{New: func() any { return new([]float32) }}
 // already-transposed operand (k×n row-major). Same row tiling as
 // matmulRows, but with unguarded axpy calls: the dot-product reference has
 // no zero-skip, so neither may this path. Rows of od must be pre-zeroed.
+//
+//lint:hotpath
 func transBRows(od, ad, bt []float32, k, n, r0, r1 int) {
 	i := r0
 	for ; i+mrTile <= r1; i += mrTile {
@@ -156,6 +165,8 @@ func transBRows(od, ad, bt []float32, k, n, r0, r1 int) {
 // produces (`s := 0; s += a[i][p]·b[j][p]`) — so results are bit-identical,
 // including k = 0 (every output exactly +0) and the NaN/signed-zero cases
 // (no zero-skip here, matching the reference, which also has none).
+//
+//lint:hotpath
 func MatMulTransBInto(out, a, b *Tensor) {
 	if a.Rank() != 2 || b.Rank() != 2 || out.Rank() != 2 {
 		panic("tensor: MatMulTransBInto requires rank-2 tensors")
@@ -186,6 +197,7 @@ func MatMulTransBInto(out, a, b *Tensor) {
 	if serialRows(m, m*n*k) {
 		transBRows(od, ad, bt, k, n, 0, m)
 	} else {
+		//lint:allow hotpath-alloc parallel branch only: the closure fan-out runs above parallelThreshold, the serial hot path allocates nothing
 		parallelFor(m, m*n*k, func(r0, r1 int) {
 			transBRows(od, ad, bt, k, n, r0, r1)
 		})
@@ -198,6 +210,8 @@ func MatMulTransBInto(out, a, b *Tensor) {
 // cache-resident across the full ascending-p sweep, instead of the naive
 // loop's re-streaming of the whole output matrix on every p. Rows of od
 // must be pre-zeroed.
+//
+//lint:hotpath
 func transARows(od, ad, bd []float32, k, m, n, r0, r1 int) {
 	for i0 := r0; i0 < r1; i0 += transABlock {
 		i1 := min(i0+transABlock, r1)
@@ -216,6 +230,8 @@ func transARows(od, ad, bd []float32, k, m, n, r0, r1 int) {
 // MatMulTransAInto computes out = aᵀ × b where a is k×m (so aᵀ is m×k).
 // Used for weight-gradient accumulation (dW = xᵀ·dy patterns). Parallelism
 // shards over output rows, keeping writes disjoint.
+//
+//lint:hotpath
 func MatMulTransAInto(out, a, b *Tensor) {
 	if a.Rank() != 2 || b.Rank() != 2 || out.Rank() != 2 {
 		panic("tensor: MatMulTransAInto requires rank-2 tensors")
@@ -234,6 +250,7 @@ func MatMulTransAInto(out, a, b *Tensor) {
 		transARows(od, ad, bd, k, m, n, 0, m)
 		return
 	}
+	//lint:allow hotpath-alloc parallel branch only: the closure fan-out runs above parallelThreshold, the serial hot path allocates nothing
 	parallelFor(m, m*n*k, func(r0, r1 int) {
 		transARows(od, ad, bd, k, m, n, r0, r1)
 	})

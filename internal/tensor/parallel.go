@@ -15,6 +15,8 @@ const parallelThreshold = 64 * 64 * 64
 // check this before building their parallelFor closure: a closure passed to
 // parallelFor escapes to the heap, and the serial hot path (every GEMM in a
 // bench-scale training step) must stay allocation-free.
+//
+//lint:hotpath
 func serialRows(m, volume int) bool {
 	return volume < parallelThreshold || m <= 1 || runtime.GOMAXPROCS(0) <= 1
 }

@@ -35,9 +35,12 @@ func NewRNG(seed uint64) *RNG {
 	return r
 }
 
+//lint:hotpath
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 pseudo-random bits.
+//
+//lint:hotpath
 func (r *RNG) Uint64() uint64 {
 	result := rotl(r.s[1]*5, 7) * 9
 	t := r.s[1] << 17
@@ -51,11 +54,15 @@ func (r *RNG) Uint64() uint64 {
 }
 
 // Float64 returns a uniform value in [0, 1).
+//
+//lint:hotpath
 func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
 }
 
 // Float32 returns a uniform value in [0, 1).
+//
+//lint:hotpath
 func (r *RNG) Float32() float32 { return float32(r.Float64()) }
 
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.

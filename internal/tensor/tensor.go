@@ -51,12 +51,18 @@ func FromSlice(data []float32, shape ...int) *Tensor {
 }
 
 // Len returns the total number of elements.
+//
+//lint:hotpath trivial accessor on the kernel path
 func (t *Tensor) Len() int { return len(t.Data) }
 
 // Dim returns the size of axis i.
+//
+//lint:hotpath trivial accessor on the kernel path
 func (t *Tensor) Dim(i int) int { return t.Shape[i] }
 
 // Rank returns the number of axes.
+//
+//lint:hotpath trivial accessor on the kernel path
 func (t *Tensor) Rank() int { return len(t.Shape) }
 
 // Clone returns a deep copy.
@@ -80,6 +86,8 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 }
 
 // Zero sets every element to 0.
+//
+//lint:hotpath
 func (t *Tensor) Zero() {
 	for i := range t.Data {
 		t.Data[i] = 0
@@ -87,6 +95,8 @@ func (t *Tensor) Zero() {
 }
 
 // Fill sets every element to v.
+//
+//lint:hotpath
 func (t *Tensor) Fill(v float32) {
 	for i := range t.Data {
 		t.Data[i] = v
@@ -118,6 +128,8 @@ func (t *Tensor) offset(idx []int) int {
 }
 
 // SameShape reports whether t and o have identical shapes.
+//
+//lint:hotpath
 func (t *Tensor) SameShape(o *Tensor) bool {
 	if len(t.Shape) != len(o.Shape) {
 		return false
@@ -131,6 +143,8 @@ func (t *Tensor) SameShape(o *Tensor) bool {
 }
 
 // Add accumulates o into t element-wise. Shapes must have equal volume.
+//
+//lint:hotpath
 func (t *Tensor) Add(o *Tensor) {
 	if len(t.Data) != len(o.Data) {
 		panic("tensor: Add volume mismatch")
@@ -141,6 +155,8 @@ func (t *Tensor) Add(o *Tensor) {
 }
 
 // Sub subtracts o from t element-wise.
+//
+//lint:hotpath
 func (t *Tensor) Sub(o *Tensor) {
 	if len(t.Data) != len(o.Data) {
 		panic("tensor: Sub volume mismatch")
@@ -151,6 +167,8 @@ func (t *Tensor) Sub(o *Tensor) {
 }
 
 // Scale multiplies every element by s.
+//
+//lint:hotpath
 func (t *Tensor) Scale(s float32) {
 	for i := range t.Data {
 		t.Data[i] *= s
@@ -158,6 +176,8 @@ func (t *Tensor) Scale(s float32) {
 }
 
 // AXPY computes t += a*o element-wise.
+//
+//lint:hotpath
 func (t *Tensor) AXPY(a float32, o *Tensor) {
 	if len(t.Data) != len(o.Data) {
 		panic("tensor: AXPY volume mismatch")
@@ -168,6 +188,8 @@ func (t *Tensor) AXPY(a float32, o *Tensor) {
 }
 
 // Dot returns the inner product of the flattened tensors.
+//
+//lint:hotpath
 func Dot(a, b *Tensor) float64 {
 	if len(a.Data) != len(b.Data) {
 		panic("tensor: Dot volume mismatch")
@@ -180,6 +202,8 @@ func Dot(a, b *Tensor) float64 {
 }
 
 // Sum returns the sum of all elements as float64 for stability.
+//
+//lint:hotpath
 func (t *Tensor) Sum() float64 {
 	var s float64
 	for _, v := range t.Data {
@@ -189,6 +213,8 @@ func (t *Tensor) Sum() float64 {
 }
 
 // AbsMax returns the maximum absolute element value (0 for empty tensors).
+//
+//lint:hotpath
 func (t *Tensor) AbsMax() float32 {
 	var m float32
 	for _, v := range t.Data {
@@ -204,6 +230,8 @@ func (t *Tensor) AbsMax() float32 {
 }
 
 // L2Norm returns the Euclidean norm of the flattened tensor.
+//
+//lint:hotpath
 func (t *Tensor) L2Norm() float64 {
 	var s float64
 	for _, v := range t.Data {
@@ -214,6 +242,8 @@ func (t *Tensor) L2Norm() float64 {
 
 // ArgMaxRow returns, for a 2-D tensor, the index of the maximum element in
 // row r. Useful for classification outputs.
+//
+//lint:hotpath
 func (t *Tensor) ArgMaxRow(r int) int {
 	if t.Rank() != 2 {
 		panic("tensor: ArgMaxRow requires rank 2")
@@ -262,6 +292,7 @@ func (t *Tensor) String() string {
 	return fmt.Sprintf("Tensor%v%v", t.Shape, t.Data)
 }
 
+//lint:hotpath
 func min(a, b int) int {
 	if a < b {
 		return a

@@ -246,13 +246,10 @@ func Train(net *nn.Network, ds *dataset.Dataset, cfg Config) (*Result, error) {
 			if err := ctxErr(cfg.Ctx); err != nil {
 				return nil, err
 			}
-			logits := net.Forward(b.X, true)
-			grad := lossWS.Take("grad", logits.Dim(0), logits.Dim(1))
-			loss := nn.SoftmaxCrossEntropyInto(grad, logits, b.Y)
+			loss := trainStep(net, &lossWS, b)
 			if !math.IsNaN(loss) && !math.IsInf(loss, 0) {
 				lossSum += loss
 			}
-			net.Backward(grad)
 			if ctx != nil && cfg.TrackGradAbs {
 				accumulateGradAbs(ctx, net, mvmSet)
 			}
@@ -316,6 +313,21 @@ func Train(net *nn.Network, ds *dataset.Dataset, cfg Config) (*Result, error) {
 }
 
 // ctxErr reports a done context (nil ctx never cancels).
+// trainStep runs one batch through the network: forward pass, loss and
+// gradient into the reused workspace buffer, backward pass. This is the
+// per-batch hot path the zero-allocation contract protects; everything
+// it reaches (layers, tensor kernels, the ReRAM clamp path) is annotated
+// //lint:hotpath and machine-checked.
+//
+//lint:hotpath
+func trainStep(net *nn.Network, lossWS *nn.Workspace, b dataset.Batch) float64 {
+	logits := net.Forward(b.X, true)
+	grad := lossWS.Take("grad", logits.Dim(0), logits.Dim(1))
+	loss := nn.SoftmaxCrossEntropyInto(grad, logits, b.Y)
+	net.Backward(grad)
+	return loss
+}
+
 func ctxErr(ctx context.Context) error {
 	if ctx == nil {
 		return nil
