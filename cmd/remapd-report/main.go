@@ -5,11 +5,15 @@
 //	remapd-report -scale quick              # minutes
 //	remapd-report -scale standard           # the full six-model matrix (slow)
 //	remapd-report -scale quick -dist 4      # same bytes, four worker processes
+//	remapd-report -scale quick -listen :7433  # same bytes, elastic TCP fleet
 //
 // With -dist N the experiment cells fan out to N exec'd copies of this
-// binary in -worker mode; the report is byte-identical to the in-process
-// run. -only restricts the report to named sections (comma-separated
-// keys: fig4 fig5 fig6 fig7 fig8 bist noc area ablations).
+// binary in -worker mode; with -listen they fan out to whatever workers
+// dial in over TCP (-worker -connect host:7433), which may join and
+// leave mid-report. Either way the report is byte-identical to the
+// in-process run. -only restricts the report to named sections
+// (comma-separated keys: fig4 fig5 fig6 fig7 fig8 bist noc area
+// ablations).
 package main
 
 import (

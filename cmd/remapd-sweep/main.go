@@ -1,6 +1,10 @@
 // Command remapd-sweep regenerates Fig. 7: Remap-D accuracy across the
 // post-deployment fault sweep (m = new-fault cell fraction per victim,
 // n = victim crossbar fraction per epoch) for VGG-19 and ResNet-12.
+//
+// The sweep grid distributes like the other tools: -dist N fans cells
+// out to exec'd worker processes, -listen serves an elastic TCP fleet,
+// and -worker (-connect for a fleet) turns this binary into a worker.
 package main
 
 import (
@@ -30,6 +34,8 @@ func main() {
 	)
 	opts.Bind(flag.CommandLine)
 	opts.BindGrid(flag.CommandLine)
+	opts.BindDist(flag.CommandLine)
+	opts.BindWorker(flag.CommandLine)
 	flag.Parse()
 	if err := opts.Validate(); err != nil {
 		log.Fatal(err)
@@ -37,6 +43,14 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if opts.Worker {
+		// Worker mode: same binary, protocol loop instead of a sweep.
+		if err := opts.ServeWorker(ctx, log.Printf); err != nil && ctx.Err() == nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if addr, err := opts.StartDebug(); err != nil {
 		log.Fatal(err)

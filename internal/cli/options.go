@@ -13,6 +13,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"runtime"
 	"strconv"
@@ -44,8 +45,25 @@ type Options struct {
 	Progress bool
 	// Dist fans cells out to this many worker processes (-dist).
 	Dist int
+	// Listen serves a TCP fleet coordinator on this address (-listen);
+	// cells run on whatever workers dial in.
+	Listen string
+	// FleetMax caps concurrently in-flight cells across the fleet
+	// (-fleet, 0 = NumCPU).
+	FleetMax int
 	// Worker switches the tool into dist worker mode (-worker).
 	Worker bool
+	// Connect points a -worker at a fleet coordinator instead of
+	// stdin/stdout pipes (-connect host:port).
+	Connect string
+	// Slots is the concurrent-cell capacity a fleet worker advertises
+	// (-slots).
+	Slots int
+	// ChaosSever arms the fault injector on a fleet worker's connection:
+	// sever it mid-cell once this many frames have passed (-chaos-sever-after).
+	// ChaosSeed seeds the injector's deterministic schedule (-chaos-seed).
+	ChaosSever int
+	ChaosSeed  uint64
 }
 
 // Bind registers the base observation/scheduling group every tool
@@ -68,14 +86,23 @@ func (o *Options) BindGrid(fs *flag.FlagSet) {
 	fs.BoolVar(&o.Progress, "progress", false, "log one line per completed experiment cell")
 }
 
-// BindDist registers the coordinator side of distribution: -dist.
+// BindDist registers the coordinator side of distribution: -dist for
+// the exec'd pipe fan-out, -listen/-fleet for the elastic TCP fleet.
 func (o *Options) BindDist(fs *flag.FlagSet) {
 	fs.IntVar(&o.Dist, "dist", 0, "fan experiment cells out to this many worker processes (0 = run in-process); results are byte-identical either way")
+	fs.StringVar(&o.Listen, "listen", "", "serve a fleet coordinator on this TCP address (e.g. :7433); cells run on workers that dial in with -worker -connect, which may join and leave mid-run")
+	fs.IntVar(&o.FleetMax, "fleet", 0, "with -listen: max experiment cells in flight across the fleet (0 = all cores' worth)")
 }
 
-// BindWorker registers the worker side of distribution: -worker.
+// BindWorker registers the worker side of distribution: -worker for the
+// mode switch, -connect/-slots for dialing a fleet, -chaos-* for the
+// deterministic fault injector.
 func (o *Options) BindWorker(fs *flag.FlagSet) {
 	fs.BoolVar(&o.Worker, "worker", false, "run as a dist worker: read cell specs from stdin, write results to stdout (used by -dist coordinators)")
+	fs.StringVar(&o.Connect, "connect", "", "with -worker: dial this fleet coordinator (host:port) instead of serving stdin/stdout; redials with backoff if the connection drops")
+	fs.IntVar(&o.Slots, "slots", 1, "with -connect: concurrent experiment cells this worker advertises")
+	fs.IntVar(&o.ChaosSever, "chaos-sever-after", 0, "with -connect: sever the connection mid-cell once this many protocol frames have passed (fault-injection testing; 0 = off)")
+	fs.Uint64Var(&o.ChaosSeed, "chaos-seed", 0, "with -chaos-sever-after: seed for the injector's deterministic fault schedule")
 }
 
 // Validate rejects incoherent combinations.
@@ -86,8 +113,29 @@ func (o *Options) Validate() error {
 	if o.Dist < 0 {
 		return fmt.Errorf("cli: -dist must be >= 0, got %d", o.Dist)
 	}
+	if o.FleetMax < 0 {
+		return fmt.Errorf("cli: -fleet must be >= 0, got %d", o.FleetMax)
+	}
 	if o.Dist > 0 && o.Worker {
 		return errors.New("cli: -dist and -worker are mutually exclusive (a worker never coordinates)")
+	}
+	if o.Listen != "" && o.Worker {
+		return errors.New("cli: -listen and -worker are mutually exclusive (a worker never coordinates)")
+	}
+	if o.Listen != "" && o.Dist > 0 {
+		return errors.New("cli: -listen and -dist are mutually exclusive (pick the fleet or the pipe fan-out)")
+	}
+	if o.Connect != "" && !o.Worker {
+		return errors.New("cli: -connect requires -worker")
+	}
+	if o.Connect != "" && o.Slots < 1 {
+		return fmt.Errorf("cli: -slots must be >= 1, got %d", o.Slots)
+	}
+	if o.ChaosSever < 0 {
+		return fmt.Errorf("cli: -chaos-sever-after must be >= 0, got %d", o.ChaosSever)
+	}
+	if o.ChaosSever > 0 && o.Connect == "" {
+		return errors.New("cli: -chaos-sever-after only applies to a -connect fleet worker")
 	}
 	return nil
 }
@@ -141,7 +189,47 @@ func (o *Options) Apply(s *experiments.Scale, logf experiments.Logf) (*obs.Profi
 		s.Exec = exec
 		cleanup = exec.Close
 	}
+	if o.Listen != "" {
+		fleet, err := o.NewFleet(logf)
+		if err != nil {
+			return nil, cleanup, err
+		}
+		// Runner slots bound the fleet-wide in-flight set; the fleet maps
+		// each onto whichever connected worker has a free slot, so a
+		// worker joining mid-run immediately starts pulling cells.
+		inflight := o.FleetMax
+		if inflight <= 0 {
+			inflight = runtime.NumCPU()
+		}
+		s.Workers = inflight
+		s.Exec = fleet
+		cleanup = fleet.Close
+	}
 	return prof, cleanup, nil
+}
+
+// NewFleet opens the -listen socket and wraps it in the elastic fleet
+// executor. The returned Fleet's Close (installed as Apply's cleanup)
+// asks every connected worker to shut down.
+func (o *Options) NewFleet(logf experiments.Logf) (*dist.Fleet, error) {
+	ln, err := net.Listen("tcp", o.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("cli: -listen %s: %w", o.Listen, err)
+	}
+	fleet := dist.NewFleet(ln, dist.FleetOptions{Logf: logf})
+	if logf != nil {
+		logf("fleet coordinator listening on %s; join workers with: -worker -connect <host>%s", ln.Addr(), portSuffix(ln.Addr()))
+	}
+	return fleet, nil
+}
+
+// portSuffix renders ":port" for the join hint (the listen address's
+// host part is usually a wildcard the worker cannot dial).
+func portSuffix(addr net.Addr) string {
+	if tcp, ok := addr.(*net.TCPAddr); ok {
+		return fmt.Sprintf(":%d", tcp.Port)
+	}
+	return ""
 }
 
 // NewExecutor builds the dist executor for -dist N: N re-invocations of
@@ -183,10 +271,11 @@ func workerProcs(n int) int {
 	return per
 }
 
-// ServeWorker runs the dist worker loop on stdin/stdout with the
-// options' checkpoint/metrics directories and -j GOMAXPROCS cap. logf
-// receives checkpoint-store warnings (they go to the coordinator's
-// stderr, since the worker inherits it).
+// ServeWorker runs the dist worker loop — over stdin/stdout pipes by
+// default, or dialing a fleet coordinator when -connect is set — with
+// the options' checkpoint/metrics directories and -j GOMAXPROCS cap.
+// logf receives checkpoint-store warnings and (for fleet workers)
+// connection lifecycle notices on stderr.
 func (o *Options) ServeWorker(ctx context.Context, logf experiments.Logf) error {
 	if o.Workers > 0 {
 		runtime.GOMAXPROCS(o.Workers)
@@ -205,6 +294,17 @@ func (o *Options) ServeWorker(ctx context.Context, logf experiments.Logf) error 
 			return err
 		}
 		opts.Metrics = sink
+	}
+	if o.Connect != "" {
+		dial := dist.DialOptions{Slots: o.Slots, Worker: opts, Logf: logf}
+		if o.ChaosSever > 0 {
+			chaos := dist.NewChaos(dist.ChaosConfig{Seed: o.ChaosSeed, SeverAfter: o.ChaosSever}, logf)
+			if logf != nil {
+				logf("fault injection armed: %s", chaos)
+			}
+			dial.Chaos = chaos
+		}
+		return dist.DialAndServe(ctx, o.Connect, dial)
 	}
 	return dist.Serve(ctx, os.Stdin, os.Stdout, opts)
 }

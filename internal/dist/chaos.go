@@ -1,0 +1,166 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"remapd/internal/experiments"
+	"remapd/internal/tensor"
+)
+
+// Chaos is a deterministic network-fault injector for the TCP transport.
+// A worker wraps its dialed connection (DialOptions.Chaos) and every
+// outbound frame — hello, log, result, heartbeat — passes through the
+// injector, which may delay it, drop it, garble it, truncate it, or
+// sever the connection mid-stream. All decisions come from the frame
+// counter and a seeded tensor.RNG, never the wall clock, so a chaos run
+// is reproducible: same seed, same faults, same transcript.
+//
+// The point of the harness is the byte-identity pin: because severed and
+// garbled cells requeue onto (re)connected workers and resume from
+// shared checkpoints, a grid run under chaos must produce output
+// byte-identical to a fault-free run. The fleet tests and the
+// chaos-smoke CI job assert exactly that.
+type ChaosConfig struct {
+	// Seed feeds the injector's private RNG stream (garble positions).
+	Seed uint64
+
+	// SeverAfter, when > 0, arms a one-shot connection cut once that
+	// many frames have been written. The cut lands on the next log frame
+	// whose request already produced an earlier log frame — i.e. strictly
+	// mid-cell, at least one epoch in. The trainer emits an epoch's log
+	// line before saving its checkpoint, so by the second log frame a
+	// persisted checkpoint is guaranteed and the requeued cell resumes
+	// instead of restarting. One cut per Chaos value: the redialed
+	// connection runs clean, which is what lets the grid finish.
+	SeverAfter int
+
+	// DropEvery, when > 0, swallows every Nth log frame (reported as
+	// written, never sent). Only log frames are droppable — they are
+	// cosmetic by contract; dropping a result would stall the cell until
+	// the coordinator's timeout instead of exercising the lossy path.
+	DropEvery int
+
+	// GarbleEvery, when > 0, corrupts one byte of every Nth frame. The
+	// coordinator treats an unparseable line as a protocol failure and
+	// drops the worker, so garbling exercises the full
+	// drop-requeue-redial cycle.
+	GarbleEvery int
+
+	// TruncateEvery, when > 0, writes only the first half of every Nth
+	// frame and then severs the connection — a mid-frame crash. One shot,
+	// like SeverAfter.
+	TruncateEvery int
+
+	// Delay, when > 0, stalls every DelayEvery'th frame by this long
+	// before writing it (slow-network simulation; exercises the liveness
+	// reset on late frames without tripping the deadline).
+	Delay      time.Duration
+	DelayEvery int
+}
+
+// Chaos carries the injector's mutable state across every connection it
+// wraps — the frame counter and one-shot flags survive a redial, so a
+// severed worker's second connection is not severed again.
+type Chaos struct {
+	cfg  ChaosConfig
+	rng  *tensor.RNG
+	logf experiments.Logf
+
+	mu      sync.Mutex
+	frames  int
+	severed bool
+	logSeen map[int64]int // log frames observed per request ID
+}
+
+// NewChaos builds an injector. logf (optional) narrates every injected
+// fault with a "chaos:" prefix so tests and CI can grep the schedule.
+func NewChaos(cfg ChaosConfig, logf experiments.Logf) *Chaos {
+	return &Chaos{
+		cfg:     cfg,
+		rng:     tensor.NewRNG(cfg.Seed),
+		logf:    logf,
+		logSeen: map[int64]int{},
+	}
+}
+
+func (c *Chaos) say(format string, args ...interface{}) {
+	if c.logf != nil {
+		c.logf(format, args...)
+	}
+}
+
+// Wrap interposes the injector on a connection's write path. Reads pass
+// through untouched: faults are injected on the worker's outbound frames,
+// where every failure mode the coordinator must tolerate can be produced.
+func (c *Chaos) Wrap(conn net.Conn) net.Conn {
+	return &chaosConn{Conn: conn, chaos: c}
+}
+
+type chaosConn struct {
+	net.Conn
+	chaos *Chaos
+}
+
+func (cc *chaosConn) Write(p []byte) (int, error) {
+	return cc.chaos.write(cc.Conn, p)
+}
+
+// write applies the fault schedule to one frame. The connWriter already
+// serialises callers per connection, but the semaphore also protects the
+// injector's own state when a redialed connection overlaps teardown of
+// the old one.
+func (c *Chaos) write(conn net.Conn, p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	c.frames++
+	frame := c.frames
+	var rep Reply
+	isLog := false
+	if err := json.Unmarshal(p, &rep); err == nil && rep.Type == "log" {
+		isLog = true
+		c.logSeen[rep.ID]++
+	}
+
+	if c.cfg.SeverAfter > 0 && !c.severed && frame >= c.cfg.SeverAfter && isLog && c.logSeen[rep.ID] >= 2 {
+		c.severed = true
+		c.say("chaos: severing connection at frame %d (request %d, mid-cell)", frame, rep.ID)
+		_ = conn.Close()
+		return 0, errors.New("chaos: connection severed")
+	}
+	if c.cfg.TruncateEvery > 0 && !c.severed && frame%c.cfg.TruncateEvery == 0 {
+		c.severed = true
+		c.say("chaos: truncating frame %d and severing", frame)
+		_, _ = conn.Write(p[:len(p)/2])
+		_ = conn.Close()
+		return 0, errors.New("chaos: connection severed mid-frame")
+	}
+	if isLog && c.cfg.DropEvery > 0 && frame%c.cfg.DropEvery == 0 {
+		c.say("chaos: dropped log frame %d (request %d)", frame, rep.ID)
+		return len(p), nil
+	}
+	if c.cfg.Delay > 0 && c.cfg.DelayEvery > 0 && frame%c.cfg.DelayEvery == 0 {
+		time.Sleep(c.cfg.Delay)
+	}
+	if c.cfg.GarbleEvery > 0 && frame%c.cfg.GarbleEvery == 0 && len(p) > 1 {
+		q := append([]byte(nil), p...)
+		// Corrupt one byte of the JSON body (never the trailing
+		// newline — framing stays line-delimited, the line just stops
+		// parsing).
+		q[c.rng.Intn(len(q)-1)] ^= 0xFF
+		c.say("chaos: garbled frame %d", frame)
+		return conn.Write(q)
+	}
+	return conn.Write(p)
+}
+
+// String summarises the armed fault schedule for startup logs.
+func (c *Chaos) String() string {
+	return fmt.Sprintf("chaos(seed=%d sever-after=%d drop=1/%d garble=1/%d truncate=1/%d delay=%s/%d)",
+		c.cfg.Seed, c.cfg.SeverAfter, c.cfg.DropEvery, c.cfg.GarbleEvery, c.cfg.TruncateEvery, c.cfg.Delay, c.cfg.DelayEvery)
+}

@@ -39,6 +39,10 @@ func TestMain(m *testing.M) {
 		runTestWorker()
 	case "garbage":
 		runGarbageWorker()
+	case "mute":
+		runMuteWorker()
+	case "slow-hello":
+		time.Sleep(time.Minute) // never says hello; only a signal ends it
 	default:
 		fmt.Fprintf(os.Stderr, "unknown %s=%q\n", modeEnv, os.Getenv(modeEnv))
 		os.Exit(2)
@@ -90,6 +94,20 @@ func runGarbageWorker() {
 	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
 	for sc.Scan() {
 		fmt.Println("xyzzy: this is not a protocol reply")
+	}
+	os.Exit(0)
+}
+
+// runMuteWorker speaks a perfect hello and then goes silent: it reads
+// every request and answers none, the shape of a wedged-but-alive
+// process that only a reply timeout can unmask on the pipe transport.
+func runMuteWorker() {
+	enc := json.NewEncoder(os.Stdout)
+	_ = enc.Encode(dist.Reply{Type: "hello", Proto: dist.ProtoVersion, PID: os.Getpid(), Slots: 1})
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	for sc.Scan() {
+		// Swallow the request; the coordinator hears nothing.
 	}
 	os.Exit(0)
 }
@@ -279,6 +297,70 @@ func TestCellWithoutSpecFailsImmediately(t *testing.T) {
 	_, err := exec.Execute(context.Background(), 0, cell, nil)
 	if err == nil || !strings.Contains(err.Error(), "no serializable spec") {
 		t.Fatalf("err = %v, want a no-spec refusal", err)
+	}
+}
+
+// TestMuteWorkerHitsReplyTimeout: a worker that accepts cells but never
+// answers must trip Executor.Timeout, be discarded, and cost the cell
+// its retries — the error names the silence, not a crash.
+func TestMuteWorkerHitsReplyTimeout(t *testing.T) {
+	exec := workerExecutor(t, "mute")
+	exec.Retries = 2
+	exec.Timeout = 200 * time.Millisecond
+	defer exec.Close()
+	res, err := exec.Execute(context.Background(), 0, specCell("ideal"), nil)
+	if err == nil {
+		t.Fatal("a mute worker must fail the cell")
+	}
+	if !strings.Contains(err.Error(), "no result within") {
+		t.Fatalf("error %q does not attribute the failure to the reply timeout", err)
+	}
+	if res.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (each mute incarnation must burn one)", res.Attempts)
+	}
+}
+
+// TestCloseRacesInFlightExecute: Close while a cell is mid-flight must
+// leave Execute with an error or a completed result — never a hang, and
+// never a freshly launched orphan process (go test -race keeps the
+// accounting honest).
+func TestCloseRacesInFlightExecute(t *testing.T) {
+	exec := workerExecutor(t, "worker")
+	done := make(chan error, 1)
+	go func() {
+		_, err := exec.Execute(context.Background(), 0, specCell("ideal"), nil)
+		done <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+	exec.Close()
+	select {
+	case err := <-done:
+		// Both outcomes are legal — the cell may have finished just
+		// before Close — but a post-Close failure must say "closed",
+		// not dress up as a worker crash with retries.
+		if err != nil && !strings.Contains(err.Error(), "closed") {
+			t.Fatalf("post-Close error %q does not name the closed executor", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("Execute hung after Close")
+	}
+}
+
+// TestHelloWaitRespectsContext: cancelling the grid during worker
+// startup must abandon the hello wait immediately instead of sitting
+// out the full hello timeout.
+func TestHelloWaitRespectsContext(t *testing.T) {
+	exec := workerExecutor(t, "slow-hello")
+	defer exec.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := exec.Execute(ctx, 0, specCell("ideal"), nil)
+	if err == nil {
+		t.Fatal("a never-hello worker under a dead context must fail")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("Execute took %s; the hello wait ignored the context", elapsed)
 	}
 }
 

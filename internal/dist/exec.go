@@ -61,6 +61,7 @@ type Executor struct {
 
 	mu     sync.Mutex
 	slots  map[int]*workerProc
+	closed bool
 	nextID atomic.Int64
 }
 
@@ -69,9 +70,20 @@ type workerProc struct {
 	name    string
 	cmd     *exec.Cmd
 	stdin   io.WriteCloser
+	sendMu  sync.Mutex
 	enc     *json.Encoder
 	replies chan Reply
 	done    chan struct{}
+	stopped sync.Once
+}
+
+// send writes one request line. The mutex serialises Execute's run
+// requests against Close's shutdown request — a json.Encoder is not safe
+// for concurrent use.
+func (w *workerProc) send(req Request) error {
+	w.sendMu.Lock()
+	defer w.sendMu.Unlock()
+	return w.enc.Encode(req)
 }
 
 // cellError marks a worker-reported deterministic cell failure (retrying
@@ -125,6 +137,13 @@ func (e *Executor) Execute(ctx context.Context, slot int, cell experiments.Cell,
 		}
 		lastErr = err
 		e.logf("dist: cell %s attempt %d/%d failed: %v; requeueing on a fresh worker", cell.Key, attempt, retries, err)
+		if attempt < retries {
+			// Deterministic exponential backoff before the relaunch: an
+			// immediate retry hammers a crash-looping worker binary.
+			if err := sleepCtx(ctx, Backoff(attempt, requeueBase, requeueMax)); err != nil {
+				return res, err
+			}
+		}
 	}
 	return res, fmt.Errorf("dist: cell %s failed after %d attempts: %w", cell.Key, retries, lastErr)
 }
@@ -133,12 +152,12 @@ func (e *Executor) Execute(ctx context.Context, slot int, cell experiments.Cell,
 // and waits for its result. Any protocol failure discards the worker so
 // the next attempt gets a fresh process.
 func (e *Executor) tryOnce(ctx context.Context, slot int, spec []byte, logf experiments.Logf) (interface{}, string, error) {
-	w, err := e.worker(slot)
+	w, err := e.worker(ctx, slot)
 	if err != nil {
 		return nil, "", err
 	}
 	id := e.nextID.Add(1)
-	if err := w.enc.Encode(Request{Type: "run", ID: id, Spec: spec}); err != nil {
+	if err := w.send(Request{Type: "run", ID: id, Spec: spec}); err != nil {
 		e.discard(slot, w)
 		return nil, w.name, fmt.Errorf("dist: send cell to %s: %w", w.name, err)
 	}
@@ -213,8 +232,12 @@ func decodeResult(rep Reply) (interface{}, error) {
 // worker returns the slot's live process, launching one if the slot is
 // empty. Slots are exclusive to one runner goroutine, so only the map
 // needs locking.
-func (e *Executor) worker(slot int) (*workerProc, error) {
+func (e *Executor) worker(ctx context.Context, slot int) (*workerProc, error) {
 	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, errors.New("dist: executor closed")
+	}
 	if e.slots == nil {
 		e.slots = map[int]*workerProc{}
 	}
@@ -223,18 +246,25 @@ func (e *Executor) worker(slot int) (*workerProc, error) {
 	if w != nil {
 		return w, nil
 	}
-	w, err := e.launch(slot)
+	w, err := e.launch(ctx, slot)
 	if err != nil {
 		return nil, err
 	}
 	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		w.stop()
+		return nil, errors.New("dist: executor closed")
+	}
 	e.slots[slot] = w
 	e.mu.Unlock()
 	return w, nil
 }
 
 // launch execs one worker for the slot and waits for its hello.
-func (e *Executor) launch(slot int) (*workerProc, error) {
+// Cancelling ctx interrupts the hello wait — a SIGINT during worker
+// startup must not sit out the full hello timeout.
+func (e *Executor) launch(ctx context.Context, slot int) (*workerProc, error) {
 	if len(e.Command) == 0 {
 		return nil, errors.New("dist: executor has no worker command")
 	}
@@ -261,7 +291,7 @@ func (e *Executor) launch(slot int) (*workerProc, error) {
 		done:    make(chan struct{}),
 	}
 	go w.read(stdout)
-	if err := w.awaitHello(); err != nil {
+	if err := w.awaitHello(ctx); err != nil {
 		w.stop()
 		return nil, err
 	}
@@ -290,8 +320,9 @@ func (w *workerProc) read(stdout io.Reader) {
 	}
 }
 
-// awaitHello validates the worker's first line.
-func (w *workerProc) awaitHello() error {
+// awaitHello validates the worker's first line. Cancelling ctx abandons
+// the wait immediately (the caller tears the process down).
+func (w *workerProc) awaitHello(ctx context.Context) error {
 	timer := time.NewTimer(helloTimeout)
 	defer timer.Stop()
 	select {
@@ -302,10 +333,12 @@ func (w *workerProc) awaitHello() error {
 		if rep.Type != "hello" {
 			return fmt.Errorf("dist: %s: first reply %q, want hello", w.name, rep.Type)
 		}
-		if rep.Proto != ProtoVersion {
-			return fmt.Errorf("dist: %s speaks protocol %d, want %d", w.name, rep.Proto, ProtoVersion)
+		if rep.Proto < MinProtoVersion || rep.Proto > ProtoVersion {
+			return fmt.Errorf("dist: %s speaks protocol %d, want %d..%d", w.name, rep.Proto, MinProtoVersion, ProtoVersion)
 		}
 		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	case <-timer.C:
 		return fmt.Errorf("dist: %s: no hello within %s", w.name, helloTimeout)
 	}
@@ -313,17 +346,20 @@ func (w *workerProc) awaitHello() error {
 
 // stop tears one worker down: ask politely (SIGINT + stdin EOF), drain
 // its reply stream until the process exits (a kill watchdog bounds the
-// wait), then reap it. Safe to call once per proc.
+// wait), then reap it. Idempotent — Close and a discarding Execute may
+// race onto the same proc.
 func (w *workerProc) stop() {
-	_ = w.cmd.Process.Signal(os.Interrupt)
-	_ = w.stdin.Close()
-	kill := time.AfterFunc(killDelay, func() { _ = w.cmd.Process.Kill() })
-	for range w.replies {
-		// Drain so the reader goroutine can reach EOF.
-	}
-	<-w.done
-	_ = w.cmd.Wait()
-	kill.Stop()
+	w.stopped.Do(func() {
+		_ = w.cmd.Process.Signal(os.Interrupt)
+		_ = w.stdin.Close()
+		kill := time.AfterFunc(killDelay, func() { _ = w.cmd.Process.Kill() })
+		for range w.replies {
+			// Drain so the reader goroutine can reach EOF.
+		}
+		<-w.done
+		_ = w.cmd.Wait()
+		kill.Stop()
+	})
 }
 
 // discard removes a misbehaving worker from its slot and tears it down;
@@ -339,15 +375,19 @@ func (e *Executor) discard(slot int, w *workerProc) {
 
 // Close shuts every worker down gracefully (shutdown request, SIGINT,
 // bounded kill). Call after the grid finishes — including on SIGINT, so
-// no orphan processes outlive the coordinator.
+// no orphan processes outlive the coordinator. An Execute racing Close
+// loses its worker (its reply channel closes, its requeue finds the
+// executor refusing to launch) and returns an error instead of leaking
+// a fresh process.
 func (e *Executor) Close() {
 	e.mu.Lock()
+	e.closed = true
 	slots := e.slots
 	e.slots = map[int]*workerProc{}
 	e.mu.Unlock()
 	for _, slot := range det.SortedKeys(slots) {
 		w := slots[slot]
-		_ = w.enc.Encode(Request{Type: "shutdown"})
+		_ = w.send(Request{Type: "shutdown"})
 		w.stop()
 	}
 }

@@ -1,46 +1,75 @@
 // Package dist fans experiment cells out to worker processes. The
-// coordinator side (Executor) plugs into the experiment runner as its
-// CellExecutor: the runner keeps its scheduling discipline — bounded
-// in-flight set, first-error cancellation, deterministic result
-// reassembly by submission index — and dist only changes where each
-// cell's work happens. The worker side (Serve) is the same binary run
-// with a -worker flag: it reads serialized cell specs from stdin,
-// executes them through the same registered run functions the in-process
-// path uses, and writes results to stdout.
+// coordinator side plugs into the experiment runner as its CellExecutor:
+// the runner keeps its scheduling discipline — bounded in-flight set,
+// first-error cancellation, deterministic result reassembly by submission
+// index — and dist only changes where each cell's work happens. Two
+// executors exist:
 //
-// The protocol is line-delimited JSON over any byte stream (locally, an
-// exec'd worker's stdin/stdout pipes). One request or reply per line;
-// requests flow coordinator→worker, replies worker→coordinator. A worker
-// handles one cell at a time — parallelism comes from the runner driving
-// one worker process per scheduling slot.
+//   - Executor execs one worker process per runner slot and speaks the
+//     protocol over the child's stdin/stdout pipes (the -dist N path).
+//   - Fleet listens on a net.Listener; worker processes on any machine
+//     dial in (-worker -connect host:port), advertise a slot count in
+//     their hello, and the fleet work-steals cells across whatever
+//     workers are currently connected (the -listen path). Workers may
+//     join and leave mid-grid; heartbeats detect dead or partitioned
+//     workers and their in-flight cells are requeued onto survivors.
+//
+// The worker side is the same binary run with a -worker flag: it reads
+// serialized cell specs, executes them through the same registered run
+// functions the in-process path uses, and writes results back.
+//
+// The protocol is line-delimited JSON over any byte stream. One request
+// or reply per line; requests flow coordinator→worker, replies
+// worker→coordinator. A pipe worker (Serve) handles one cell at a time; a
+// fleet worker (DialAndServe) handles up to its advertised slot count
+// concurrently, demultiplexed by request ID.
 //
 // Determinism: a spec is pure coordinates, the registered run functions
 // are deterministic in those coordinates, and results are scalar structs
 // that survive a JSON round-trip exactly (encoding/json renders float64
 // shortest-round-trip), so a cell computes identical bytes no matter
-// which process runs it — the dist Fig. 6 byte-identity test pins this.
+// which process or machine runs it — the dist and fleet Fig. 6
+// byte-identity tests pin this, including under injected network faults
+// (see chaos.go).
 //
-// Fault tolerance: a worker crash, malformed reply, or reply timeout
-// requeues the cell on a fresh worker (bounded retries, per-cell attempt
-// logging). Cells checkpoint into a shared -checkpoint-dir, so a retried
-// cell resumes from its last completed epoch instead of restarting —
-// checkpoints, not protocol replies, are the durable record.
+// Fault tolerance: a worker crash, severed connection, malformed reply,
+// missed heartbeat deadline, or reply timeout requeues the cell on
+// another worker (bounded retries with a deterministic exponential
+// backoff schedule, per-cell attempt logging). Cells checkpoint into a
+// shared -checkpoint-dir, so a retried cell resumes from its last
+// completed epoch instead of restarting — checkpoints, not protocol
+// replies, are the durable record.
 package dist
 
 import "encoding/json"
 
-// ProtoVersion is the wire protocol version. The worker's hello carries
-// it; the coordinator refuses a mismatched worker rather than guessing.
-const ProtoVersion = 1
+// ProtoVersion is the wire protocol version this binary speaks. The
+// worker's hello carries it; the coordinator accepts any version in
+// [MinProtoVersion, ProtoVersion] rather than guessing at anything else.
+//
+// Version 2 added the fleet transport: the hello's slot advertisement
+// (Reply.Slots), heartbeat request/reply liveness probes, and the
+// goodbye drain notice.
+const ProtoVersion = 2
+
+// MinProtoVersion is the oldest worker protocol a coordinator still
+// accepts. A version-1 worker (exec'd pipe era) never receives heartbeat
+// requests — it would reject the unknown type — and is assumed to have
+// one slot; everything else is unchanged, so mixed-version fan-out keeps
+// working.
+const MinProtoVersion = 1
 
 // Request is one coordinator→worker line.
 type Request struct {
-	// Type is "run" (execute Spec, reply with a result) or "shutdown"
-	// (finish nothing — the worker exits; draining happens naturally
-	// because a worker only reads the next request after replying).
+	// Type is "run" (execute Spec, reply with a result), "heartbeat"
+	// (reply with a heartbeat echoing ID — liveness probe, proto >= 2
+	// only), or "shutdown" (finish nothing — the worker exits; a pipe
+	// worker drains naturally because it only reads the next request
+	// after replying, a fleet worker cancels its in-flight cells first).
 	Type string `json:"type"`
-	// ID correlates the run's replies; the worker echoes it on every log
-	// and result line. Monotonic per coordinator, never reused.
+	// ID correlates the request's replies; the worker echoes it on every
+	// log, result and heartbeat line. Monotonic per coordinator, never
+	// reused.
 	ID int64 `json:"id,omitempty"`
 	// Spec is the serialized experiments.CellSpec for a run request.
 	Spec json.RawMessage `json:"spec,omitempty"`
@@ -48,13 +77,19 @@ type Request struct {
 
 // Reply is one worker→coordinator line.
 type Reply struct {
-	// Type is "hello" (first line after startup), "log" (one progress
-	// line from the in-flight cell), or "result" (the cell finished).
+	// Type is "hello" (first line after connecting), "log" (one progress
+	// line from an in-flight cell), "result" (a cell finished),
+	// "heartbeat" (liveness echo, proto >= 2), or "goodbye" (the worker
+	// is draining: it will finish its in-flight cells, send their
+	// results, and disconnect — assign it nothing new).
 	Type string `json:"type"`
 	// Proto and PID describe the worker on hello.
 	Proto int `json:"proto,omitempty"`
 	PID   int `json:"pid,omitempty"`
-	// ID echoes the request being answered (log and result).
+	// Slots is the worker's concurrent-cell capacity, advertised on
+	// hello (proto >= 2; a missing or zero value means one slot).
+	Slots int `json:"slots,omitempty"`
+	// ID echoes the request being answered (log, result, heartbeat).
 	ID int64 `json:"id,omitempty"`
 	// Line is one progress line (log).
 	Line string `json:"line,omitempty"`

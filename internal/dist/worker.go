@@ -37,7 +37,7 @@ func Serve(ctx context.Context, in io.Reader, out io.Writer, opts WorkerOptions)
 		ctx = context.Background()
 	}
 	enc := json.NewEncoder(out)
-	if err := enc.Encode(Reply{Type: "hello", Proto: ProtoVersion, PID: os.Getpid()}); err != nil {
+	if err := enc.Encode(Reply{Type: "hello", Proto: ProtoVersion, PID: os.Getpid(), Slots: 1}); err != nil {
 		return fmt.Errorf("dist: worker hello: %w", err)
 	}
 	rt := experiments.Runtime{Checkpoints: opts.Checkpoints, Metrics: opts.Metrics}
@@ -55,8 +55,14 @@ func Serve(ctx context.Context, in io.Reader, out io.Writer, opts WorkerOptions)
 		switch req.Type {
 		case "shutdown":
 			return nil
+		case "heartbeat":
+			// A pipe coordinator never probes (a dead child's pipe EOFs),
+			// but answering keeps Serve a full protocol peer.
+			if err := enc.Encode(Reply{Type: "heartbeat", ID: req.ID}); err != nil {
+				return fmt.Errorf("dist: worker: write heartbeat: %w", err)
+			}
 		case "run":
-			rep := runRequest(ctx, req, rt, enc)
+			rep := runRequest(ctx, req, rt, func(log Reply) { _ = enc.Encode(log) })
 			if err := enc.Encode(rep); err != nil {
 				return fmt.Errorf("dist: worker: write result: %w", err)
 			}
@@ -77,8 +83,10 @@ func Serve(ctx context.Context, in io.Reader, out io.Writer, opts WorkerOptions)
 // failure mode that is a property of the spec (unknown kind, bad
 // coordinates, a deterministic training error, a panic) becomes an error
 // reply — the coordinator must not retry those, because every worker
-// would fail identically.
-func runRequest(ctx context.Context, req Request, rt experiments.Runtime, enc *json.Encoder) Reply {
+// would fail identically. send carries the in-flight cell's log replies
+// back (Serve writes straight to its encoder; the fleet transport routes
+// through a mutex so concurrent cells do not interleave frames).
+func runRequest(ctx context.Context, req Request, rt experiments.Runtime, send func(Reply)) Reply {
 	sp, err := experiments.DecodeSpec(req.Spec)
 	if err != nil {
 		return Reply{Type: "result", ID: req.ID, Error: err.Error()}
@@ -89,7 +97,7 @@ func runRequest(ctx context.Context, req Request, rt experiments.Runtime, enc *j
 		// for in-process cells. A lost log line is cosmetic, never load
 		// bearing, so the write error is ignored — a truly dead pipe
 		// surfaces at the result write.
-		_ = enc.Encode(Reply{Type: "log", ID: req.ID, Line: fmt.Sprintf(format, args...)})
+		send(Reply{Type: "log", ID: req.ID, Line: fmt.Sprintf(format, args...)})
 	}
 	value, err := executeSpec(ctx, sp, rt, logf)
 	if err != nil {
