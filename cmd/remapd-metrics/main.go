@@ -4,10 +4,16 @@
 // when the directory also holds a harness.json profile — the slowest
 // experiment cells and costliest report phases.
 //
+// Two operational modes look at a live or finished fleet run instead:
+// -fleet summarises a structured fleet event trace (-fleet-trace JSONL)
+// and -watch polls a coordinator's -status-addr for a live view.
+//
 // Examples:
 //
 //	remapd-metrics -dir metrics
 //	remapd-metrics -dir metrics -top 5
+//	remapd-metrics -fleet fleet-trace.jsonl
+//	remapd-metrics -watch localhost:7434
 package main
 
 import (
@@ -21,10 +27,26 @@ import (
 func main() {
 	log.SetFlags(0)
 	var (
-		dir = flag.String("dir", "metrics", "telemetry directory (the -metrics-dir of a previous run)")
-		top = flag.Int("top", 10, "how many slowest cells / costliest phases to show")
+		dir   = flag.String("dir", "metrics", "telemetry directory (the -metrics-dir of a previous run)")
+		top   = flag.Int("top", 10, "how many slowest cells / costliest phases to show")
+		fleet = flag.String("fleet", "", "summarise this structured fleet event trace (a -fleet-trace JSONL file) instead of a metrics directory")
+		watch = flag.String("watch", "", "poll a coordinator's -status-addr (host:port) and render a live single-screen view")
+		every = flag.Duration("every", defaultWatchEvery, "with -watch: poll interval")
 	)
 	flag.Parse()
+
+	if *fleet != "" {
+		if err := fleetMain(*fleet, *top); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *watch != "" {
+		if err := watchMain(*watch, *every); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	cells, err := obs.ReadDir(*dir)
 	if err != nil {

@@ -64,6 +64,17 @@ type Options struct {
 	// ChaosSeed seeds the injector's deterministic schedule (-chaos-seed).
 	ChaosSever int
 	ChaosSeed  uint64
+	// StatusAddr serves the live /status JSON endpoint (plus the debug
+	// surface) when non-empty (-status-addr).
+	StatusAddr string
+	// FleetTrace appends the structured fleet event trace (JSONL) to
+	// this file (-fleet-trace): coordinator membership/scheduling events
+	// with -listen, connection lifecycle events with -worker -connect.
+	FleetTrace string
+
+	// status is the registry Apply builds for -status-addr; sections are
+	// registered by the runner and the fleet as they come up.
+	status *obs.Status
 }
 
 // Bind registers the base observation/scheduling group every tool
@@ -81,9 +92,10 @@ func (o *Options) BindRun(fs *flag.FlagSet) {
 	fs.BoolVar(&o.Quiet, "quiet", false, "suppress per-epoch progress lines (the final summary still prints)")
 }
 
-// BindGrid registers the grid group: -progress.
+// BindGrid registers the grid group: -progress, -status-addr.
 func (o *Options) BindGrid(fs *flag.FlagSet) {
 	fs.BoolVar(&o.Progress, "progress", false, "log one line per completed experiment cell")
+	fs.StringVar(&o.StatusAddr, "status-addr", "", "serve live run status as JSON on this address (GET /status: grid progress, per-worker fleet table, span aggregates; also pprof+expvar)")
 }
 
 // BindDist registers the coordinator side of distribution: -dist for
@@ -92,6 +104,7 @@ func (o *Options) BindDist(fs *flag.FlagSet) {
 	fs.IntVar(&o.Dist, "dist", 0, "fan experiment cells out to this many worker processes (0 = run in-process); results are byte-identical either way")
 	fs.StringVar(&o.Listen, "listen", "", "serve a fleet coordinator on this TCP address (e.g. :7433); cells run on workers that dial in with -worker -connect, which may join and leave mid-run")
 	fs.IntVar(&o.FleetMax, "fleet", 0, "with -listen: max experiment cells in flight across the fleet (0 = all cores' worth)")
+	o.bindFleetTrace(fs)
 }
 
 // BindWorker registers the worker side of distribution: -worker for the
@@ -103,6 +116,19 @@ func (o *Options) BindWorker(fs *flag.FlagSet) {
 	fs.IntVar(&o.Slots, "slots", 1, "with -connect: concurrent experiment cells this worker advertises")
 	fs.IntVar(&o.ChaosSever, "chaos-sever-after", 0, "with -connect: sever the connection mid-cell once this many protocol frames have passed (fault-injection testing; 0 = off)")
 	fs.Uint64Var(&o.ChaosSeed, "chaos-seed", 0, "with -chaos-sever-after: seed for the injector's deterministic fault schedule")
+	o.bindFleetTrace(fs)
+}
+
+// bindFleetTrace registers -fleet-trace exactly once. Both the dist and
+// worker groups want it (a coordinator traces membership, a worker its
+// connection lifecycle) and tools like remapd-coordinator bind both
+// groups on one FlagSet, so the second registration must be a no-op
+// rather than a flag redefinition panic.
+func (o *Options) bindFleetTrace(fs *flag.FlagSet) {
+	if fs.Lookup("fleet-trace") != nil {
+		return
+	}
+	fs.StringVar(&o.FleetTrace, "fleet-trace", "", "append the structured fleet event trace (JSONL) to this file: join/leave/drop/requeue/stall events on a -listen coordinator, connect/disconnect/sever on a -worker -connect worker")
 }
 
 // Validate rejects incoherent combinations.
@@ -150,13 +176,21 @@ func (o *Options) StartDebug() (string, error) {
 }
 
 // Apply wires the options into a grid Scale: worker bound, progress
-// sink, checkpoint store, metrics sink + harness profile, and (with
-// -dist) the process fan-out executor. It returns the profile (nil
-// without -metrics-dir) and a cleanup that must run before exit — it
-// shuts worker processes down gracefully. logf receives store warnings
-// and progress lines.
+// sink, checkpoint store, metrics sink + harness profile, telemetry
+// (spans, /status, fleet trace), and (with -dist/-listen) the remote
+// executor. It returns the profile (nil without -metrics-dir) and a
+// cleanup that must run before exit — it shuts worker processes down
+// gracefully and flushes the telemetry files. logf receives store
+// warnings and progress lines.
 func (o *Options) Apply(s *experiments.Scale, logf experiments.Logf) (*obs.Profile, func(), error) {
-	cleanup := func() {}
+	var cleanups []func()
+	cleanup := func() {
+		// Reverse order: the executor shuts down before the trace that
+		// records its teardown events is closed.
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			cleanups[i]()
+		}
+	}
 	s.Workers = o.Workers
 	if o.Progress {
 		s.Progress = logf
@@ -178,6 +212,45 @@ func (o *Options) Apply(s *experiments.Scale, logf experiments.Logf) (*obs.Profi
 		prof = obs.NewProfile()
 		s.Prof = prof
 	}
+	// Spans are recorded whenever anyone can see them: the /status
+	// endpoint serves live aggregates, the metrics dir persists
+	// spans.json. Observation-only either way.
+	if o.StatusAddr != "" || o.MetricsDir != "" {
+		spans := obs.NewSpanRecorder()
+		s.Spans = spans
+		if o.MetricsDir != "" {
+			dir := o.MetricsDir
+			cleanups = append(cleanups, func() {
+				if err := spans.WriteJSON(dir); err != nil && logf != nil {
+					logf("cli: write spans: %v", err)
+				}
+			})
+		}
+	}
+	if o.StatusAddr != "" {
+		o.status = obs.NewStatus()
+		s.Status = o.status
+		addr, err := obs.StartStatusServer(o.StatusAddr, o.status)
+		if err != nil {
+			return nil, cleanup, err
+		}
+		if logf != nil {
+			logf("status server on http://%s/status", addr)
+		}
+	}
+	var trace *obs.FleetTrace
+	if o.FleetTrace != "" {
+		var err error
+		trace, err = obs.NewFleetTraceFile(o.FleetTrace)
+		if err != nil {
+			return nil, cleanup, err
+		}
+		cleanups = append(cleanups, func() {
+			if err := trace.Close(); err != nil && logf != nil {
+				logf("cli: %v", err)
+			}
+		})
+	}
 	if o.Dist > 0 {
 		exec, err := o.NewExecutor(logf)
 		if err != nil {
@@ -187,10 +260,10 @@ func (o *Options) Apply(s *experiments.Scale, logf experiments.Logf) (*obs.Profi
 		// internally via its -j share of the cores.
 		s.Workers = o.Dist
 		s.Exec = exec
-		cleanup = exec.Close
+		cleanups = append(cleanups, exec.Close)
 	}
 	if o.Listen != "" {
-		fleet, err := o.NewFleet(logf)
+		fleet, err := o.NewFleet(logf, trace)
 		if err != nil {
 			return nil, cleanup, err
 		}
@@ -203,20 +276,23 @@ func (o *Options) Apply(s *experiments.Scale, logf experiments.Logf) (*obs.Profi
 		}
 		s.Workers = inflight
 		s.Exec = fleet
-		cleanup = fleet.Close
+		o.status.Register("fleet", fleet.StatusSection)
+		cleanups = append(cleanups, fleet.Close)
 	}
 	return prof, cleanup, nil
 }
 
 // NewFleet opens the -listen socket and wraps it in the elastic fleet
 // executor. The returned Fleet's Close (installed as Apply's cleanup)
-// asks every connected worker to shut down.
-func (o *Options) NewFleet(logf experiments.Logf) (*dist.Fleet, error) {
+// asks every connected worker to shut down. trace (may be nil) receives
+// the structured fleet event record; the fleet always keeps an
+// in-memory trace regardless.
+func (o *Options) NewFleet(logf experiments.Logf, trace *obs.FleetTrace) (*dist.Fleet, error) {
 	ln, err := net.Listen("tcp", o.Listen)
 	if err != nil {
 		return nil, fmt.Errorf("cli: -listen %s: %w", o.Listen, err)
 	}
-	fleet := dist.NewFleet(ln, dist.FleetOptions{Logf: logf})
+	fleet := dist.NewFleet(ln, dist.FleetOptions{Logf: logf, Trace: trace})
 	if logf != nil {
 		logf("fleet coordinator listening on %s; join workers with: -worker -connect <host>%s", ln.Addr(), portSuffix(ln.Addr()))
 	}
@@ -297,8 +373,21 @@ func (o *Options) ServeWorker(ctx context.Context, logf experiments.Logf) error 
 	}
 	if o.Connect != "" {
 		dial := dist.DialOptions{Slots: o.Slots, Worker: opts, Logf: logf}
+		if o.FleetTrace != "" {
+			trace, err := obs.NewFleetTraceFile(o.FleetTrace)
+			if err != nil {
+				return err
+			}
+			defer func() {
+				if cerr := trace.Close(); cerr != nil && logf != nil {
+					logf("cli: %v", cerr)
+				}
+			}()
+			dial.Trace = trace
+		}
 		if o.ChaosSever > 0 {
 			chaos := dist.NewChaos(dist.ChaosConfig{Seed: o.ChaosSeed, SeverAfter: o.ChaosSever}, logf)
+			chaos.SetTrace(dial.Trace)
 			if logf != nil {
 				logf("fault injection armed: %s", chaos)
 			}

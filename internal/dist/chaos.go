@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"remapd/internal/experiments"
+	"remapd/internal/obs"
 	"remapd/internal/tensor"
 )
 
@@ -51,6 +53,13 @@ type ChaosConfig struct {
 	// drop-requeue-redial cycle.
 	GarbleEvery int
 
+	// GarbleAfter, when > 0, arms a one-shot garble: the first frame at
+	// or past this count is corrupted, and every frame after it passes
+	// clean. One shot, like SeverAfter — the redialed connection's retry
+	// is guaranteed to run unfaulted, independent of how many frames an
+	// attempt writes.
+	GarbleAfter int
+
 	// TruncateEvery, when > 0, writes only the first half of every Nth
 	// frame and then severs the connection — a mid-frame crash. One shot,
 	// like SeverAfter.
@@ -67,15 +76,21 @@ type ChaosConfig struct {
 // wraps — the frame counter and one-shot flags survive a redial, so a
 // severed worker's second connection is not severed again.
 type Chaos struct {
-	cfg  ChaosConfig
-	rng  *tensor.RNG
-	logf experiments.Logf
+	cfg   ChaosConfig
+	rng   *tensor.RNG
+	logf  experiments.Logf
+	trace *obs.FleetTrace
 
 	mu      sync.Mutex
 	frames  int
 	severed bool
+	garbled bool          // one-shot GarbleAfter has fired
 	logSeen map[int64]int // log frames observed per request ID
 }
+
+// SetTrace routes each injected sever into the worker's structured event
+// trace alongside the free-form "chaos:" log lines. Nil-safe target.
+func (c *Chaos) SetTrace(t *obs.FleetTrace) { c.trace = t }
 
 // NewChaos builds an injector. logf (optional) narrates every injected
 // fault with a "chaos:" prefix so tests and CI can grep the schedule.
@@ -130,12 +145,14 @@ func (c *Chaos) write(conn net.Conn, p []byte) (int, error) {
 	if c.cfg.SeverAfter > 0 && !c.severed && frame >= c.cfg.SeverAfter && isLog && c.logSeen[rep.ID] >= 2 {
 		c.severed = true
 		c.say("chaos: severing connection at frame %d (request %d, mid-cell)", frame, rep.ID)
+		c.trace.Emit(obs.FleetEvent{Kind: obs.FleetSever, Cause: fmt.Sprintf("chaos sever at frame %d", frame)})
 		_ = conn.Close()
 		return 0, errors.New("chaos: connection severed")
 	}
 	if c.cfg.TruncateEvery > 0 && !c.severed && frame%c.cfg.TruncateEvery == 0 {
 		c.severed = true
 		c.say("chaos: truncating frame %d and severing", frame)
+		c.trace.Emit(obs.FleetEvent{Kind: obs.FleetSever, Cause: fmt.Sprintf("chaos truncate at frame %d", frame)})
 		_, _ = conn.Write(p[:len(p)/2])
 		_ = conn.Close()
 		return 0, errors.New("chaos: connection severed mid-frame")
@@ -147,12 +164,23 @@ func (c *Chaos) write(conn net.Conn, p []byte) (int, error) {
 	if c.cfg.Delay > 0 && c.cfg.DelayEvery > 0 && frame%c.cfg.DelayEvery == 0 {
 		time.Sleep(c.cfg.Delay)
 	}
-	if c.cfg.GarbleEvery > 0 && frame%c.cfg.GarbleEvery == 0 && len(p) > 1 {
+	garble := c.cfg.GarbleEvery > 0 && frame%c.cfg.GarbleEvery == 0
+	if c.cfg.GarbleAfter > 0 && !c.garbled && frame >= c.cfg.GarbleAfter {
+		c.garbled = true
+		garble = true
+	}
+	if garble && len(p) > 1 {
 		q := append([]byte(nil), p...)
 		// Corrupt one byte of the JSON body (never the trailing
 		// newline — framing stays line-delimited, the line just stops
-		// parsing).
-		q[c.rng.Intn(len(q)-1)] ^= 0xFF
+		// parsing). Flip the colon after the type key: a structural
+		// byte, so the line is guaranteed unparseable rather than a
+		// string value that happens to survive corruption.
+		if i := bytes.IndexByte(q, ':'); i >= 0 {
+			q[i] ^= 0xFF
+		} else {
+			q[c.rng.Intn(len(q)-1)] ^= 0xFF
+		}
 		c.say("chaos: garbled frame %d", frame)
 		return conn.Write(q)
 	}
@@ -161,6 +189,6 @@ func (c *Chaos) write(conn net.Conn, p []byte) (int, error) {
 
 // String summarises the armed fault schedule for startup logs.
 func (c *Chaos) String() string {
-	return fmt.Sprintf("chaos(seed=%d sever-after=%d drop=1/%d garble=1/%d truncate=1/%d delay=%s/%d)",
-		c.cfg.Seed, c.cfg.SeverAfter, c.cfg.DropEvery, c.cfg.GarbleEvery, c.cfg.TruncateEvery, c.cfg.Delay, c.cfg.DelayEvery)
+	return fmt.Sprintf("chaos(seed=%d sever-after=%d drop=1/%d garble=1/%d garble-after=%d truncate=1/%d delay=%s/%d)",
+		c.cfg.Seed, c.cfg.SeverAfter, c.cfg.DropEvery, c.cfg.GarbleEvery, c.cfg.GarbleAfter, c.cfg.TruncateEvery, c.cfg.Delay, c.cfg.DelayEvery)
 }

@@ -15,6 +15,7 @@ import (
 
 	"remapd/internal/det"
 	"remapd/internal/experiments"
+	"remapd/internal/obs"
 )
 
 // DefaultRetries bounds how many workers a cell is offered before its
@@ -118,10 +119,11 @@ func (e *Executor) Execute(ctx context.Context, slot int, cell experiments.Cell,
 			return res, err
 		}
 		res.Attempts = attempt
-		value, worker, err := e.tryOnce(ctx, slot, spec, logf)
+		value, worker, err := e.tryOnce(ctx, slot, spec, cell.Span, logf)
 		if worker != "" {
 			res.Worker = worker
 		}
+		cell.Span.EndAttempt(err != nil)
 		if err == nil {
 			res.Value = value
 			return res, nil
@@ -149,15 +151,17 @@ func (e *Executor) Execute(ctx context.Context, slot int, cell experiments.Cell,
 }
 
 // tryOnce offers the cell to the slot's worker (launching one if needed)
-// and waits for its result. Any protocol failure discards the worker so
-// the next attempt gets a fresh process.
-func (e *Executor) tryOnce(ctx context.Context, slot int, spec []byte, logf experiments.Logf) (interface{}, string, error) {
+// and waits for its result, folding telemetry frames into span. Any
+// protocol failure discards the worker so the next attempt gets a fresh
+// process.
+func (e *Executor) tryOnce(ctx context.Context, slot int, spec []byte, span *obs.CellSpan, logf experiments.Logf) (interface{}, string, error) {
 	w, err := e.worker(ctx, slot)
 	if err != nil {
 		return nil, "", err
 	}
+	span.Dispatch(w.name)
 	id := e.nextID.Add(1)
-	if err := w.send(Request{Type: "run", ID: id, Spec: spec}); err != nil {
+	if err := w.send(Request{Type: "run", ID: id, Proto: ProtoVersion, Spec: spec}); err != nil {
 		e.discard(slot, w)
 		return nil, w.name, fmt.Errorf("dist: send cell to %s: %w", w.name, err)
 	}
@@ -186,6 +190,10 @@ func (e *Executor) tryOnce(ctx context.Context, slot int, spec []byte, logf expe
 			case "log":
 				if rep.ID == id && logf != nil {
 					logf("%s", rep.Line)
+				}
+			case "telemetry":
+				if rep.ID == id && rep.Span != nil {
+					span.RunSegment(rep.Span.Seconds, rep.Span.Failed)
 				}
 			case "result":
 				if rep.ID != id {

@@ -13,6 +13,7 @@ import (
 
 	"remapd/internal/det"
 	"remapd/internal/experiments"
+	"remapd/internal/obs"
 )
 
 // This file is the coordinator side of the TCP transport. A Fleet owns a
@@ -59,6 +60,11 @@ type FleetOptions struct {
 	// Logf receives join/leave/requeue/stall notices (harness domain;
 	// results never depend on it).
 	Logf experiments.Logf
+	// Trace receives the structured fleet event record. When nil the
+	// fleet creates a memory-only trace, so membership churn is always
+	// recorded — a nil-Logf embedder still gets a record of every
+	// dropped worker via Events().
+	Trace *obs.FleetTrace
 }
 
 // Fleet is an experiments.CellExecutor backed by a dynamic pool of
@@ -78,15 +84,36 @@ type Fleet struct {
 
 	nextID     atomic.Int64 // request IDs, shared across all connections
 	nextWorker atomic.Int64 // join counter, names workers deterministically
+
+	trace *obs.FleetTrace // never nil after NewFleet
+
+	// Run totals, surviving worker churn (per-worker counters die with
+	// their connection).
+	done     atomic.Int64
+	failed   atomic.Int64
+	requeued atomic.Int64
+	stalls   atomic.Int64
 }
 
 // fleetWorker is one connected worker: its connection, advertised
 // capacity, and the demux table routing reply frames to in-flight cells.
 type fleetWorker struct {
 	name  string
+	addr  string
 	conn  net.Conn
 	proto int
 	slots int
+
+	// Harness-domain accounting (see stats.go). counts meters the raw
+	// connection; the rest are stamped by the read loop and Execute.
+	counts        *countingConn
+	done          atomic.Int64
+	failed        atomic.Int64
+	requeued      atomic.Int64
+	lastSeenNano  atomic.Int64
+	rttNano       atomic.Int64
+	probeID       atomic.Int64
+	probeSentNano atomic.Int64
 
 	// inflight and draining are guarded by Fleet.mu (they are part of
 	// the fleet's scheduling state, not the connection's).
@@ -153,15 +180,27 @@ func (w *fleetWorker) route(rep Reply) {
 // workers. The caller owns nothing afterwards: Close tears down the
 // listener and every connection.
 func NewFleet(ln net.Listener, opts FleetOptions) *Fleet {
+	trace := opts.Trace
+	if trace == nil {
+		// Always record: a nil-Logf, nil-Trace embedder can still ask
+		// Events() why a worker vanished.
+		trace = obs.NewFleetTrace()
+	}
 	f := &Fleet{
 		ln:      ln,
 		opts:    opts,
 		workers: map[string]*fleetWorker{},
 		notify:  make(chan struct{}),
+		trace:   trace,
 	}
 	go f.accept()
 	return f
 }
+
+// Events snapshots the fleet's in-memory event trace (see
+// obs.FleetTrace); always populated, whether or not FleetOptions
+// supplied a trace or a Logf.
+func (f *Fleet) Events() []obs.FleetEvent { return f.trace.Events() }
 
 // Addr reports the listener's address (useful with ":0" listeners).
 func (f *Fleet) Addr() net.Addr { return f.ln.Addr() }
@@ -211,7 +250,10 @@ func (f *Fleet) accept() {
 
 // serve owns one connection: validate the hello, register the worker,
 // start its liveness monitor, then pump its reply stream until it dies.
-func (f *Fleet) serve(conn net.Conn) {
+func (f *Fleet) serve(raw net.Conn) {
+	// Meter the connection from the first byte; the hello itself counts.
+	cc := &countingConn{Conn: raw}
+	conn := net.Conn(cc)
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
 	// The hello must arrive promptly; a timer closing the conn is the
@@ -231,13 +273,16 @@ func (f *Fleet) serve(conn net.Conn) {
 	}
 	w := &fleetWorker{
 		name:    fmt.Sprintf("fw%d/pid%d", f.nextWorker.Add(1), hello.PID),
+		addr:    fmt.Sprint(conn.RemoteAddr()),
 		conn:    conn,
 		proto:   hello.Proto,
 		slots:   slots,
+		counts:  cc,
 		enc:     json.NewEncoder(conn),
 		pending: map[int64]chan Reply{},
 		gone:    make(chan struct{}),
 	}
+	w.markSeen()
 	f.mu.Lock()
 	if f.closed {
 		f.mu.Unlock()
@@ -250,6 +295,7 @@ func (f *Fleet) serve(conn net.Conn) {
 	n := len(f.workers)
 	f.mu.Unlock()
 	f.logf("dist: fleet: %s joined from %v (proto %d, %d slot(s)); %d worker(s) connected", w.name, conn.RemoteAddr(), w.proto, w.slots, n)
+	f.trace.Emit(obs.FleetEvent{Kind: obs.FleetJoin, Worker: w.name, Addr: w.addr, Proto: w.proto, Slots: w.slots, Workers: n})
 	if w.proto >= 2 {
 		// A version-1 worker would reject the unknown heartbeat request
 		// type; it keeps the pipe era's liveness model instead (its
@@ -299,15 +345,22 @@ func (f *Fleet) read(w *fleetWorker, sc *bufio.Scanner) {
 			return
 		}
 		w.missed.Store(0)
+		w.markSeen()
 		switch rep.Type {
 		case "heartbeat":
-			// Liveness already noted above; nothing to route.
+			// Liveness already noted above. If this echoes the monitor's
+			// outstanding probe, the elapsed time is the round trip.
+			if rep.ID != 0 && rep.ID == w.probeID.Load() {
+				//lint:allow no-wall-clock harness-domain heartbeat RTT measures the machine, never the simulation
+				w.rttNano.Store(time.Now().UnixNano() - w.probeSentNano.Load())
+			}
 		case "goodbye":
 			f.mu.Lock()
 			w.draining = true
 			f.mu.Unlock()
 			f.logf("dist: fleet: %s is draining; assigning it nothing new", w.name)
-		case "log", "result":
+			f.trace.Emit(obs.FleetEvent{Kind: obs.FleetDrain, Worker: w.name})
+		case "log", "result", "telemetry":
 			w.route(rep)
 		default:
 			f.drop(w, fmt.Errorf("unexpected reply type %q", rep.Type))
@@ -331,9 +384,17 @@ func (f *Fleet) drop(w *fleetWorker, cause error) {
 		f.mu.Lock()
 		delete(f.workers, w.name)
 		n := len(f.workers)
+		draining := w.draining
 		f.notifyLocked()
 		f.mu.Unlock()
 		f.logf("dist: fleet: %s gone (%v); %d worker(s) remain; its in-flight cells will be requeued", w.name, cause, n)
+		kind := obs.FleetDrop
+		if draining {
+			// A drained worker's disconnect is the graceful exit it
+			// announced, not a failure.
+			kind = obs.FleetLeave
+		}
+		f.trace.Emit(obs.FleetEvent{Kind: kind, Worker: w.name, Workers: n, Cause: fmt.Sprint(cause)})
 	})
 }
 
@@ -377,6 +438,8 @@ func (f *Fleet) acquire(ctx context.Context) (*fleetWorker, error) {
 			logged = true
 			if n == 0 {
 				f.logf("dist: fleet: no workers connected; grid is stalled until one joins")
+				f.stalls.Add(1)
+				f.trace.Emit(obs.FleetEvent{Kind: obs.FleetStall, Workers: n})
 			}
 			stall := time.NewTicker(fleetStallEvery)
 			defer stall.Stop()
@@ -431,9 +494,18 @@ func (f *Fleet) Execute(ctx context.Context, slot int, cell experiments.Cell, lo
 			return res, err
 		}
 		res.Worker = w.name
-		value, err := f.runOn(ctx, w, spec, logf)
+		cell.Span.Dispatch(w.name)
+		//lint:allow no-wall-clock harness-domain cell timing measures the machine, never the simulation
+		start := time.Now()
+		value, err := f.runOn(ctx, w, spec, cell.Span, logf)
+		//lint:allow no-wall-clock harness-domain cell timing measures the machine, never the simulation
+		seconds := time.Since(start).Seconds()
 		f.release(w)
+		cell.Span.EndAttempt(err != nil)
 		if err == nil {
+			w.done.Add(1)
+			f.done.Add(1)
+			f.trace.Emit(obs.FleetEvent{Kind: obs.FleetDone, Worker: w.name, Cell: cell.Key.String(), Attempt: attempt, Seconds: seconds})
 			res.Value = value
 			return res, nil
 		}
@@ -444,10 +516,15 @@ func (f *Fleet) Execute(ctx context.Context, slot int, cell experiments.Cell, lo
 		if errors.As(err, &fatal) {
 			// Deterministic cell failure: every worker would fail the
 			// same way. Wrap with the key like the in-process runner.
+			w.failed.Add(1)
+			f.failed.Add(1)
 			return res, fmt.Errorf("cell %s: %s", cell.Key, fatal.msg)
 		}
 		lastErr = err
+		w.requeued.Add(1)
+		f.requeued.Add(1)
 		f.logf("dist: fleet: cell %s attempt %d/%d failed: %v; requeueing on a surviving worker", cell.Key, attempt, retries, err)
+		f.trace.Emit(obs.FleetEvent{Kind: obs.FleetRequeue, Worker: w.name, Cell: cell.Key.String(), Attempt: attempt, Cause: fmt.Sprint(err)})
 		if attempt < retries {
 			if err := sleepCtx(ctx, Backoff(attempt, requeueBase, requeueMax)); err != nil {
 				return res, err
@@ -458,14 +535,15 @@ func (f *Fleet) Execute(ctx context.Context, slot int, cell experiments.Cell, lo
 }
 
 // runOn assigns one cell to one worker and waits for its result,
-// streaming log frames through logf. Worker death (gone), silence past
-// Timeout, or a protocol surprise returns a retryable error; an Error
-// reply is the cell's own fault and comes back as *cellError.
-func (f *Fleet) runOn(ctx context.Context, w *fleetWorker, spec []byte, logf experiments.Logf) (interface{}, error) {
+// streaming log frames through logf and telemetry frames into span.
+// Worker death (gone), silence past Timeout, or a protocol surprise
+// returns a retryable error; an Error reply is the cell's own fault and
+// comes back as *cellError.
+func (f *Fleet) runOn(ctx context.Context, w *fleetWorker, spec []byte, span *obs.CellSpan, logf experiments.Logf) (interface{}, error) {
 	id := f.nextID.Add(1)
 	ch := w.register(id)
 	defer w.deregister(id)
-	if err := w.send(Request{Type: "run", ID: id, Spec: spec}); err != nil {
+	if err := w.send(Request{Type: "run", ID: id, Proto: ProtoVersion, Spec: spec}); err != nil {
 		f.drop(w, fmt.Errorf("send cell: %w", err))
 		return nil, fmt.Errorf("dist: fleet: send cell to %s: %w", w.name, err)
 	}
@@ -489,6 +567,12 @@ func (f *Fleet) runOn(ctx context.Context, w *fleetWorker, spec []byte, logf exp
 			case "log":
 				if logf != nil {
 					logf("%s", rep.Line)
+				}
+			case "telemetry":
+				// Worker-reported run segment (proto >= 3): harness-domain
+				// timing only, folded into the cell's span.
+				if rep.Span != nil {
+					span.RunSegment(rep.Span.Seconds, rep.Span.Failed)
 				}
 			case "result":
 				if rep.Error != "" {

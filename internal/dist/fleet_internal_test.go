@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"remapd/internal/experiments"
+	"remapd/internal/obs"
 )
 
 // These tests live inside the package to reach negotiation and liveness
@@ -110,6 +111,108 @@ func TestV1WorkerNegotiation(t *testing.T) {
 	}
 	if n := f.workerCount(); n != 1 {
 		t.Fatalf("v1 worker was dropped (%d workers); heartbeat deadline must not apply to proto 1", n)
+	}
+}
+
+// TestV2WorkerNegotiation: a version-2 worker speaks slots, heartbeats,
+// and goodbye but not the telemetry frame. The fleet must admit it at
+// proto 2, run cells on it normally, and the attached lifecycle span
+// must show an attempt with no run segment — the telemetry frame was
+// negotiated away cleanly, not half-sent or mistaken for a protocol
+// error.
+func TestV2WorkerNegotiation(t *testing.T) {
+	f := internalFleet(t, FleetOptions{Logf: discardLogf})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- DialAndServe(ctx, f.Addr().String(), DialOptions{
+			Logf:       discardLogf,
+			RedialBase: 20 * time.Millisecond,
+			helloProto: 2,
+		})
+	}()
+	waitFor(t, "v2 worker admission", func() bool { return f.workerCount() == 1 })
+	f.mu.Lock()
+	for _, w := range f.workers {
+		if w.proto != 2 {
+			t.Errorf("admitted as proto %d, want 2", w.proto)
+		}
+	}
+	f.mu.Unlock()
+
+	rec := obs.NewSpanRecorder()
+	cell := internalSpecCell("ideal")
+	cell.Span = rec.Begin(cell.Key.String())
+	res, err := f.Execute(context.Background(), 0, cell, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (a missing telemetry frame must not look like a failure)", res.Attempts)
+	}
+	cell.Span.Finish("ok")
+	spans := rec.Spans()
+	if len(spans) != 1 || len(spans[0].Attempts) != 1 {
+		t.Fatalf("span shape wrong: %+v", spans)
+	}
+	a := spans[0].Attempts[0]
+	if a.RunSeconds != 0 || a.Failed {
+		t.Errorf("v2 attempt should have no run segment and no failure: %+v", a)
+	}
+	if a.WireSeconds <= 0 {
+		t.Errorf("dispatch→result time should land in wire seconds when no run segment exists: %+v", a)
+	}
+
+	f.Close()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("v2 worker did not exit after fleet close")
+	}
+}
+
+// TestTelemetryRequiresBothSides pins the worker half of the
+// negotiation directly: a proto-3 worker answering a run request that
+// carries no coordinator version (an older coordinator) must not send a
+// telemetry frame, and one answering a proto-3 request must send
+// exactly one, immediately before the result.
+func TestTelemetryRequiresBothSides(t *testing.T) {
+	spec, err := experiments.EncodeSpec(internalSpecCell("ideal").Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(reqProto, workerProto int) []Reply {
+		var frames []Reply
+		rep := runRequest(context.Background(),
+			Request{Type: "run", ID: 1, Proto: reqProto, Spec: spec},
+			experiments.Runtime{}, workerProto,
+			func(r Reply) { frames = append(frames, r) })
+		if rep.Error != "" {
+			t.Fatalf("cell failed: %s", rep.Error)
+		}
+		return frames
+	}
+	countTelemetry := func(frames []Reply) int {
+		n := 0
+		for _, fr := range frames {
+			if fr.Type == "telemetry" {
+				if fr.Span == nil || fr.Span.Seconds <= 0 {
+					t.Errorf("telemetry frame without a run segment: %+v", fr)
+				}
+				n++
+			}
+		}
+		return n
+	}
+	if n := countTelemetry(run(0, ProtoVersion)); n != 0 {
+		t.Errorf("old coordinator received %d telemetry frame(s), want 0", n)
+	}
+	if n := countTelemetry(run(ProtoVersion, 2)); n != 0 {
+		t.Errorf("v2 worker sent %d telemetry frame(s), want 0", n)
+	}
+	if n := countTelemetry(run(ProtoVersion, ProtoVersion)); n != 1 {
+		t.Errorf("v3<->v3 produced %d telemetry frame(s), want exactly 1", n)
 	}
 }
 

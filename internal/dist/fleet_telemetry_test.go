@@ -1,0 +1,188 @@
+package dist_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"remapd/internal/checkpoint"
+	"remapd/internal/dist"
+	"remapd/internal/experiments"
+	"remapd/internal/obs"
+)
+
+// TestFleetTelemetryChaosSever is the span-accounting acceptance test:
+// a chaos-severed cell must leave (1) a Fig. 6 table byte-identical to
+// a telemetry-free in-process run, (2) a two-attempt lifecycle span
+// whose severed attempt is failed with no run segment and whose retry
+// carries the worker-reported one, and (3) a structured fleet trace —
+// in memory and in the JSONL file — that narrates join → requeue →
+// cell-done with attempt numbers, attributing the requeue to the
+// severed worker.
+func TestFleetTelemetryChaosSever(t *testing.T) {
+	reg := experiments.DefaultRegime()
+	scale := func() experiments.Scale {
+		s := microScale()
+		s.Seeds = []uint64{1}
+		s.Epochs = 4 // several log frames per cell, so the cut lands mid-cell
+		s.Workers = 1
+		return s
+	}
+	policies := []string{"remap-d"}
+
+	// Baseline: in-process, no telemetry of any kind.
+	baseline, err := experiments.Fig6(context.Background(), scale(), reg, policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var capture logCapture
+	store, err := checkpoint.NewStore(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracePath := filepath.Join(t.TempDir(), "fleet.jsonl")
+	trace, err := obs.NewFleetTraceFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos := dist.NewChaos(dist.ChaosConfig{Seed: 7, SeverAfter: 3}, capture.logf)
+	fleet := newTestFleet(t, dist.FleetOptions{Logf: capture.logf, Trace: trace})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := startWorker(ctx, fleet.Addr().String(), dist.DialOptions{
+		Worker: dist.WorkerOptions{Checkpoints: store},
+		Chaos:  chaos,
+		Logf:   capture.logf,
+	})
+
+	remote := scale()
+	remote.Exec = fleet
+	remote.Spans = obs.NewSpanRecorder()
+	remote.Progress = capture.logf
+	rows, err := experiments.Fig6(context.Background(), remote, reg, policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := experiments.FormatFig6(rows), experiments.FormatFig6(baseline); got != want {
+		t.Fatalf("telemetry-on Fig. 6 differs from telemetry-free in-process:\n--- in-process\n%s\n--- fleet\n%s", want, got)
+	}
+
+	// Span accounting: one cell, two attempts. The severed attempt's
+	// telemetry frame never arrived, so it is failed with no run
+	// segment; the retry carries the worker-reported one.
+	spans := remote.Spans.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("recorded %d spans, want 1 (grid is a single cell):\n%+v", len(spans), spans)
+	}
+	sp := spans[0]
+	if sp.Outcome != "ok" {
+		t.Fatalf("span outcome = %q, want ok: %+v", sp.Outcome, sp)
+	}
+	if len(sp.Attempts) < 2 {
+		t.Fatalf("span has %d attempts, want >= 2 (the sever must cost a requeue): %+v", len(sp.Attempts), sp)
+	}
+	first, last := sp.Attempts[0], sp.Attempts[len(sp.Attempts)-1]
+	if !first.Failed || first.RunSeconds != 0 {
+		t.Errorf("severed attempt should be failed with no run segment: %+v", first)
+	}
+	if last.Failed || last.RunSeconds <= 0 {
+		t.Errorf("winning attempt should carry the worker-reported run segment: %+v", last)
+	}
+	if first.Worker == "" || last.Worker == "" {
+		t.Errorf("attempts missing worker attribution: %+v", sp.Attempts)
+	}
+
+	// The in-memory trace must narrate the lifecycle with attempts.
+	var sawJoin, sawRequeue, sawDone bool
+	var severedWorker string
+	for _, ev := range fleet.Events() {
+		switch ev.Kind {
+		case obs.FleetJoin:
+			sawJoin = true
+			if ev.Worker == "" || ev.Proto == 0 || ev.Slots == 0 {
+				t.Errorf("join event missing identity: %+v", ev)
+			}
+		case obs.FleetRequeue:
+			sawRequeue = true
+			severedWorker = ev.Worker
+			if ev.Attempt != 1 || ev.Cell == "" || ev.Cause == "" {
+				t.Errorf("requeue event missing attribution: %+v", ev)
+			}
+		case obs.FleetDone:
+			sawDone = true
+			if ev.Attempt < 2 || ev.Cell == "" {
+				t.Errorf("cell-done should record the winning attempt (>= 2): %+v", ev)
+			}
+		}
+	}
+	if !sawJoin || !sawRequeue || !sawDone {
+		t.Fatalf("trace missing lifecycle events (join=%v requeue=%v done=%v):\n%+v",
+			sawJoin, sawRequeue, sawDone, fleet.Events())
+	}
+
+	fleet.Close()
+	waitWorker(t, w)
+
+	// The JSONL file must round-trip through the strict decoder and
+	// summarize with the requeue attributed to the severed worker —
+	// exactly what `remapd-metrics -fleet` consumes.
+	if err := trace.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Close() }()
+	events, err := obs.DecodeFleetEvents(f)
+	if err != nil {
+		t.Fatalf("trace file failed strict decode: %v", err)
+	}
+	sum := obs.SummarizeFleet(events)
+	if sum.Requeues < 1 || sum.CellsDone < 1 {
+		t.Fatalf("summary lost the run (%d requeues, %d cells done):\n%+v", sum.Requeues, sum.CellsDone, sum)
+	}
+	found := false
+	for _, ws := range sum.Workers {
+		if ws.Worker == severedWorker && ws.Requeues >= 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("summary does not attribute a requeue to severed worker %q:\n%+v", severedWorker, sum.Workers)
+	}
+}
+
+// TestFleetStatusSection: the fleet's /status section must reflect
+// membership and completed work while the fleet is live.
+func TestFleetStatusSection(t *testing.T) {
+	var capture logCapture
+	fleet := newTestFleet(t, dist.FleetOptions{Logf: capture.logf})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := startWorker(ctx, fleet.Addr().String(), dist.DialOptions{Logf: capture.logf})
+
+	if _, err := fleet.Execute(context.Background(), 0, specCell("ideal"), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	stats, ok := fleet.StatusSection().(dist.FleetStats)
+	if !ok {
+		t.Fatalf("StatusSection returned %T, want dist.FleetStats", fleet.StatusSection())
+	}
+	if len(stats.Workers) != 1 || stats.Done != 1 {
+		t.Fatalf("fleet stats = %+v, want 1 worker with 1 cell done", stats)
+	}
+	ws := stats.Workers[0]
+	if ws.Worker == "" || ws.Proto != dist.ProtoVersion || ws.Done != 1 {
+		t.Errorf("worker row incomplete: %+v", ws)
+	}
+	if ws.BytesIn == 0 || ws.BytesOut == 0 {
+		t.Errorf("byte meters never moved: %+v", ws)
+	}
+
+	fleet.Close()
+	waitWorker(t, w)
+}

@@ -265,9 +265,10 @@ func TestFleetGracefulDrain(t *testing.T) {
 // and the worker's redialed connection must finish it.
 func TestFleetChaosGarbledReplyRequeues(t *testing.T) {
 	var capture logCapture
-	// Garble the 2nd frame (the first cell's first log line); everything
-	// after passes clean, so attempt 2 on the redialed connection wins.
-	chaos := dist.NewChaos(dist.ChaosConfig{Seed: 11, GarbleEvery: 2}, capture.logf)
+	// One-shot garble of the 2nd frame (the first cell's first log
+	// line); everything after passes clean, so attempt 2 on the redialed
+	// connection wins regardless of how many frames an attempt writes.
+	chaos := dist.NewChaos(dist.ChaosConfig{Seed: 11, GarbleAfter: 2}, capture.logf)
 	fleet := newTestFleet(t, dist.FleetOptions{Logf: capture.logf})
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()

@@ -37,7 +37,13 @@ func (f *Fleet) monitor(w *fleetWorker) {
 				f.drop(w, fmt.Errorf("no frame for %d heartbeat intervals (deadline %s)", misses, time.Duration(misses+1)*every))
 				return
 			}
-			if err := w.send(Request{Type: "heartbeat", ID: f.nextID.Add(1)}); err != nil {
+			id := f.nextID.Add(1)
+			// Stamp the probe before sending so the echo's round trip is
+			// never negative; only the newest probe's echo is timed.
+			w.probeID.Store(id)
+			//lint:allow no-wall-clock harness-domain heartbeat RTT measures the machine, never the simulation
+			w.probeSentNano.Store(time.Now().UnixNano())
+			if err := w.send(Request{Type: "heartbeat", ID: id}); err != nil {
 				f.drop(w, fmt.Errorf("heartbeat write: %w", err))
 				return
 			}

@@ -50,7 +50,15 @@ import "encoding/json"
 // Version 2 added the fleet transport: the hello's slot advertisement
 // (Reply.Slots), heartbeat request/reply liveness probes, and the
 // goodbye drain notice.
-const ProtoVersion = 2
+//
+// Version 3 added operational telemetry: the coordinator advertises its
+// own version on run requests (Request.Proto), and a worker that sees
+// proto >= 3 there sends a telemetry reply (Reply.Span) immediately
+// before each result, carrying the cell's execution wall time. The
+// frame is negotiated down in both directions — an old coordinator
+// omits Request.Proto so a v3 worker stays silent, and an old worker
+// ignores the unknown field and simply never sends telemetry.
+const ProtoVersion = 3
 
 // MinProtoVersion is the oldest worker protocol a coordinator still
 // accepts. A version-1 worker (exec'd pipe era) never receives heartbeat
@@ -71,6 +79,12 @@ type Request struct {
 	// log, result and heartbeat line. Monotonic per coordinator, never
 	// reused.
 	ID int64 `json:"id,omitempty"`
+	// Proto is the coordinator's protocol version, advertised on run
+	// requests (proto >= 3). A worker only volunteers proto-gated frames
+	// (telemetry) when both sides speak them: min(hello proto, request
+	// proto) >= 3. Older coordinators omit the field; older workers
+	// ignore it.
+	Proto int `json:"proto,omitempty"`
 	// Spec is the serialized experiments.CellSpec for a run request.
 	Spec json.RawMessage `json:"spec,omitempty"`
 }
@@ -78,10 +92,12 @@ type Request struct {
 // Reply is one worker→coordinator line.
 type Reply struct {
 	// Type is "hello" (first line after connecting), "log" (one progress
-	// line from an in-flight cell), "result" (a cell finished),
-	// "heartbeat" (liveness echo, proto >= 2), or "goodbye" (the worker
-	// is draining: it will finish its in-flight cells, send their
-	// results, and disconnect — assign it nothing new).
+	// line from an in-flight cell), "telemetry" (the cell's run-segment
+	// timing, sent immediately before its result when both sides speak
+	// proto >= 3), "result" (a cell finished), "heartbeat" (liveness
+	// echo, proto >= 2), or "goodbye" (the worker is draining: it will
+	// finish its in-flight cells, send their results, and disconnect —
+	// assign it nothing new).
 	Type string `json:"type"`
 	// Proto and PID describe the worker on hello.
 	Proto int `json:"proto,omitempty"`
@@ -102,4 +118,17 @@ type Reply struct {
 	// error. Protocol failures have no reply at all — they surface as a
 	// dead or silent worker.
 	Error string `json:"error,omitempty"`
+	// Span carries a telemetry reply's run segment (proto >= 3). Purely
+	// harness-domain: the coordinator folds it into the cell's lifecycle
+	// span and it never influences results.
+	Span *RunSpan `json:"span,omitempty"`
+}
+
+// RunSpan is the worker-side run segment a telemetry reply carries: the
+// wall time one attempt of a cell spent executing on the worker, and
+// whether it ended in a (deterministic) cell error. Harness-domain
+// measurement only — never an input to anything the simulation computes.
+type RunSpan struct {
+	Seconds float64 `json:"seconds"`
+	Failed  bool    `json:"failed,omitempty"`
 }

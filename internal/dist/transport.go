@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"remapd/internal/experiments"
+	"remapd/internal/obs"
 )
 
 // This file is the worker side of the TCP transport: a worker process
@@ -48,9 +49,12 @@ type DialOptions struct {
 	MaxRedials int
 	// Logf receives connection lifecycle notices (harness domain).
 	Logf experiments.Logf
+	// Trace, when non-nil, receives the worker-side structured event
+	// trace (connect/disconnect/drain; the chaos injector adds sever).
+	Trace *obs.FleetTrace
 
 	// helloProto overrides the advertised protocol version (tests pin
-	// the v1 negotiation path with it). 0 means ProtoVersion.
+	// the v1/v2 negotiation paths with it). 0 means ProtoVersion.
 	helloProto int
 }
 
@@ -105,15 +109,18 @@ func DialAndServe(ctx context.Context, addr string, opts DialOptions) error {
 			c = opts.Chaos.Wrap(c)
 		}
 		opts.logf("dist: connected to coordinator %s", addr)
+		opts.Trace.Emit(obs.FleetEvent{Kind: obs.FleetConnect, Addr: addr, Slots: opts.Slots})
 		err = serveConn(ctx, c, opts)
 		_ = c.Close()
 		switch {
 		case errors.Is(err, errShutdown):
 			opts.logf("dist: coordinator requested shutdown; exiting")
+			opts.Trace.Emit(obs.FleetEvent{Kind: obs.FleetDisconnect, Addr: addr, Cause: "shutdown"})
 			return nil
 		case ctx.Err() != nil:
 			return nil // drained after SIGINT
 		}
+		opts.Trace.Emit(obs.FleetEvent{Kind: obs.FleetDisconnect, Addr: addr, Cause: fmt.Sprint(err)})
 		opts.logf("dist: connection to %s lost: %v; redialing in %s", addr, err, opts.RedialBase)
 		if err := sleepCtx(ctx, opts.RedialBase); err != nil {
 			return nil
@@ -175,6 +182,7 @@ func serveConn(ctx context.Context, conn net.Conn, opts DialOptions) error {
 			draining = true
 			drainMu.Unlock()
 			opts.logf("dist: draining: finishing in-flight cells before exit")
+			opts.Trace.Emit(obs.FleetEvent{Kind: obs.FleetDrain})
 			_ = cw.send(Reply{Type: "goodbye", PID: os.Getpid()})
 			wg.Wait()
 			_ = conn.Close()
@@ -224,7 +232,7 @@ func serveConn(ctx context.Context, conn net.Conn, opts DialOptions) error {
 			go func(req Request) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				rep := runRequest(cellCtx, req, rt, func(log Reply) { _ = cw.send(log) })
+				rep := runRequest(cellCtx, req, rt, proto, func(log Reply) { _ = cw.send(log) })
 				if err := cw.send(rep); err != nil {
 					opts.logf("dist: result for request %d lost (%v); the coordinator will requeue the cell", req.ID, err)
 				}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 	"runtime/debug"
+	"time"
 
 	"remapd/internal/checkpoint"
 	"remapd/internal/experiments"
@@ -62,7 +63,7 @@ func Serve(ctx context.Context, in io.Reader, out io.Writer, opts WorkerOptions)
 				return fmt.Errorf("dist: worker: write heartbeat: %w", err)
 			}
 		case "run":
-			rep := runRequest(ctx, req, rt, func(log Reply) { _ = enc.Encode(log) })
+			rep := runRequest(ctx, req, rt, ProtoVersion, func(log Reply) { _ = enc.Encode(log) })
 			if err := enc.Encode(rep); err != nil {
 				return fmt.Errorf("dist: worker: write result: %w", err)
 			}
@@ -86,7 +87,15 @@ func Serve(ctx context.Context, in io.Reader, out io.Writer, opts WorkerOptions)
 // would fail identically. send carries the in-flight cell's log replies
 // back (Serve writes straight to its encoder; the fleet transport routes
 // through a mutex so concurrent cells do not interleave frames).
-func runRequest(ctx context.Context, req Request, rt experiments.Runtime, send func(Reply)) Reply {
+//
+// proto is the version this worker advertised in its hello. When both
+// sides speak proto >= 3 (the request carries the coordinator's version)
+// the cell's run segment goes back as a telemetry reply immediately
+// before the result — harness-domain timing only, never part of the
+// result itself, so negotiating it away changes nothing the simulation
+// produces.
+func runRequest(ctx context.Context, req Request, rt experiments.Runtime, proto int, send func(Reply)) Reply {
+	telemetry := proto >= 3 && req.Proto >= 3
 	sp, err := experiments.DecodeSpec(req.Spec)
 	if err != nil {
 		return Reply{Type: "result", ID: req.ID, Error: err.Error()}
@@ -99,7 +108,14 @@ func runRequest(ctx context.Context, req Request, rt experiments.Runtime, send f
 		// surfaces at the result write.
 		send(Reply{Type: "log", ID: req.ID, Line: fmt.Sprintf(format, args...)})
 	}
+	//lint:allow no-wall-clock harness-domain run-segment timing measures the machine, never the simulation
+	start := time.Now()
 	value, err := executeSpec(ctx, sp, rt, logf)
+	if telemetry {
+		//lint:allow no-wall-clock harness-domain run-segment timing measures the machine, never the simulation
+		span := &RunSpan{Seconds: time.Since(start).Seconds(), Failed: err != nil}
+		send(Reply{Type: "telemetry", ID: req.ID, Span: span})
+	}
 	if err != nil {
 		return Reply{Type: "result", ID: req.ID, Error: err.Error()}
 	}

@@ -68,6 +68,13 @@ type Scale struct {
 	// only and fingerprint-excluded: results must be byte-identical to
 	// in-process execution.
 	Exec CellExecutor
+	// Spans, when non-nil, records a lifecycle span per cell (queue /
+	// wire / run attribution — see obs.SpanRecorder). Observation-only
+	// and fingerprint-excluded, like Metrics and Prof.
+	Spans *obs.SpanRecorder
+	// Status, when non-nil, receives live grid-progress and span
+	// sections for the /status endpoint. Observation-only.
+	Status *obs.Status
 }
 
 // cellFingerprint renders every configuration knob a cell's result depends

@@ -75,6 +75,65 @@ func TestFig6TelemetryByteIdentical(t *testing.T) {
 	}
 }
 
+// TestFig6SpansByteIdentical is the same determinism proof for the
+// operational-telemetry layer: lifecycle spans and the live status
+// registry observe the harness, never the simulation, so wiring them in
+// must leave the Fig. 6 table byte-identical — and must record exactly
+// one finished span per grid cell.
+func TestFig6SpansByteIdentical(t *testing.T) {
+	s := microScale()
+	reg := DefaultRegime()
+	policies := []string{"ideal", "none", "remap-d"}
+
+	plain, err := Fig6(context.Background(), s, reg, policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	traced := s
+	traced.Spans = obs.NewSpanRecorder()
+	traced.Status = obs.NewStatus()
+	rows, err := Fig6(context.Background(), traced, reg, policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want, got := FormatFig6(plain), FormatFig6(rows); want != got {
+		t.Fatalf("span recording changed results:\nwithout spans:\n%s\nwith spans:\n%s", want, got)
+	}
+
+	cells := len(s.Models) * len(policies) * len(s.Seeds)
+	spans := traced.Spans.Spans()
+	if len(spans) != cells {
+		t.Fatalf("recorded %d spans, want one per cell (%d)", len(spans), cells)
+	}
+	for _, sp := range spans {
+		if sp.Outcome != "ok" || len(sp.Attempts) != 1 {
+			t.Errorf("in-process span should be one clean attempt: %+v", sp)
+		}
+		if sp.Attempts[0].RunSeconds <= 0 {
+			t.Errorf("in-process attempt missing its run segment: %+v", sp.Attempts[0])
+		}
+	}
+	agg := traced.Spans.Aggregate()
+	if agg.Cells != cells || agg.Attempts != cells || agg.Requeues != 0 {
+		t.Errorf("aggregate = %+v, want %d clean cells", agg, cells)
+	}
+
+	// The status registry must have been fed: after the run, the grid
+	// section reports every cell done.
+	snap := traced.Status.Snapshot()
+	grid, ok := snap["grid"].(obs.GridStatus)
+	if !ok {
+		t.Fatalf("status has no grid section: %+v", snap)
+	}
+	if grid.Total != cells || grid.Done != cells || grid.Failed != 0 {
+		t.Errorf("grid status = %+v, want %d/%d done", grid, cells, cells)
+	}
+	if _, ok := snap["spans"]; !ok {
+		t.Errorf("status has no spans section: %+v", snap)
+	}
+}
+
 // TestTrainTelemetryFlushedOnError checks the evidence-preservation
 // contract: when a cell fails mid-training, its partial trace is still
 // persisted.

@@ -83,6 +83,11 @@ type Cell struct {
 	// the figure constructors always carry one; Run stays the in-process
 	// fast path and the two must compute the identical result.
 	Spec *CellSpec
+	// Span is the cell's lifecycle span (harness domain), opened by the
+	// runner when span recording is on and nil otherwise — every method
+	// on a nil span is a no-op, so executors mark lifecycle edges
+	// unconditionally. Spans never feed back into results.
+	Span *obs.CellSpan
 }
 
 // CellResult is one cell's outcome envelope: the figure-specific value
@@ -113,7 +118,15 @@ type CellExecutor interface {
 type localExecutor struct{}
 
 func (localExecutor) Execute(ctx context.Context, slot int, cell Cell, logf Logf) (CellResult, error) {
+	// In-process cells time their own run segment, so spans mean the same
+	// thing on every execution path.
+	cell.Span.Dispatch("")
+	//lint:allow no-wall-clock harness-domain run-segment timing measures the machine, never the simulation
+	start := time.Now()
 	v, err := runCell(ctx, cell, logf)
+	//lint:allow no-wall-clock harness-domain run-segment timing measures the machine, never the simulation
+	cell.Span.RunSegment(time.Since(start).Seconds(), err != nil)
+	cell.Span.EndAttempt(err != nil)
 	return CellResult{Key: cell.Key, Value: v, Attempts: 1}, err
 }
 
@@ -133,6 +146,12 @@ type Runner struct {
 	// (e.g. dist.Executor fans them out to worker processes). Scheduling
 	// only: results must be identical to the nil (in-process) executor.
 	Exec CellExecutor
+	// Spans, when non-nil, records a lifecycle span per cell (harness
+	// domain; never feeds back into results).
+	Spans *obs.SpanRecorder
+	// Status, when non-nil, gets a "grid" section with live progress
+	// (total/done/failed cells) for the /status endpoint.
+	Status *obs.Status
 
 	// outMu serialises transcript flushes across workers.
 	outMu sync.Mutex
@@ -165,12 +184,34 @@ func (r *Runner) Run(ctx context.Context, cells []Cell) ([]CellResult, error) {
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// Span recording opens every cell's span at submission time, before
+	// any scheduling decision, so queue time means the same thing for the
+	// first and the last cell of the grid. cells is the caller's slice;
+	// the Span field is written once here, before any worker reads it.
+	if r.Spans != nil {
+		for i := range cells {
+			cells[i].Span = r.Spans.Begin(cells[i].Key.String())
+		}
+	}
+
 	results := make([]CellResult, len(cells))
 	errs := make([]error, len(cells))
 	jobs := make(chan int)
 	//lint:allow no-wall-clock operator-facing elapsed display only; never reaches cell results
 	start := time.Now()
-	var done atomic.Int64
+	var done, failed atomic.Int64
+	r.Status.Register("grid", func() interface{} {
+		return obs.GridStatus{
+			Total:  len(cells),
+			Done:   int(done.Load()),
+			Failed: int(failed.Load()),
+			//lint:allow no-wall-clock operator-facing elapsed display only; never reaches cell results
+			ElapsedSeconds: time.Since(start).Seconds(),
+		}
+	})
+	if r.Spans != nil {
+		r.Status.Register("spans", func() interface{} { return r.Spans.Aggregate() })
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -182,13 +223,23 @@ func (r *Runner) Run(ctx context.Context, cells []Cell) ([]CellResult, error) {
 				if r.Prof != nil {
 					stopCell = r.Prof.StartCell(cells[i].Key.String())
 				}
+				cells[i].Span.Schedule()
 				res, err := exec.Execute(runCtx, slot, cells[i], logf)
 				if stopCell != nil {
 					stopCell()
 				}
+				switch {
+				case err == nil:
+					cells[i].Span.Finish("ok")
+				case errors.Is(err, context.Canceled):
+					cells[i].Span.Finish("cancelled")
+				default:
+					cells[i].Span.Finish("failed")
+				}
 				res.Key = cells[i].Key
 				results[i], errs[i] = res, err
 				if err != nil {
+					failed.Add(1)
 					cancel() // first failure stops the grid
 				}
 				n := done.Add(1)
@@ -293,7 +344,8 @@ func runCell(ctx context.Context, c Cell, logf Logf) (res interface{}, err error
 }
 
 // newRunner builds the runner a figure function uses, honouring the
-// scale's worker bound, progress sink, harness profile, and executor.
+// scale's worker bound, progress sink, harness profile, executor, and
+// telemetry surfaces.
 func newRunner(s Scale) *Runner {
-	return &Runner{Workers: s.Workers, Logf: s.Progress, Prof: s.Prof, Exec: s.Exec}
+	return &Runner{Workers: s.Workers, Logf: s.Progress, Prof: s.Prof, Exec: s.Exec, Spans: s.Spans, Status: s.Status}
 }

@@ -32,6 +32,7 @@ var fixturePaths = map[string]string{
 	"workspaceowner": "remapd/internal/lintfixture/workspaceowner",
 	"uncheckederr":   "remapd/internal/lintfixture/uncheckederr",
 	"allowspan":      "remapd/internal/lintfixture/allowspan",
+	"spanclock":      "remapd/internal/obs/spanfixture",
 }
 
 var (
@@ -143,7 +144,7 @@ func checkFixture(t *testing.T, fixture string) []lint.Finding {
 func TestRuleFixtures(t *testing.T) {
 	for _, fixture := range []string{
 		"wallclock", "globalrand", "seededrng", "maporder", "floateq", "nakedprint", "goroutine",
-		"obsdomain", "hotpathalloc", "workspaceowner", "uncheckederr",
+		"obsdomain", "hotpathalloc", "workspaceowner", "uncheckederr", "spanclock",
 	} {
 		t.Run(fixture, func(t *testing.T) { checkFixture(t, fixture) })
 	}

@@ -1,0 +1,55 @@
+// Package spanclock mimics the obs span layer: a lifecycle-span builder
+// whose whole purpose is reading the wall clock. Every sanctioned read
+// carries the harness-domain allow (and must produce no finding — stale
+// or otherwise), while the one builder method that forgets its allow is
+// flagged, pinning that span-style timing code gets no blanket pass.
+package spanclock
+
+import "time"
+
+// Span accumulates harness-side wall time for one unit of work.
+type Span struct {
+	submit   time.Time
+	dispatch time.Time
+	total    float64
+}
+
+// Begin stamps the submission edge — sanctioned, with the allow.
+func Begin() *Span {
+	return &Span{
+		//lint:allow no-wall-clock harness-domain span timing measures the machine, never the simulation
+		submit: time.Now(),
+	}
+}
+
+// Dispatch stamps the dispatch edge — sanctioned, with the allow.
+func (s *Span) Dispatch() {
+	//lint:allow no-wall-clock harness-domain span timing measures the machine, never the simulation
+	s.dispatch = time.Now()
+}
+
+// Finish closes the span; both reads sit in one multi-line expression
+// covered by a single allow.
+func (s *Span) Finish() {
+	//lint:allow no-wall-clock harness-domain span timing measures the machine, never the simulation
+	s.total = time.Since(s.submit).Seconds() +
+		time.Since(s.dispatch).Seconds()
+}
+
+// Queue forgot its allow: span-layer code is not exempt by virtue of
+// being span-layer code — every read must be individually justified.
+func (s *Span) Queue() float64 {
+	return time.Since(s.submit).Seconds() // want "no-wall-clock"
+}
+
+// Slowest orders spans by total time; the float comparison is ordering
+// only, which the allow records.
+func Slowest(a, b *Span) *Span {
+	if a.total != b.total { //lint:allow float-eq tie-break ordering only; equal totals are interchangeable
+		if a.total > b.total {
+			return a
+		}
+		return b
+	}
+	return a
+}

@@ -13,8 +13,15 @@ import (
 // (cmdline + memstats) on addr and returns the bound address. It is
 // opt-in via the cmd tools' -debug-addr flag and runs for the process
 // lifetime; nothing it serves touches simulation state, so leaving it on
-// cannot perturb results.
+// cannot perturb results. StartStatusServer adds /status to the same
+// surface.
 func StartDebugServer(addr string) (string, error) {
+	return serveDebugMux(addr, nil)
+}
+
+// serveDebugMux binds addr, builds the standard debug mux (pprof +
+// expvar), lets extend add endpoints, and serves in the background.
+func serveDebugMux(addr string, extend func(*http.ServeMux)) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("obs: debug server listen: %w", err)
@@ -26,6 +33,9 @@ func StartDebugServer(addr string) (string, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
+	if extend != nil {
+		extend(mux)
+	}
 	srv := &http.Server{Handler: mux}
 	go func() {
 		// Serve returns when the listener dies at process exit; the debug

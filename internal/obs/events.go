@@ -11,7 +11,11 @@ import (
 // plus the metrics snapshot field sets. Tools that parse recorded traces
 // key off it; the wire-stability lint rule pins the full tagged field
 // set to a golden and requires a bump here when it changes.
-const SchemaVersion = 1
+//
+// v2 added the operational telemetry surface: cell lifecycle spans
+// (spans.json), the fleet event trace (fleet JSONL), and the /status
+// document types.
+const SchemaVersion = 2
 
 // Event is one structured trace record. Every event is keyed by simulated
 // coordinates only (epoch, crossbar id, tile id — never wall-clock
