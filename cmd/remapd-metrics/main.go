@@ -71,6 +71,8 @@ func main() {
 	fmt.Printf("\n==== remap hop distance (all policies) ====\n\n")
 	printHops(sum)
 
+	printServe(cells)
+
 	if len(sum.Drift) > 0 {
 		fmt.Printf("\n==== BIST density drift (estimate vs truth) ====\n\n")
 		fmt.Printf("%5s %8s %10s %10s %10s\n", "epoch", "samples", "mean-est", "mean-true", "mean|err|")
@@ -120,6 +122,37 @@ func printHops(sum *obs.Summary) {
 		fmt.Printf("%5s>%3s %6d\n", "", prev, over)
 	}
 	fmt.Printf("total %d swaps, mean %.2f hops\n", merged.Count, merged.Sum/float64(merged.Count))
+}
+
+// printServe renders the serving-domain SLO section for cells written by
+// remapd-serve (identified by their serve.* counters): throughput, tail
+// latency in simulated ticks, accuracy against wear, and the online
+// maintenance activity.
+func printServe(cells []*obs.CellMetrics) {
+	var serving []*obs.CellMetrics
+	for _, c := range cells {
+		if c.Snapshot != nil && c.Snapshot.Counters["serve.requests"] > 0 {
+			serving = append(serving, c)
+		}
+	}
+	if len(serving) == 0 {
+		return
+	}
+	fmt.Printf("\n==== serving SLO (remapd-serve cells) ====\n\n")
+	fmt.Printf("%-40s %8s %7s %9s %8s %9s %6s %7s %6s %7s\n",
+		"cell", "requests", "batches", "p99-ticks", "accuracy", "density-%", "scans", "rounds", "swaps", "wfaults")
+	for _, c := range serving {
+		cnt, g := c.Snapshot.Counters, c.Snapshot.Gauges
+		p99 := g["serve.latency.p99_ticks"]
+		if h := c.Snapshot.Histograms["serve.latency.ticks"]; h != nil && h.Count > 0 {
+			p99 = h.Quantile(0.99)
+		}
+		fmt.Printf("%-40s %8d %7d %9.0f %8.4f %9.4f %6d %7d %6d %7d\n",
+			c.Cell, cnt["serve.requests"], cnt["serve.batches"], p99,
+			g["serve.accuracy.total"], 100*g["serve.wear.mean_density"],
+			cnt["serve.bist.scans"], cnt["serve.maintain.rounds"],
+			cnt["serve.remap.swaps"], cnt["serve.wear.faults"])
+	}
 }
 
 // printProfile renders the harness profile: costliest phases in recorded

@@ -71,6 +71,19 @@ type Options struct {
 	// this file (-fleet-trace): coordinator membership/scheduling events
 	// with -listen, connection lifecycle events with -worker -connect.
 	FleetTrace string
+	// ServeAddr serves the HTTP classification endpoint when non-empty
+	// (-serve-addr).
+	ServeAddr string
+	// BatchMax closes a serving batch at this many requests (-batch-max).
+	BatchMax int
+	// BatchWait is the serving batch max-wait deadline in simulated ticks
+	// (-batch-wait).
+	BatchWait int
+	// BISTEvery runs the online BIST scan every this many served requests
+	// per chip (-bist-every, 0 = off).
+	BISTEvery int
+	// TrafficSeed seeds the deterministic traffic generator (-traffic-seed).
+	TrafficSeed uint64
 
 	// status is the registry Apply builds for -status-addr; sections are
 	// registered by the runner and the fleet as they come up.
@@ -95,6 +108,26 @@ func (o *Options) BindRun(fs *flag.FlagSet) {
 // BindGrid registers the grid group: -progress, -status-addr.
 func (o *Options) BindGrid(fs *flag.FlagSet) {
 	fs.BoolVar(&o.Progress, "progress", false, "log one line per completed experiment cell")
+	o.bindStatusAddr(fs)
+}
+
+// BindServe registers the inference-serving group: -serve-addr,
+// -batch-max, -batch-wait, -bist-every, -traffic-seed, -status-addr.
+func (o *Options) BindServe(fs *flag.FlagSet) {
+	fs.StringVar(&o.ServeAddr, "serve-addr", "", "serve the HTTP classification endpoint (POST /classify) on this address; empty = driver mode only")
+	fs.IntVar(&o.BatchMax, "batch-max", 8, "close a serving batch when this many requests are queued")
+	fs.IntVar(&o.BatchWait, "batch-wait", 16, "close a partial serving batch once its oldest request has waited this many simulated ticks")
+	fs.IntVar(&o.BISTEvery, "bist-every", 256, "run the online BIST scan (and, on failure, the policy's maintenance step) every this many served requests per chip (0 = off)")
+	fs.Uint64Var(&o.TrafficSeed, "traffic-seed", 1, "seed for the deterministic traffic generator driving -requests")
+	o.bindStatusAddr(fs)
+}
+
+// bindStatusAddr registers -status-addr exactly once; the grid and serve
+// groups both want it and a tool may bind both on one FlagSet.
+func (o *Options) bindStatusAddr(fs *flag.FlagSet) {
+	if fs.Lookup("status-addr") != nil {
+		return
+	}
 	fs.StringVar(&o.StatusAddr, "status-addr", "", "serve live run status as JSON on this address (GET /status: grid progress, per-worker fleet table, span aggregates; also pprof+expvar)")
 }
 
@@ -162,6 +195,15 @@ func (o *Options) Validate() error {
 	}
 	if o.ChaosSever > 0 && o.Connect == "" {
 		return errors.New("cli: -chaos-sever-after only applies to a -connect fleet worker")
+	}
+	if o.BatchMax < 0 {
+		return fmt.Errorf("cli: -batch-max must be >= 0, got %d", o.BatchMax)
+	}
+	if o.BatchWait < 0 {
+		return fmt.Errorf("cli: -batch-wait must be >= 0, got %d", o.BatchWait)
+	}
+	if o.BISTEvery < 0 {
+		return fmt.Errorf("cli: -bist-every must be >= 0, got %d", o.BISTEvery)
 	}
 	return nil
 }

@@ -118,6 +118,35 @@ func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return y
 }
 
+// Infer normalises with the running statistics only — the same arithmetic
+// as Forward's eval branch, element-for-element — without writing the
+// xHat/invStd backward caches.
+//
+//lint:hotpath
+func (bn *BatchNorm2D) Infer(x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 4 || x.Dim(1) != bn.C {
+		badShape(bn.name, "want N×%d×H×W, got %v", bn.C, x.Shape)
+	}
+	n, c := x.Dim(0), x.Dim(1)
+	plane := x.Dim(2) * x.Dim(3)
+	y := bn.ws.Take("y", x.Shape...)
+	for ch := 0; ch < c; ch++ {
+		mean := float64(bn.RunMean.Data[ch])
+		variance := float64(bn.RunVar.Data[ch])
+		inv := float32(1 / math.Sqrt(variance+bn.Eps))
+		g, b := bn.Gamma.Data[ch], bn.Beta.Data[ch]
+		mf := float32(mean)
+		for i := 0; i < n; i++ {
+			base := (i*c + ch) * plane
+			for k := 0; k < plane; k++ {
+				xh := (x.Data[base+k] - mf) * inv
+				y.Data[base+k] = g*xh + b
+			}
+		}
+	}
+	return y
+}
+
 // Backward implements the standard batch-norm gradient (training-mode
 // statistics; eval mode is only used for inference, never backprop).
 //

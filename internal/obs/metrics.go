@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 )
@@ -67,6 +68,31 @@ func (h *Histogram) Merge(o *Histogram) error {
 	h.Count += o.Count
 	h.Sum += o.Sum
 	return nil
+}
+
+// Quantile returns the upper bound of the bucket containing the q-th
+// quantile observation — the standard fixed-bucket estimate (an upper
+// bound on the true quantile, never an underestimate). Observations in
+// the overflow bucket report the last finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Buckets) == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.Count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			if i < len(h.Buckets) {
+				return h.Buckets[i]
+			}
+			break
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
 }
 
 // clone returns a deep copy (snapshot isolation).

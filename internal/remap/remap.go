@@ -5,9 +5,12 @@
 // remapping (Remap-T-n%), and the AN-code ECC ([10], via internal/ancode).
 //
 // A policy interacts with the system at two points: Deploy (once, after the
-// network is mapped and pre-deployment faults are present) and EpochEnd
-// (after every training epoch, when BIST results are fresh and no compute
-// is in flight — the paper's remap trigger point).
+// network is mapped and pre-deployment faults are present) and Maintain — a
+// phase-agnostic maintenance step invoked whenever no compute is in flight
+// and BIST results can be refreshed. The trainer invokes it at every epoch
+// boundary (the paper's remap trigger point, via the EpochEnd adapter);
+// internal/serve invokes it online, under live inference traffic, on a
+// request-count / BIST-failure trigger.
 package remap
 
 import (
@@ -23,11 +26,52 @@ import (
 	"remapd/internal/tensor"
 )
 
+// Trigger identifies which execution phase invoked a maintenance step.
+// It exists so a policy can know which task phase is latency/fault
+// critical *right now*: during training the backward pass is the
+// fault-critical computation (the paper's setting); during serving only
+// forward tasks execute, so the criticality flips. Policies must not
+// branch on Trigger in any other way — the epoch-boundary behaviour under
+// TriggerEpoch is pinned byte-identical to the pre-redesign EpochEnd.
+type Trigger int
+
+const (
+	// TriggerDeploy marks the t=0 maintenance pass run from Deploy.
+	TriggerDeploy Trigger = iota
+	// TriggerEpoch marks a training epoch boundary (the paper's setting).
+	TriggerEpoch
+	// TriggerServing marks an online maintenance round under inference
+	// traffic (request-count or BIST-failure triggered, no backward pass).
+	TriggerServing
+)
+
+// String returns the trace-stable name of the trigger.
+func (t Trigger) String() string {
+	switch t {
+	case TriggerDeploy:
+		return "deploy"
+	case TriggerEpoch:
+		return "epoch"
+	case TriggerServing:
+		return "serving"
+	}
+	return "unknown"
+}
+
 // Context carries everything a policy may inspect or mutate.
 type Context struct {
-	Chip  *arch.Chip
-	RNG   *tensor.RNG
+	Chip *arch.Chip
+	RNG  *tensor.RNG
+
+	// Epoch is the maintenance round index: the training epoch when
+	// Trigger is TriggerEpoch, the online maintenance round when
+	// TriggerServing. It keys every emitted event's simulated coordinate.
 	Epoch int
+
+	// Trigger records which phase invoked this maintenance step. The zero
+	// value is TriggerDeploy; callers set it per invocation (the EpochEnd
+	// adapter sets TriggerEpoch).
+	Trigger Trigger
 
 	// GradAbs accumulates, per MVM layer, the sum of |∂L/∂w| over the
 	// epoch's optimizer steps (filled by the trainer). Remap-T-n% ranks
@@ -47,8 +91,8 @@ type Context struct {
 	Obs obs.Recorder
 }
 
-// EpochReport summarises what a policy did at one epoch boundary.
-type EpochReport struct {
+// Report summarises what a policy did in one maintenance step.
+type Report struct {
 	Senders    int // crossbars that requested remapping
 	Swaps      int // task exchanges performed (Remap-T: weights newly relocated)
 	Unmatched  int // senders that found no receiver
@@ -60,15 +104,31 @@ type EpochReport struct {
 	// 0 for policies that move tasks instead of shielding elements.
 	Protected int
 	// MeanDensity is the mean fault density the policy observed across the
-	// crossbars it inspected this boundary (0 if it inspected none).
+	// crossbars it inspected this step (0 if it inspected none).
 	MeanDensity float64
 }
+
+// EpochReport is the pre-redesign name of Report, kept as an alias so
+// checkpoint/result plumbing and tests need no lockstep rename.
+type EpochReport = Report
 
 // Policy is a fault-tolerance scheme.
 type Policy interface {
 	Name() string
 	Deploy(ctx *Context)
-	EpochEnd(ctx *Context) EpochReport
+	// Maintain runs one maintenance step: refresh fault knowledge (BIST),
+	// re-protect or re-place tasks, and report what was done. It must be
+	// safe to call from any phase described by ctx.Trigger.
+	Maintain(ctx *Context) Report
+}
+
+// EpochEnd adapts the pre-redesign epoch-boundary entry point onto
+// Maintain: it stamps the context with TriggerEpoch and delegates. Trainer
+// call sites use this adapter, so Fig. 5–8 outputs are byte-identical to
+// the old Policy.EpochEnd surface.
+func EpochEnd(p Policy, ctx *Context) EpochReport {
+	ctx.Trigger = TriggerEpoch
+	return p.Maintain(ctx)
 }
 
 // Resumable is implemented by policies carrying internal mutable state that
@@ -102,8 +162,8 @@ func (None) Name() string { return "none" }
 // Deploy implements Policy.
 func (None) Deploy(*Context) {}
 
-// EpochEnd implements Policy.
-func (None) EpochEnd(*Context) EpochReport { return EpochReport{} }
+// Maintain implements Policy.
+func (None) Maintain(*Context) Report { return Report{} }
 
 // -------------------------------------------------------------- Static --
 
@@ -117,22 +177,28 @@ type Static struct{}
 func (Static) Name() string { return "static" }
 
 // Deploy sorts the originally used crossbars by measured density and
-// assigns backward tasks to the cleanest ones.
+// assigns the fault-critical phase's tasks to the cleanest ones: backward
+// tasks for a training deployment, forward tasks when the chip is
+// deployed to serve (ctx.Trigger == TriggerServing).
 func (Static) Deploy(ctx *Context) {
 	chip := ctx.Chip
+	crit := arch.Backward
+	if ctx.Trigger == TriggerServing {
+		crit = arch.Forward
+	}
 	used := chip.MappedXbars()
 	sort.Slice(used, func(a, b int) bool {
 		return chip.TrueDensity(used[a]) < chip.TrueDensity(used[b])
 	})
-	// Order tasks backward-phase first.
+	// Order tasks critical-phase first.
 	order := make([]int, 0, len(chip.Tasks))
 	for _, t := range chip.Tasks {
-		if t.Phase == arch.Backward {
+		if t.Phase == crit {
 			order = append(order, t.ID)
 		}
 	}
 	for _, t := range chip.Tasks {
-		if t.Phase == arch.Forward {
+		if t.Phase != crit {
 			order = append(order, t.ID)
 		}
 	}
@@ -145,17 +211,22 @@ func (Static) Deploy(ctx *Context) {
 	}
 }
 
-// EpochEnd does nothing — the mapping is static.
-func (Static) EpochEnd(*Context) EpochReport { return EpochReport{} }
+// Maintain does nothing — the mapping is static.
+func (Static) Maintain(*Context) Report { return Report{} }
 
 // -------------------------------------------------------------- RemapD --
 
-// RemapD is the paper's proposed policy. At every epoch boundary it runs
+// RemapD is the paper's proposed policy. At every maintenance step it runs
 // the BIST pass on each crossbar, then crossbars whose fault density
-// exceeds Threshold and which host a backward-phase (fault-critical) task
-// become senders; crossbars hosting forward-phase tasks with strictly
-// lower density are potential receivers; each sender swaps tasks with its
-// nearest (tile hop count) responding receiver. No spare hardware is used.
+// exceeds Threshold and which host a fault-critical task become senders;
+// crossbars hosting tasks of the other (idle or fault-tolerant) phase with
+// strictly lower density are potential receivers; each sender swaps tasks
+// with its nearest (tile hop count) responding receiver. No spare hardware
+// is used. Which phase is critical depends on the trigger: at training
+// epoch boundaries the backward pass is fault-critical (the paper's
+// setting); under serving traffic only forward tasks execute, so forward
+// becomes critical and the idle backward crossbars act as the clean pool —
+// the X-CHANGR-style serving-time adaptation.
 type RemapD struct {
 	// Threshold is the sender trigger density (paper: user-chosen; default
 	// 0.4%, the boundary of the "hot crossbar" manufacturing band).
@@ -179,18 +250,26 @@ func (r *RemapD) Name() string { return "remap-d" }
 // Deploy performs the fault-aware initial mapping (the paper's "static"
 // t = 0 placement: backward tasks onto the cleanest crossbars, guided by
 // the first post-programming BIST pass). The dynamic behaviour — reacting
-// to post-deployment faults — then runs at every epoch boundary via
-// EpochEnd. Remap-D is strictly the static placement plus dynamics.
+// to post-deployment faults — then runs at every maintenance step via
+// Maintain. Remap-D is strictly the static placement plus dynamics.
 func (r *RemapD) Deploy(ctx *Context) {
 	Static{}.Deploy(ctx)
-	r.EpochEnd(ctx)
+	r.Maintain(ctx)
 }
 
-// EpochEnd implements the three-step protocol of Fig. 3 at the system
+// Maintain implements the three-step protocol of Fig. 3 at the system
 // level and (optionally) on the flit-level NoC.
-func (r *RemapD) EpochEnd(ctx *Context) EpochReport {
+func (r *RemapD) Maintain(ctx *Context) Report {
 	chip := ctx.Chip
-	rep := EpochReport{}
+	rep := Report{}
+
+	// The fault-critical phase is backward during training (gradient
+	// outer products cannot tolerate stuck cells) and forward under
+	// serving traffic, where backward crossbars sit idle as a clean pool.
+	crit, spare := arch.Backward, arch.Forward
+	if ctx.Trigger == TriggerServing {
+		crit, spare = arch.Forward, arch.Backward
+	}
 
 	// Step 0: BIST every mapped crossbar to obtain fault densities. The
 	// densities are kept in a slice indexed by crossbar id (not a map):
@@ -227,7 +306,7 @@ func (r *RemapD) EpochEnd(ctx *Context) EpochReport {
 		}
 	}
 
-	// Step 1: senders = over-threshold crossbars hosting backward tasks.
+	// Step 1: senders = over-threshold crossbars hosting critical tasks.
 	var senders []int
 	var receivers []int
 	for _, xi := range used {
@@ -235,9 +314,9 @@ func (r *RemapD) EpochEnd(ctx *Context) EpochReport {
 		if t == nil {
 			continue
 		}
-		if t.Phase == arch.Backward && density[xi] > r.Threshold {
+		if t.Phase == crit && density[xi] > r.Threshold {
 			senders = append(senders, xi)
-		} else if t.Phase == arch.Forward {
+		} else if t.Phase == spare {
 			receivers = append(receivers, xi)
 		}
 	}
@@ -372,12 +451,14 @@ func (r *RemapT) Deploy(ctx *Context) {
 	r.install(ctx)
 }
 
-// EpochEnd re-ranks by the epoch's accumulated |grad| and rebuilds the
+// Maintain re-ranks by the epoch's accumulated |grad| and rebuilds the
 // protection set. The report counts the re-rank's churn: Swaps is the
-// number of weights newly relocated onto spares this boundary (the
-// scheme's per-epoch remapping work), Protected the resulting set size.
-func (r *RemapT) EpochEnd(ctx *Context) EpochReport {
-	rep := EpochReport{MeanDensity: meanMappedDensity(ctx.Chip)}
+// number of weights newly relocated onto spares this step (the scheme's
+// per-epoch remapping work), Protected the resulting set size. With no
+// accumulated gradients (e.g. under serving traffic) the existing
+// protection set is kept as-is.
+func (r *RemapT) Maintain(ctx *Context) Report {
+	rep := Report{MeanDensity: meanMappedDensity(ctx.Chip)}
 	if len(ctx.GradAbs) > 0 {
 		prev := r.protected
 		r.rebuild(ctx, ctx.GradAbs)
@@ -482,11 +563,11 @@ func (r *RemapWS) Deploy(ctx *Context) {
 	}, true)
 }
 
-// EpochEnd changes nothing — the significance snapshot is never updated —
+// Maintain changes nothing — the significance snapshot is never updated —
 // but still reports the (static) protection footprint and the chip's
 // current density so traces show what the scheme is failing to track.
-func (r *RemapWS) EpochEnd(ctx *Context) EpochReport {
-	return EpochReport{
+func (r *RemapWS) Maintain(ctx *Context) Report {
+	return Report{
 		Protected:   protectedCount(r.protected),
 		MeanDensity: meanMappedDensity(ctx.Chip),
 	}
@@ -517,12 +598,12 @@ func (a *ANCode) Deploy(ctx *Context) {
 	ctx.Chip.SetCellCorrector(a.corrector.CellCorrector(), false)
 }
 
-// EpochEnd re-profiles the correction table. Protected reports how many
+// Maintain re-profiles the correction table. Protected reports how many
 // of the profiled faulty cells the refreshed code can actually correct.
-func (a *ANCode) EpochEnd(ctx *Context) EpochReport {
+func (a *ANCode) Maintain(ctx *Context) Report {
 	a.corrector.RefreshTable(ctx.Chip.Xbars)
 	ctx.Chip.InvalidateAll()
-	return EpochReport{
+	return Report{
 		Protected:   a.corrector.CorrectableCount(),
 		MeanDensity: meanMappedDensity(ctx.Chip),
 	}

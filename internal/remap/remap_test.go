@@ -74,7 +74,7 @@ func TestNonePolicyIsInert(t *testing.T) {
 	}
 	p := None{}
 	p.Deploy(r.ctx)
-	rep := p.EpochEnd(r.ctx)
+	rep := p.Maintain(r.ctx)
 	if rep != (EpochReport{}) {
 		t.Fatalf("None reported %+v", rep)
 	}
@@ -121,7 +121,7 @@ func TestRemapDSwapsFaultyBackwardAway(t *testing.T) {
 	injectN(r.chip, victim, 40, r.ctx.RNG) // ≈3.9% density, over threshold
 
 	victimTask := r.chip.TaskOf(victim).ID
-	rep := pol.EpochEnd(r.ctx)
+	rep := pol.Maintain(r.ctx)
 	if rep.Senders != 1 || rep.Swaps != 1 {
 		t.Fatalf("report %+v, want 1 sender, 1 swap", rep)
 	}
@@ -148,7 +148,7 @@ func TestRemapDRespectsThreshold(t *testing.T) {
 	pol.Threshold = 0.05 // 5%
 	bwd := r.backwardXbars()
 	injectN(r.chip, bwd[0], 30, r.ctx.RNG) // ≈2.9% < threshold
-	rep := pol.EpochEnd(r.ctx)
+	rep := pol.Maintain(r.ctx)
 	if rep.Senders != 0 || rep.Swaps != 0 {
 		t.Fatalf("below-threshold crossbar must not remap: %+v", rep)
 	}
@@ -165,7 +165,7 @@ func TestRemapDFaultyForwardIsNotASender(t *testing.T) {
 		}
 	}
 	injectN(r.chip, fwd, 60, r.ctx.RNG)
-	rep := pol.EpochEnd(r.ctx)
+	rep := pol.Maintain(r.ctx)
 	if rep.Senders != 0 {
 		t.Fatalf("forward tasks are fault-tolerant and must not request remap: %+v", rep)
 	}
@@ -192,7 +192,7 @@ func TestRemapDPicksNearestReceiver(t *testing.T) {
 		}
 	}
 	senderTask := r.chip.TaskOf(sender).ID
-	pol.EpochEnd(r.ctx)
+	pol.Maintain(r.ctx)
 	if got := r.chip.XbarOf(senderTask); got != best {
 		t.Fatalf("task moved to crossbar %d (hop %d), nearest receiver was %d (hop %d)",
 			got, r.chip.HopCount(sender, got), best, bestHop)
@@ -207,7 +207,7 @@ func TestRemapDUnmatchedWhenNoCleanerReceiver(t *testing.T) {
 	for _, xi := range r.chip.MappedXbars() {
 		injectN(r.chip, xi, 40, r.ctx.RNG)
 	}
-	rep := pol.EpochEnd(r.ctx)
+	rep := pol.Maintain(r.ctx)
 	if rep.Senders == 0 {
 		t.Fatal("senders expected")
 	}
@@ -237,7 +237,7 @@ func TestRemapDWithNoCSimulation(t *testing.T) {
 	pol := NewRemapD()
 	bwd := r.backwardXbars()
 	injectN(r.chip, bwd[0], 40, r.ctx.RNG)
-	rep := pol.EpochEnd(r.ctx)
+	rep := pol.Maintain(r.ctx)
 	if rep.Swaps == 0 {
 		t.Fatal("expected a swap")
 	}
@@ -262,7 +262,7 @@ func TestRemapTProtectsTopGradients(t *testing.T) {
 	ga["fc2"].Data[0] = 100    // clearly most important
 	ga["fc2"].Data[2*16+3] = 0 // element (2,3): least important
 	r.ctx.GradAbs = ga
-	pol.EpochEnd(r.ctx)
+	pol.Maintain(r.ctx)
 
 	// Fault the cell holding fc2 element 0 on the forward copy.
 	var fwdTask *arch.Task
@@ -304,7 +304,7 @@ func TestRemapWSMaskIsStatic(t *testing.T) {
 	ga := map[string]*tensor.Tensor{"fc2": tensor.New(r.chip.Weight("fc2").Shape...)}
 	ga["fc2"].Data[5] = 1e6
 	r.ctx.GradAbs = ga
-	pol.EpochEnd(r.ctx)
+	pol.Maintain(r.ctx)
 	if len(pol.protected["fc1"]) != snapshot || pol.protected["fc2"] != nil && pol.protected["fc2"][5] {
 		t.Fatal("Remap-WS mask must never update after deployment")
 	}
@@ -341,7 +341,7 @@ func TestANCodePolicyCorrectsAndLags(t *testing.T) {
 	if float64(eff.At(2, 2)) < 0.99*clip {
 		t.Fatalf("new fault must be uncorrected before refresh, got %v", eff.At(2, 2))
 	}
-	pol.EpochEnd(r.ctx)
+	pol.Maintain(r.ctx)
 	eff = r.chip.EffectiveForward("fc2", w)
 	if math.Abs(float64(eff.At(2, 2)-w.At(2, 2))) > 0.1*clip {
 		t.Fatal("fault must be corrected after table refresh")
@@ -351,7 +351,7 @@ func TestANCodePolicyCorrectsAndLags(t *testing.T) {
 	xb.InjectFaultPolar(3, 4, reram.SA1, true, r.ctx.RNG)
 	xb.InjectFaultPolar(5, 4, reram.SA1, true, r.ctx.RNG)
 	r.chip.InvalidateAll()
-	pol.EpochEnd(r.ctx)
+	pol.Maintain(r.ctx)
 	eff = r.chip.EffectiveForward("fc2", w)
 	if float64(eff.At(3, 4)) < 0.99*clip || float64(eff.At(5, 4)) < 0.99*clip {
 		t.Fatal("two-fault column exceeds AN-code capability and must stay faulty")

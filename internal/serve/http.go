@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// This file is the HTTP shell around the deterministic Server core. The
+// core is clocked by request-arrival ticks; the shell maps live traffic
+// onto that clock with a monotonic arrival counter and uses a wall-clock
+// ticker only to fire the max-wait flush when traffic goes thin. The
+// deterministic-replay guarantee is claimed for the driver path
+// (Traffic/Drive), not for concurrent HTTP load — but every individual
+// HTTP request still flows through the same scheduler, wear and
+// maintenance machinery.
+
+// ClassifyRequest is the POST /classify body.
+type ClassifyRequest struct {
+	// Image is the C·H·W input in dataset layout.
+	Image []float32 `json:"image"`
+	// Label optionally carries ground truth so live traffic feeds the
+	// accuracy-drift gauges. Omitted means unknown.
+	Label *int `json:"label,omitempty"`
+}
+
+// ClassifyResponse is the POST /classify reply.
+type ClassifyResponse struct {
+	Class          int    `json:"class"`
+	ArrivalTick    uint64 `json:"arrival_tick"`
+	CompletionTick uint64 `json:"completion_tick"`
+	LatencyTicks   uint64 `json:"latency_ticks"`
+}
+
+type httpReq struct {
+	req  *Request
+	done chan struct{}
+}
+
+// Front serialises HTTP requests onto the Server's simulated arrival
+// clock through a single consumer goroutine.
+type Front struct {
+	srv     *Server
+	ch      chan *httpReq
+	wait    time.Duration
+	stop    chan struct{}
+	stopped chan struct{}
+}
+
+// NewFront wraps srv. wait is the wall-clock interval at which a partial
+// batch is force-flushed when no new traffic arrives to advance the
+// simulated clock past the max-wait deadline.
+func NewFront(srv *Server, wait time.Duration) *Front {
+	if wait <= 0 {
+		wait = 10 * time.Millisecond
+	}
+	return &Front{
+		srv:     srv,
+		ch:      make(chan *httpReq, 64),
+		wait:    wait,
+		stop:    make(chan struct{}),
+		stopped: make(chan struct{}),
+	}
+}
+
+// Start launches the consumer loop.
+func (f *Front) Start() { go f.loop() }
+
+// Close stops the consumer loop, draining and completing any queued
+// requests first.
+func (f *Front) Close() {
+	close(f.stop)
+	<-f.stopped
+}
+
+func (f *Front) loop() {
+	defer close(f.stopped)
+	var arrival uint64
+	var pending []*httpReq
+	tick := time.NewTicker(f.wait)
+	defer tick.Stop()
+	complete := func() {
+		kept := pending[:0]
+		for _, hr := range pending {
+			if hr.req.Completion > 0 {
+				close(hr.done)
+			} else {
+				kept = append(kept, hr)
+			}
+		}
+		pending = kept
+	}
+	for {
+		select {
+		case hr := <-f.ch:
+			arrival++
+			hr.req.Arrival = arrival
+			f.srv.Submit(hr.req)
+			pending = append(pending, hr)
+		case <-tick.C:
+			f.srv.Flush()
+		case <-f.stop:
+			for {
+				select {
+				case hr := <-f.ch:
+					arrival++
+					hr.req.Arrival = arrival
+					f.srv.Submit(hr.req)
+					pending = append(pending, hr)
+					continue
+				default:
+				}
+				break
+			}
+			f.srv.Flush()
+			complete()
+			return
+		}
+		complete()
+	}
+}
+
+// Handler returns the service mux: POST /classify plus a liveness probe.
+func (f *Front) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/classify", f.handleClassify)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		_, err := fmt.Fprintln(w, "ok")
+		_ = err // best-effort liveness reply
+	})
+	return mux
+}
+
+func (f *Front) handleClassify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var cr ClassifyRequest
+	if err := json.NewDecoder(r.Body).Decode(&cr); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(cr.Image) != f.srv.InputLen() {
+		http.Error(w, fmt.Sprintf("image must have %d values, got %d", f.srv.InputLen(), len(cr.Image)), http.StatusBadRequest)
+		return
+	}
+	req := &Request{Image: cr.Image, Label: -1}
+	if cr.Label != nil {
+		req.Label = *cr.Label
+	}
+	hr := &httpReq{req: req, done: make(chan struct{})}
+	select {
+	case f.ch <- hr:
+	case <-f.stop:
+		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	select {
+	case <-hr.done:
+	case <-f.stopped:
+		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	resp := ClassifyResponse{
+		Class:          req.Class,
+		ArrivalTick:    req.Arrival,
+		CompletionTick: req.Completion,
+		LatencyTicks:   req.Completion - req.Arrival,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

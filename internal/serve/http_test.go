@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"remapd/internal/dataset"
+	"remapd/internal/remap"
+)
+
+// TestHTTPClassify drives the HTTP shell end to end: a POSTed image comes
+// back classified with its simulated latency, and malformed requests are
+// rejected before touching the scheduler.
+func TestHTTPClassify(t *testing.T) {
+	cfg := Config{
+		BatchMax:  1, // every request is its own batch: no cross-request waits
+		BatchWait: 4,
+		InC:       3, InH: 16, InW: 16,
+	}
+	rep, err := NewReplica(ReplicaConfig{Net: testNet(5), Chip: testChip(), Policy: remap.NewRemapD(), FaultSeed: 21}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(cfg, []*Replica{rep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := NewFront(srv, time.Millisecond)
+	front.Start()
+	defer front.Close()
+	ts := httptest.NewServer(front.Handler())
+	defer ts.Close()
+
+	ds := dataset.CIFAR10Like(1, 4, 16, 77)
+	body, err := json.Marshal(ClassifyRequest{Image: ds.TestX.Data[:srv.InputLen()]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/classify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if cerr := resp.Body.Close(); cerr != nil {
+			t.Error(cerr)
+		}
+	}()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /classify: %s", resp.Status)
+	}
+	var cr ClassifyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Class < 0 || cr.Class >= 10 {
+		t.Fatalf("class %d out of range", cr.Class)
+	}
+	if cr.CompletionTick <= cr.ArrivalTick {
+		t.Fatalf("completion %d not after arrival %d", cr.CompletionTick, cr.ArrivalTick)
+	}
+
+	// Wrong image volume: rejected with 400 before reaching the scheduler.
+	bad, err := json.Marshal(ClassifyRequest{Image: []float32{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := http.Post(ts.URL+"/classify", "application/json", bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cerr := resp2.Body.Close(); cerr != nil {
+		t.Error(cerr)
+	}
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("short image: got %s, want 400", resp2.Status)
+	}
+	if got := srv.Stats().Requests; got != 1 {
+		t.Fatalf("server saw %d requests, want 1", got)
+	}
+}

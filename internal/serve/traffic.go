@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"remapd/internal/dataset"
+	"remapd/internal/tensor"
+)
+
+// Traffic is the deterministic request generator: it draws samples from a
+// dataset's test split and spaces arrivals on the simulated tick clock
+// with seeded jitter. Every request carries its ground-truth label so the
+// server can track accuracy drift under wear. Two Traffic instances with
+// the same dataset, seed and jitter produce identical request streams.
+type Traffic struct {
+	ds     *dataset.Dataset
+	rng    *tensor.RNG
+	jitter int
+	tick   uint64
+	imgLen int
+}
+
+// NewTraffic returns a generator over ds's test split. jitter is the
+// maximum extra gap between consecutive arrivals: each request lands
+// 1..(1+jitter) ticks after the previous one.
+func NewTraffic(ds *dataset.Dataset, seed uint64, jitter int) *Traffic {
+	if jitter < 0 {
+		jitter = 0
+	}
+	return &Traffic{
+		ds:     ds,
+		rng:    tensor.NewRNG(seed),
+		jitter: jitter,
+		imgLen: ds.C * ds.H * ds.W,
+	}
+}
+
+// Next draws one request. The Image slice views the dataset tensor (the
+// scheduler copies it at execution), so Next itself stays allocation-light.
+func (t *Traffic) Next() *Request {
+	idx := t.rng.Intn(t.ds.TestLen())
+	t.tick += 1 + uint64(t.rng.Intn(t.jitter+1))
+	return &Request{
+		Image:   t.ds.TestX.Data[idx*t.imgLen : (idx+1)*t.imgLen],
+		Label:   t.ds.TestY[idx],
+		Arrival: t.tick,
+	}
+}
+
+// Drive pushes n generated requests through the server and drains the
+// final partial batch — the deterministic replay loop behind the -requests
+// driver mode and the serve-smoke CI job.
+func Drive(s *Server, tr *Traffic, n int) {
+	for i := 0; i < n; i++ {
+		s.Submit(tr.Next())
+	}
+	s.Flush()
+}

@@ -275,7 +275,7 @@ func Train(net *nn.Network, ds *dataset.Dataset, cfg Config) (*Result, error) {
 		// task moved now gets a full epoch of training before it is next
 		// measured.
 		if ctx != nil {
-			rep := pol.EpochEnd(ctx)
+			rep := remap.EpochEnd(pol, ctx)
 			res.Senders += rep.Senders
 			res.Swaps += rep.Swaps
 			res.Unmatched += rep.Unmatched
